@@ -1,0 +1,375 @@
+// Package repro's root benchmark harness: one benchmark per paper table and
+// figure, plus ablation benchmarks for the design choices DESIGN.md calls
+// out. Each benchmark iteration is one full simulated run; derived paper
+// metrics (work inflation, speedup, steal counts) are attached via
+// b.ReportMetric so `go test -bench` output carries the same quantities the
+// paper's tables report.
+//
+// Benchmarks default to the small input scale so the whole suite runs in
+// minutes; `cmd/numaws` regenerates the full-scale tables recorded in
+// EXPERIMENTS.md.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/deque"
+	"repro/internal/harness"
+	"repro/internal/layout"
+	"repro/internal/memory"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+func benchSpecs(b *testing.B) []harness.Spec {
+	b.Helper()
+	return harness.Specs(harness.ScaleSmall)
+}
+
+func specByName(b *testing.B, name string) harness.Spec {
+	b.Helper()
+	for _, s := range benchSpecs(b) {
+		if s.Name == name {
+			return s
+		}
+	}
+	b.Fatalf("no spec named %q", name)
+	return harness.Spec{}
+}
+
+var allNames = []string{
+	"cg", "cilksort", "heat", "hull1", "hull2",
+	"matmul", "matmul-z", "strassen", "strassen-z",
+}
+
+// BenchmarkFig3 regenerates Fig. 3's bars: Cilk Plus total processing time
+// at P=32 decomposed into work, scheduling, and idle, normalized to TS.
+func BenchmarkFig3(b *testing.B) {
+	for _, name := range []string{"cilksort", "heat", "strassen", "hull1", "hull2", "cg", "matmul"} {
+		spec := specByName(b, name)
+		b.Run(name, func(b *testing.B) {
+			ts, err := harness.RunSerial(spec, harness.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var rep *core.Report
+			for i := 0; i < b.N; i++ {
+				rep, err = harness.RunOne(spec, sched.PolicyCilk, harness.Options{Verify: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			tsF := float64(ts.Time)
+			b.ReportMetric(float64(rep.Sched.WorkTotal())/tsF, "work/TS")
+			b.ReportMetric(float64(rep.Sched.SchedTotal())/tsF, "sched/TS")
+			b.ReportMetric(float64(rep.Sched.IdleTotal())/tsF, "idle/TS")
+		})
+	}
+}
+
+// BenchmarkTable7 regenerates Fig. 7's rows: T32 per platform with the
+// spawn-overhead and scalability ratios.
+func BenchmarkTable7(b *testing.B) {
+	for _, name := range allNames {
+		spec := specByName(b, name)
+		for _, pol := range []sched.Policy{sched.PolicyCilk, sched.PolicyNUMAWS} {
+			b.Run(fmt.Sprintf("%s/%v", name, pol), func(b *testing.B) {
+				ts, err := harness.RunSerial(spec, harness.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				t1, err := harness.RunOne(spec, pol, harness.Options{P: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var tp *core.Report
+				for i := 0; i < b.N; i++ {
+					tp, err = harness.RunOne(spec, pol, harness.Options{Verify: true})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(t1.Time)/float64(ts.Time), "T1/TS")
+				b.ReportMetric(float64(t1.Time)/float64(tp.Time), "T1/T32")
+				b.ReportMetric(float64(tp.Time), "T32-cycles")
+			})
+		}
+	}
+}
+
+// BenchmarkTable8 regenerates Fig. 8's rows: the work/scheduling/idle
+// breakdown and the work inflation at P=32 per platform.
+func BenchmarkTable8(b *testing.B) {
+	for _, name := range allNames {
+		spec := specByName(b, name)
+		for _, pol := range []sched.Policy{sched.PolicyCilk, sched.PolicyNUMAWS} {
+			b.Run(fmt.Sprintf("%s/%v", name, pol), func(b *testing.B) {
+				t1, err := harness.RunOne(spec, pol, harness.Options{P: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var tp *core.Report
+				for i := 0; i < b.N; i++ {
+					tp, err = harness.RunOne(spec, pol, harness.Options{Verify: true})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(tp.Sched.WorkTotal())/float64(t1.Time), "W32/T1")
+				b.ReportMetric(float64(tp.Sched.SchedTotal()), "S32-cycles")
+				b.ReportMetric(float64(tp.Sched.IdleTotal()), "I32-cycles")
+			})
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates Fig. 9's series: NUMA-WS speedup T1/TP at each
+// packed worker count.
+func BenchmarkFig9(b *testing.B) {
+	for _, name := range []string{"cilksort", "heat", "strassen-z", "hull1", "hull2", "cg", "matmul-z"} {
+		spec := specByName(b, name)
+		t1 := map[string]int64{}
+		for _, p := range harness.Fig9Points {
+			b.Run(fmt.Sprintf("%s/P=%d", name, p), func(b *testing.B) {
+				var rep *core.Report
+				var err error
+				for i := 0; i < b.N; i++ {
+					rep, err = harness.RunOne(spec, sched.PolicyNUMAWS, harness.Options{P: p})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				if p == 1 {
+					t1[name] = rep.Time
+				}
+				if base := t1[name]; base != 0 {
+					b.ReportMetric(float64(base)/float64(rep.Time), "T1/TP")
+				}
+				b.ReportMetric(float64(rep.Time), "TP-cycles")
+			})
+		}
+	}
+}
+
+// BenchmarkFig6 measures the index-computation overhead of the three
+// layouts — the paper's motivation for blocking the Z curve: "Computing
+// indices for Z-Morton layout on the cell-by-cell basis is costly".
+func BenchmarkFig6(b *testing.B) {
+	a := memory.NewAllocator(4)
+	for _, tc := range []struct {
+		kind  layout.Kind
+		block int
+	}{{layout.RowMajor, 0}, {layout.Morton, 0}, {layout.BlockedMorton, 32}} {
+		m := layout.NewMatrix(a, tc.kind.String(), 256, tc.kind, tc.block, memory.Interleave{})
+		b.Run(tc.kind.String(), func(b *testing.B) {
+			s := 0
+			for i := 0; i < b.N; i++ {
+				s += m.Index(i%256, (i*7)%256)
+			}
+			_ = s
+		})
+	}
+}
+
+// heatAblation builds the hinted workload used by the ablation benchmarks.
+func heatAblation(cfg core.Config, b *testing.B) *core.Report {
+	b.Helper()
+	w := workloads.NewHeat(256, 256, 10, 64, workloads.Config{Aware: true, Seed: 5})
+	rt := core.NewRuntime(cfg)
+	w.Prepare(rt)
+	rep := rt.Run(w.Root())
+	if err := w.Verify(); err != nil {
+		b.Fatal(err)
+	}
+	return rep
+}
+
+func ablationConfig() core.Config {
+	return core.DefaultConfig(32, sched.PolicyNUMAWS)
+}
+
+// BenchmarkAblationNoCoinFlip disables the thief's deque-vs-mailbox coin
+// flip (always mailbox first). The paper's Lemma 1 needs the coin so the
+// deque head keeps probability >= 1/(2cP).
+func BenchmarkAblationNoCoinFlip(b *testing.B) {
+	for _, coin := range []bool{true, false} {
+		name := "coin-flip"
+		if !coin {
+			name = "mailbox-first"
+		}
+		b.Run(name, func(b *testing.B) {
+			var rep *core.Report
+			for i := 0; i < b.N; i++ {
+				cfg := ablationConfig()
+				cfg.Sched.DisableCoinFlip = !coin
+				rep = heatAblation(cfg, b)
+			}
+			b.ReportMetric(float64(rep.Time), "T32-cycles")
+			b.ReportMetric(float64(rep.Sched.Steals), "steals")
+		})
+	}
+}
+
+// BenchmarkAblationPushThreshold sweeps the pushing threshold; unbounded
+// pushing breaks the amortization of pushes against steals.
+func BenchmarkAblationPushThreshold(b *testing.B) {
+	for _, th := range []int{-1, 1, 4, 16, 256} {
+		b.Run(fmt.Sprintf("threshold=%d", th), func(b *testing.B) {
+			var rep *core.Report
+			for i := 0; i < b.N; i++ {
+				cfg := ablationConfig()
+				cfg.Sched.PushThreshold = th
+				rep = heatAblation(cfg, b)
+			}
+			b.ReportMetric(float64(rep.Time), "T32-cycles")
+			b.ReportMetric(float64(rep.Sched.PushAttempts), "push-attempts")
+		})
+	}
+}
+
+// BenchmarkAblationMailboxSize compares the paper's single-entry mailbox
+// against multi-entry FIFOs.
+func BenchmarkAblationMailboxSize(b *testing.B) {
+	for _, size := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("entries=%d", size), func(b *testing.B) {
+			var rep *core.Report
+			for i := 0; i < b.N; i++ {
+				cfg := ablationConfig()
+				cfg.Sched.MailboxCapacity = size
+				rep = heatAblation(cfg, b)
+			}
+			b.ReportMetric(float64(rep.Time), "T32-cycles")
+			b.ReportMetric(float64(rep.Sched.Pushes), "pushes")
+		})
+	}
+}
+
+// BenchmarkAblationUniformSteal disables the locality bias (uniform victim
+// selection) while keeping mailboxes and pushing.
+func BenchmarkAblationUniformSteal(b *testing.B) {
+	for _, bias := range []bool{true, false} {
+		name := "biased"
+		if !bias {
+			name = "uniform"
+		}
+		b.Run(name, func(b *testing.B) {
+			var rep *core.Report
+			for i := 0; i < b.N; i++ {
+				cfg := ablationConfig()
+				cfg.Sched.DisableBias = !bias
+				rep = heatAblation(cfg, b)
+			}
+			b.ReportMetric(float64(rep.Time), "T32-cycles")
+			b.ReportMetric(float64(rep.Cache.Remote()), "remote-accesses")
+		})
+	}
+}
+
+// BenchmarkAblationEagerPush violates the work-first principle: work
+// pushing at spawn time, on the work path. The work term (and T1/TS, the
+// paper's work-efficiency measure) inflates.
+func BenchmarkAblationEagerPush(b *testing.B) {
+	for _, eager := range []bool{false, true} {
+		name := "lazy"
+		if eager {
+			name = "eager"
+		}
+		b.Run(name, func(b *testing.B) {
+			var rep *core.Report
+			for i := 0; i < b.N; i++ {
+				cfg := ablationConfig()
+				cfg.Sched.EagerPush = eager
+				rep = heatAblation(cfg, b)
+			}
+			b.ReportMetric(float64(rep.Time), "T32-cycles")
+			b.ReportMetric(float64(rep.Sched.WorkTotal()), "W32-cycles")
+		})
+	}
+}
+
+// --- Microbenchmarks of the substrates ---
+
+func BenchmarkDequePushPop(b *testing.B) {
+	d := deque.New[int](1 << 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.PushTail(i)
+		d.PopTail()
+	}
+}
+
+func BenchmarkDequeSteal(b *testing.B) {
+	d := deque.New[int](1 << 20)
+	for i := 0; i < 1<<20; i++ {
+		d.PushTail(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := d.StealHead(); !ok {
+			b.StopTimer()
+			for j := 0; j < 1<<20; j++ {
+				d.PushTail(j)
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	top := topology.XeonE5_4620()
+	h := cache.NewHierarchy(top, cache.DefaultGeometry(), cache.DefaultLatency())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(int64(i)*10, i%32, int64(i%100000), i%4, i%5 == 0, false)
+	}
+}
+
+func BenchmarkMortonIndex(b *testing.B) {
+	var s int64
+	for i := 0; i < b.N; i++ {
+		s += layout.MortonIndex(i&0xFFFF, (i*3)&0xFFFF)
+	}
+	_ = s
+}
+
+func BenchmarkRNGPick(b *testing.B) {
+	g := sim.NewRNG(1)
+	w := []float64{4, 2, 1, 2, 4, 8, 1, 1}
+	for i := 0; i < b.N; i++ {
+		g.Pick(w)
+	}
+}
+
+// BenchmarkAblationBandwidth toggles the DRAM bandwidth model. With
+// occupancy on, the first-touch-on-socket-0 baseline pays queuing at the
+// hot controller — the "memory bandwidth issues" work-inflation component;
+// NUMA-WS placement removes most of it.
+func BenchmarkAblationBandwidth(b *testing.B) {
+	for _, occ := range []int64{0, 6, 48} {
+		for _, pol := range []sched.Policy{sched.PolicyCilk, sched.PolicyNUMAWS} {
+			b.Run(fmt.Sprintf("occupancy=%d/%v", occ, pol), func(b *testing.B) {
+				var rep *core.Report
+				for i := 0; i < b.N; i++ {
+					cfg := core.DefaultConfig(32, pol)
+					cfg.Latency = cache.DefaultLatency()
+					cfg.Latency.DRAMOccupancy = occ
+					w := workloads.NewHeat(256, 256, 10, 64,
+						workloads.Config{Aware: pol == sched.PolicyNUMAWS, Seed: 5})
+					rt := core.NewRuntime(cfg)
+					w.Prepare(rt)
+					rep = rt.Run(w.Root())
+					if err := w.Verify(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(rep.Time), "T32-cycles")
+				b.ReportMetric(float64(rep.Sched.WorkTotal()), "W32-cycles")
+			})
+		}
+	}
+}

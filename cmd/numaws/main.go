@@ -1,0 +1,163 @@
+// Command numaws regenerates the paper's figures and tables on the
+// simulated NUMA platform.
+//
+// Usage:
+//
+//	numaws [flags] <subcommand>
+//
+// Subcommands:
+//
+//	fig1    print the evaluation machine's topology (Fig. 1)
+//	fig3    normalized processing times on Cilk Plus (Fig. 3)
+//	fig6    Z-Morton and blocked Z-Morton index grids (Fig. 6)
+//	table7  TS / T1 / TP execution times on both platforms (Fig. 7)
+//	table8  work / scheduling / idle breakdown and inflation (Fig. 8)
+//	fig9    NUMA-WS scalability curves (Fig. 9)
+//	dag     measured work, span and parallelism per benchmark (Section IV)
+//	timeline <bench>  per-worker execution timeline under both schedulers
+//	all     everything above
+//
+// Flags:
+//
+//	-scale   small|full (default full)
+//	-p       parallel worker count for the tables (default 32)
+//	-seed    scheduler seed (default 1)
+//	-verify  verify every run's computed result (default true)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/layout"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/topology"
+)
+
+func main() {
+	scale := flag.String("scale", "full", "input scale: small or full")
+	p := flag.Int("p", 32, "parallel worker count for tables")
+	seed := flag.Int64("seed", 1, "scheduler seed")
+	seeds := flag.Int("seeds", 1, "seeds to average each parallel measurement over")
+	verify := flag.Bool("verify", true, "verify every run's result")
+	flag.Parse()
+
+	cmd := flag.Arg(0)
+	if cmd == "" {
+		cmd = "all"
+	}
+	sc := harness.ScaleFull
+	if *scale == "small" {
+		sc = harness.ScaleSmall
+	}
+	opt := harness.Options{P: *p, Seed: *seed, Seeds: *seeds, Verify: *verify}
+	specs := harness.Specs(sc)
+
+	if err := run(cmd, specs, opt); err != nil {
+		fmt.Fprintln(os.Stderr, "numaws:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cmd string, specs []harness.Spec, opt harness.Options) error {
+	switch cmd {
+	case "fig1":
+		fmt.Println("Fig. 1: the evaluation machine")
+		fmt.Print(topology.XeonE5_4620().String())
+	case "fig6":
+		fmt.Println("Fig. 6(a): Z-Morton layout (cell by cell)")
+		fmt.Print(layout.Grid(8, layout.Morton, 0))
+		fmt.Println("\nFig. 6(b): blocked Z-Morton layout (4x4 blocks, row-major inside)")
+		fmt.Print(layout.Grid(8, layout.BlockedMorton, 4))
+	case "fig3":
+		rows, err := measureFig3(specs, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(metrics.Fig3(rows))
+	case "table7", "table8", "tables":
+		rows, err := harness.MeasureAll(specs, opt)
+		if err != nil {
+			return err
+		}
+		if cmd != "table8" {
+			fmt.Print(metrics.Table7(rows))
+		}
+		if cmd != "table7" {
+			fmt.Println()
+			fmt.Print(metrics.Table8(rows))
+		}
+	case "fig9":
+		series, err := harness.MeasureScalability(specs, opt, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(metrics.Fig9(series))
+	case "dag":
+		fmt.Println("Measured computation dags (strand cycles; parallelism = work/span)")
+		fmt.Printf("%-12s %14s %14s %14s\n", "benchmark", "work (T1)", "span (Tinf)", "parallelism")
+		o := opt
+		o.RecordDAG = true
+		for _, spec := range specs {
+			rep, err := harness.RunOne(spec, sched.PolicyNUMAWS, o)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-12s %14d %14d %14.1f\n",
+				spec.Name, rep.DAG.Work(), rep.DAG.Span(), rep.DAG.Parallelism())
+		}
+	case "timeline":
+		name := flag.Arg(1)
+		if name == "" {
+			name = "heat"
+		}
+		var spec *harness.Spec
+		for i := range specs {
+			if specs[i].Name == name {
+				spec = &specs[i]
+			}
+		}
+		if spec == nil {
+			return fmt.Errorf("no benchmark named %q", name)
+		}
+		for _, pol := range []sched.Policy{sched.PolicyCilk, sched.PolicyNUMAWS} {
+			rep, tl, err := harness.RunTraced(*spec, pol, opt)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s on %v: T%d = %d cycles\n", name, pol, opt.P, rep.Time)
+			fmt.Print(tl.Render(100))
+			fmt.Println()
+		}
+	case "all":
+		for _, sub := range []string{"fig1", "fig6", "fig3", "tables", "fig9", "dag"} {
+			if err := run(sub, specs, opt); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+	default:
+		return fmt.Errorf("unknown subcommand %q (want fig1, fig3, fig6, table7, table8, fig9, dag, all)", cmd)
+	}
+	return nil
+}
+
+// measureFig3 runs only what Fig. 3 needs: the Cilk Plus side of the seven
+// Fig. 3 benchmarks.
+func measureFig3(specs []harness.Spec, opt harness.Options) ([]metrics.Row, error) {
+	var rows []metrics.Row
+	for _, spec := range specs {
+		if !spec.InFig3 {
+			continue
+		}
+		row, err := harness.Measure(spec, opt)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,55 @@
+// Heatmap runs the paper's heat benchmark (Jacobi diffusion over time
+// steps) on the simulated NUMA machine and prints, per platform, the
+// Fig. 8-style breakdown: work, scheduling, and idle time, plus the work
+// inflation and where memory accesses were serviced. It is the clearest
+// demonstration of work inflation: a stencil whose rows live on one socket
+// inflates badly under random stealing, and recovers once rows are banded
+// and band tasks are earmarked for their sockets.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/workloads"
+)
+
+func main() {
+	const p = 32
+	fmt.Printf("heat 256x256, 10 steps, %d workers on 4 sockets\n\n", p)
+	for _, tc := range []struct {
+		label string
+		pol   sched.Policy
+		aware bool
+	}{
+		{"Cilk Plus (first-touch, no hints)", sched.PolicyCilk, false},
+		{"NUMA-WS (banded rows + @place hints)", sched.PolicyNUMAWS, true},
+	} {
+		w := workloads.NewHeat(256, 256, 10, 32, workloads.Config{Aware: tc.aware, Seed: 11})
+		rt := core.NewRuntime(core.DefaultConfig(p, tc.pol))
+		w.Prepare(rt)
+		rep := rt.Run(w.Root())
+		if err := w.Verify(); err != nil {
+			panic(err)
+		}
+		st := rep.Sched
+		t1rt := core.NewRuntime(core.DefaultConfig(1, tc.pol))
+		w1 := workloads.NewHeat(256, 256, 10, 32, workloads.Config{Aware: tc.aware, Seed: 11})
+		w1.Prepare(t1rt)
+		t1 := t1rt.Run(w1.Root()).Time
+
+		fmt.Println(tc.label)
+		fmt.Printf("  T1  = %12d cycles\n", t1)
+		fmt.Printf("  T%d = %12d cycles  (speedup %.2fx)\n", p, rep.Time, float64(t1)/float64(rep.Time))
+		fmt.Printf("  work %d  sched %d  idle %d  -> inflation W%d/T1 = %.2fx\n",
+			st.WorkTotal(), st.SchedTotal(), st.IdleTotal(), p, float64(st.WorkTotal())/float64(t1))
+		fmt.Printf("  steals=%d  pushes=%d  mailbox hits=%d\n",
+			st.Steals, st.Pushes, st.MailboxSteals+st.MailboxSelf)
+		c := rep.Cache
+		fmt.Printf("  accesses: private %d, local LLC %d, remote cache %d, local DRAM %d, remote DRAM %d\n\n",
+			c.Count[cache.KindPrivateHit], c.Count[cache.KindLocalLLC],
+			c.Count[cache.KindRemoteCache], c.Count[cache.KindLocalDRAM], c.Count[cache.KindRemoteDRAM])
+	}
+}

@@ -1,0 +1,62 @@
+// Quickstart: express a fork-join computation once, then run it three ways —
+// serial elision (TS), the simulated NUMA machine under both schedulers
+// (T1, TP with full time breakdown), and the native goroutine executor.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/native"
+	"repro/internal/sched"
+)
+
+// sumTree computes the sum of squares of [lo, hi) by binary spawning,
+// charging one compute cycle per element so the simulated times are
+// meaningful.
+func sumTree(lo, hi int, out *int64) core.Task {
+	return func(ctx core.Context) {
+		if hi-lo <= 1024 {
+			var s int64
+			for i := lo; i < hi; i++ {
+				s += int64(i) * int64(i)
+			}
+			*out = s
+			ctx.Compute(int64(hi - lo))
+			return
+		}
+		mid := (lo + hi) / 2
+		var left, right int64
+		ctx.Spawn(sumTree(lo, mid, &left))
+		ctx.Call(sumTree(mid, hi, &right))
+		ctx.Sync()
+		*out = left + right
+		ctx.Compute(1)
+	}
+}
+
+func main() {
+	const n = 1 << 20
+	var result int64
+	task := sumTree(0, n, &result)
+
+	// 1. Serial elision: spawn degenerates to call, sync to no-op.
+	rt := core.NewRuntime(core.DefaultConfig(1, sched.PolicyCilk))
+	ts := rt.RunSerial(task)
+	fmt.Printf("serial elision: sum=%d  TS=%d cycles\n", result, ts.Time)
+
+	// 2. Simulated platform, both schedulers, P=32 on the paper's 4x8
+	// NUMA machine.
+	for _, pol := range []sched.Policy{sched.PolicyCilk, sched.PolicyNUMAWS} {
+		result = 0
+		rt := core.NewRuntime(core.DefaultConfig(32, pol))
+		rep := rt.Run(task)
+		fmt.Printf("%-8s P=32: sum=%d  T32=%d cycles  speedup=%.1fx  steals=%d\n",
+			pol, result, rep.Time, float64(ts.Time)/float64(rep.Time), rep.Sched.Steals)
+	}
+
+	// 3. Native goroutine executor: real parallelism, no cost model.
+	result = 0
+	native.NewPool(0, 1).Run(task)
+	fmt.Printf("native:        sum=%d (real goroutines)\n", result)
+}

@@ -1,0 +1,607 @@
+// Package cache models the memory hierarchy of a NUMA machine: a private
+// cache per core (L1+L2 merged into one level), a shared last-level cache
+// per socket, invalidation-based coherence between them, and DRAM whose
+// latency grows with the hop distance between the accessing socket and the
+// page's home socket.
+//
+// The paper defines work inflation as extra processing time during parallel
+// runs "due to effects experienced only during parallel executions such as
+// additional cache misses, remote memory accesses, and memory bandwidth
+// issues", and notes access latency spans tens of cycles (local LLC), over a
+// hundred (local DRAM or remote LLC), to a few hundred (remote DRAM). This
+// model charges exactly those costs so that scheduler decisions — where a
+// steal lands, whether a frame runs on its designated socket — translate
+// into the same inflation phenomena.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/memory"
+	"repro/internal/topology"
+)
+
+// Geometry fixes the cache sizes. Sizes are scaled down relative to the
+// paper's hardware in the same proportion as the workload inputs, so
+// capacity effects (a socket's working set fitting or not fitting in LLC)
+// are preserved.
+type Geometry struct {
+	PrivateBytes int // per-core private cache capacity
+	PrivateWays  int // private cache associativity
+	LLCBytes     int // per-socket shared LLC capacity
+	LLCWays      int // LLC associativity
+}
+
+// DefaultGeometry mirrors the paper's 256 KiB private L2 and 16 MiB LLC,
+// scaled down 16x to match the scaled workload inputs.
+func DefaultGeometry() Geometry {
+	return Geometry{
+		PrivateBytes: 64 << 10,
+		PrivateWays:  8,
+		LLCBytes:     1 << 20,
+		LLCWays:      16,
+	}
+}
+
+// Latency fixes per-line access costs in cycles.
+type Latency struct {
+	PrivateHit  int64 // hit in the core's own cache ("tens of cycles" bucket)
+	LocalLLC    int64 // hit in the socket's LLC
+	RemoteCache int64 // line supplied by a cache on another socket (coherence transfer), before per-hop cost
+	DRAMBase    int64 // DRAM access on the local socket
+	PerHop      int64 // added per hop of socket distance (remote LLC or remote DRAM)
+	// StreamDivisor divides the DRAM cost of lines that continue a
+	// contiguous run within one Access call, modelling the hardware
+	// prefetcher and open DRAM rows. The blocked Z-Morton layout's serial
+	// speedup (matmul-z TS 73.6s vs matmul 190.9s) comes from exactly this
+	// effect: "it traverses the matrices in a way that enables the
+	// prefetcher".
+	StreamDivisor int64
+	// WriteInvalidate is the extra cost of a write that must invalidate
+	// copies in other caches (destructive sharing).
+	WriteInvalidate int64
+	// DRAMOccupancy models memory bandwidth: each DRAM line fill costs the
+	// home socket's memory controller this many cycles of service capacity.
+	// When a socket's recent fill demand exceeds its capacity
+	// (DRAMChannels lines in parallel), DRAM costs at that socket are
+	// multiplied by the congestion ratio, up to DRAMMaxCongestion. This is
+	// the "memory bandwidth issues" component of work inflation the paper
+	// lists alongside extra misses and remote accesses: when many cores
+	// hammer one socket's DRAM (the first-touch-on-socket-0 baseline),
+	// congestion dominates, and spreading or localizing the traffic — what
+	// NUMA-WS placement does — removes it. Zero disables bandwidth
+	// modelling (pure latency).
+	//
+	// The model is epoch-based rather than a per-access queue: strands
+	// execute atomically in the simulator, so a true queue would serialize
+	// whole strands against each other and wildly overstate contention;
+	// a demand-proportional latency multiplier measured over fixed virtual
+	// time epochs is stable under strand-atomic interleaving.
+	DRAMOccupancy int64
+	// DRAMChannels is the number of independent channels per memory
+	// controller; zero means 4, as on the paper's four-channel Xeon
+	// E5-4620. Capacity per epoch is epochLen * DRAMChannels /
+	// DRAMOccupancy line fills.
+	DRAMChannels int
+	// DRAMMaxCongestion caps the congestion multiplier; zero means 4.
+	DRAMMaxCongestion int64
+}
+
+// DefaultLatency follows the paper's qualitative numbers: tens of cycles for
+// local caches, over a hundred for local DRAM and remote LLC, a few hundred
+// for remote DRAM.
+func DefaultLatency() Latency {
+	return Latency{
+		PrivateHit:        3,
+		LocalLLC:          30,
+		RemoteCache:       90,
+		DRAMBase:          120,
+		PerHop:            90,
+		StreamDivisor:     4,
+		WriteInvalidate:   60,
+		DRAMOccupancy:     6,
+		DRAMChannels:      4,
+		DRAMMaxCongestion: 4,
+	}
+}
+
+// Kind classifies where an access was serviced, for statistics.
+type Kind int
+
+// Access service points, from fastest to slowest.
+const (
+	KindPrivateHit Kind = iota
+	KindLocalLLC
+	KindRemoteCache
+	KindLocalDRAM
+	KindRemoteDRAM
+	numKinds
+)
+
+// String names the access kind.
+func (k Kind) String() string {
+	switch k {
+	case KindPrivateHit:
+		return "private-hit"
+	case KindLocalLLC:
+		return "local-llc"
+	case KindRemoteCache:
+		return "remote-cache"
+	case KindLocalDRAM:
+		return "local-dram"
+	case KindRemoteDRAM:
+		return "remote-dram"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Stats accumulates access counts and cycles by service point.
+type Stats struct {
+	Count  [numKinds]int64
+	Cycles [numKinds]int64
+}
+
+// Total reports the total number of line accesses.
+func (s *Stats) Total() int64 {
+	var t int64
+	for _, c := range s.Count {
+		t += c
+	}
+	return t
+}
+
+// TotalCycles reports the total memory cycles charged.
+func (s *Stats) TotalCycles() int64 {
+	var t int64
+	for _, c := range s.Cycles {
+		t += c
+	}
+	return t
+}
+
+// Remote reports the number of accesses serviced off-socket.
+func (s *Stats) Remote() int64 {
+	return s.Count[KindRemoteCache] + s.Count[KindRemoteDRAM]
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other *Stats) {
+	for k := 0; k < int(numKinds); k++ {
+		s.Count[k] += other.Count[k]
+		s.Cycles[k] += other.Cycles[k]
+	}
+}
+
+// setAssoc is a set-associative cache of line tags with LRU replacement,
+// implemented with flat arrays for speed (the simulator touches it for every
+// modelled cache line).
+type setAssoc struct {
+	sets int
+	ways int
+	tag  []int64  // sets*ways entries; -1 = invalid
+	use  []uint64 // LRU timestamps, parallel to tag
+	tick uint64
+}
+
+func newSetAssoc(bytes, ways int) *setAssoc {
+	lines := bytes / memory.LineSize
+	if lines < ways {
+		lines = ways
+	}
+	sets := lines / ways
+	if sets < 1 {
+		sets = 1
+	}
+	c := &setAssoc{
+		sets: sets,
+		ways: ways,
+		tag:  make([]int64, sets*ways),
+		use:  make([]uint64, sets*ways),
+	}
+	for i := range c.tag {
+		c.tag[i] = -1
+	}
+	return c
+}
+
+// lookup reports whether line is present, refreshing its LRU position.
+func (c *setAssoc) lookup(line int64) bool {
+	base := int(line%int64(c.sets)) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tag[base+w] == line {
+			c.tick++
+			c.use[base+w] = c.tick
+			return true
+		}
+	}
+	return false
+}
+
+// insert places line in its set, evicting the LRU way if needed, and
+// returns the evicted line or -1.
+func (c *setAssoc) insert(line int64) (evicted int64) {
+	base := int(line%int64(c.sets)) * c.ways
+	victim := base
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.tag[i] == line { // already present
+			c.tick++
+			c.use[i] = c.tick
+			return -1
+		}
+		if c.tag[i] == -1 {
+			victim = i
+			break
+		}
+		if c.use[i] < c.use[victim] {
+			victim = i
+		}
+	}
+	evicted = c.tag[victim]
+	c.tag[victim] = line
+	c.tick++
+	c.use[victim] = c.tick
+	return evicted
+}
+
+// invalidate removes line if present and reports whether it was.
+func (c *setAssoc) invalidate(line int64) bool {
+	base := int(line%int64(c.sets)) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tag[base+w] == line {
+			c.tag[base+w] = -1
+			return true
+		}
+	}
+	return false
+}
+
+// flush invalidates every line. Used to model the cold cache a worker has
+// after migration in targeted experiments.
+func (c *setAssoc) flush() {
+	for i := range c.tag {
+		c.tag[i] = -1
+	}
+}
+
+// lineInfo is the coherence directory entry for one line: which private
+// caches and which LLCs currently hold it.
+type lineInfo struct {
+	priv uint64 // bitmask over cores (machine limit: 64 cores)
+	llc  uint32 // bitmask over sockets (machine limit: 32 sockets)
+}
+
+// Hierarchy is the full machine cache model.
+type Hierarchy struct {
+	top  *topology.Topology
+	geo  Geometry
+	lat  Latency
+	priv []*setAssoc // indexed by core
+	llc  []*setAssoc // indexed by socket
+	dir  map[int64]*lineInfo
+	// perCore statistics, indexed by core.
+	perCore []Stats
+	// Congestion tracking: per socket, line-fill counts per virtual-time
+	// epoch (a small ring indexed by epoch number).
+	epochCount [][congestionRing]int64
+	epochTag   [][congestionRing]int64
+	// QueueCycles accumulates total extra cycles charged to congestion,
+	// for reports.
+	QueueCycles int64
+}
+
+// epochLen is the congestion-measurement window in cycles; congestionRing
+// is how many epochs the ring remembers.
+const (
+	epochLen       = 32768
+	congestionRing = 64
+)
+
+// NewHierarchy builds the cache model for the given machine. It panics if
+// the machine exceeds the directory's 64-core or 32-socket bitmask limits.
+func NewHierarchy(top *topology.Topology, geo Geometry, lat Latency) *Hierarchy {
+	if top.Cores() > 64 {
+		panic(fmt.Sprintf("cache: %d cores exceed the 64-core directory limit", top.Cores()))
+	}
+	if top.Sockets() > 32 {
+		panic(fmt.Sprintf("cache: %d sockets exceed the 32-socket directory limit", top.Sockets()))
+	}
+	h := &Hierarchy{
+		top:        top,
+		geo:        geo,
+		lat:        lat,
+		priv:       make([]*setAssoc, top.Cores()),
+		llc:        make([]*setAssoc, top.Sockets()),
+		dir:        make(map[int64]*lineInfo),
+		perCore:    make([]Stats, top.Cores()),
+		epochCount: make([][congestionRing]int64, top.Sockets()),
+		epochTag:   make([][congestionRing]int64, top.Sockets()),
+	}
+	for i := range h.priv {
+		h.priv[i] = newSetAssoc(geo.PrivateBytes, geo.PrivateWays)
+	}
+	for i := range h.llc {
+		h.llc[i] = newSetAssoc(geo.LLCBytes, geo.LLCWays)
+	}
+	return h
+}
+
+// Latency exposes the cost table (for reports and tests).
+func (h *Hierarchy) Latency() Latency { return h.lat }
+
+// StatsOf returns the accumulated statistics for one core.
+func (h *Hierarchy) StatsOf(core int) *Stats { return &h.perCore[core] }
+
+// TotalStats sums statistics over all cores.
+func (h *Hierarchy) TotalStats() Stats {
+	var t Stats
+	for i := range h.perCore {
+		t.Add(&h.perCore[i])
+	}
+	return t
+}
+
+func (h *Hierarchy) info(line int64) *lineInfo {
+	li := h.dir[line]
+	if li == nil {
+		li = &lineInfo{}
+		h.dir[line] = li
+	}
+	return li
+}
+
+func (h *Hierarchy) dropIfEmpty(line int64, li *lineInfo) {
+	if li.priv == 0 && li.llc == 0 {
+		delete(h.dir, line)
+	}
+}
+
+// evictFromPrivate records that core's private cache dropped line.
+func (h *Hierarchy) evictFromPrivate(core int, line int64) {
+	if line < 0 {
+		return
+	}
+	if li, ok := h.dir[line]; ok {
+		li.priv &^= 1 << uint(core)
+		h.dropIfEmpty(line, li)
+	}
+}
+
+// evictFromLLC records that socket's LLC dropped line (non-inclusive: lines
+// may remain in private caches).
+func (h *Hierarchy) evictFromLLC(socket int, line int64) {
+	if line < 0 {
+		return
+	}
+	if li, ok := h.dir[line]; ok {
+		li.llc &^= 1 << uint(socket)
+		h.dropIfEmpty(line, li)
+	}
+}
+
+// nearestHolder returns the hop distance to the closest socket other than
+// from whose LLC or private caches hold the line, or -1 if none.
+func (h *Hierarchy) nearestHolder(from int, li *lineInfo) int {
+	best := -1
+	for s := 0; s < h.top.Sockets(); s++ {
+		if s == from {
+			continue
+		}
+		holds := li.llc&(1<<uint(s)) != 0
+		if !holds && li.priv != 0 {
+			for _, c := range h.top.CoresOn(s) {
+				if li.priv&(1<<uint(c)) != 0 {
+					holds = true
+					break
+				}
+			}
+		}
+		if holds {
+			d := h.top.Distance(from, s)
+			if best == -1 || d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// invalidateOthers removes the line from every cache except core's own
+// private cache and reports whether any copy existed elsewhere.
+func (h *Hierarchy) invalidateOthers(core int, line int64) bool {
+	li, ok := h.dir[line]
+	if !ok {
+		return false
+	}
+	any := false
+	self := uint64(1) << uint(core)
+	if li.priv&^self != 0 {
+		for c := 0; c < h.top.Cores(); c++ {
+			if c != core && li.priv&(1<<uint(c)) != 0 {
+				h.priv[c].invalidate(line)
+				any = true
+			}
+		}
+		li.priv &= self
+	}
+	mySock := uint32(1) << uint(h.top.SocketOf(core))
+	if li.llc&^mySock != 0 {
+		for s := 0; s < h.top.Sockets(); s++ {
+			if li.llc&(1<<uint(s)) != 0 && uint32(1)<<uint(s) != mySock {
+				h.llc[s].invalidate(line)
+				any = true
+			}
+		}
+		li.llc &= mySock
+	}
+	h.dropIfEmpty(line, li)
+	return any
+}
+
+// Access charges one cache-line access by the given core at virtual time
+// now. home is the page's home socket (memory.SocketUnbound is treated as
+// local DRAM, the cheapest case, because an unbound page has no remote cost
+// yet). streaming marks the line as a continuation of a contiguous run,
+// eligible for the prefetch discount on DRAM fills. It returns the cycle
+// cost and where the access was serviced.
+func (h *Hierarchy) Access(now int64, core int, line int64, home int, write, streaming bool) (int64, Kind) {
+	socket := h.top.SocketOf(core)
+	cost, kind := h.service(now, core, socket, line, home, streaming)
+	if write {
+		if h.invalidateOthers(core, line) {
+			cost += h.lat.WriteInvalidate
+		}
+	}
+	st := &h.perCore[core]
+	st.Count[kind]++
+	st.Cycles[kind] += cost
+	return cost, kind
+}
+
+func (h *Hierarchy) service(now int64, core, socket int, line int64, home int, streaming bool) (int64, Kind) {
+	// 1. Private cache.
+	if h.priv[core].lookup(line) {
+		return h.lat.PrivateHit, KindPrivateHit
+	}
+	// 2. Socket-local LLC.
+	if h.llc[socket].lookup(line) {
+		h.fillPrivate(core, line)
+		return h.lat.LocalLLC, KindLocalLLC
+	}
+	li := h.info(line)
+	// 3. A cache on another socket (coherence transfer).
+	if d := h.nearestHolder(socket, li); d >= 0 {
+		h.fill(core, socket, line)
+		return h.lat.RemoteCache + int64(d)*h.lat.PerHop, KindRemoteCache
+	}
+	// 4. DRAM on the home socket: latency by distance plus bandwidth
+	// queuing at the home memory controller.
+	hops := 0
+	bank := socket
+	if home != memory.SocketUnbound {
+		hops = h.top.Distance(socket, home)
+		bank = home
+	}
+	cost := h.lat.DRAMBase + int64(hops)*h.lat.PerHop
+	if streaming && h.lat.StreamDivisor > 1 {
+		cost /= h.lat.StreamDivisor
+	}
+	cost += h.congest(now, bank, cost)
+	h.fill(core, socket, line)
+	if hops == 0 {
+		return cost, KindLocalDRAM
+	}
+	return cost, KindRemoteDRAM
+}
+
+// congest records one line fill at the bank socket's memory controller at
+// virtual time now, and returns the extra cycles the access pays if the
+// previous epoch's demand at that controller exceeded its capacity.
+func (h *Hierarchy) congest(now int64, bank int, dramCost int64) int64 {
+	if h.lat.DRAMOccupancy <= 0 {
+		return 0
+	}
+	epoch := now / epochLen
+	slot := int(epoch % congestionRing)
+	if h.epochTag[bank][slot] != epoch {
+		h.epochTag[bank][slot] = epoch
+		h.epochCount[bank][slot] = 0
+	}
+	h.epochCount[bank][slot]++
+
+	// Demand from the most recent completed epoch.
+	prev := epoch - 1
+	pslot := int(prev % congestionRing)
+	if prev < 0 || h.epochTag[bank][pslot] != prev {
+		return 0
+	}
+	channels := int64(h.lat.DRAMChannels)
+	if channels <= 0 {
+		channels = 4
+	}
+	capacity := epochLen * channels / h.lat.DRAMOccupancy
+	demand := h.epochCount[bank][pslot]
+	if demand <= capacity {
+		return 0
+	}
+	maxC := h.lat.DRAMMaxCongestion
+	if maxC <= 0 {
+		maxC = 4
+	}
+	// Extra cost proportional to overload, capped: factor = demand/capacity.
+	extra := dramCost * (demand - capacity) / capacity
+	if extra > dramCost*(maxC-1) {
+		extra = dramCost * (maxC - 1)
+	}
+	h.QueueCycles += extra
+	return extra
+}
+
+// fill installs line in both the core's private cache and its socket's LLC.
+func (h *Hierarchy) fill(core, socket int, line int64) {
+	if ev := h.llc[socket].insert(line); ev >= 0 {
+		h.evictFromLLC(socket, ev)
+	}
+	h.info(line).llc |= 1 << uint(socket)
+	h.fillPrivate(core, line)
+}
+
+func (h *Hierarchy) fillPrivate(core int, line int64) {
+	if ev := h.priv[core].insert(line); ev >= 0 {
+		h.evictFromPrivate(core, ev)
+	}
+	h.info(line).priv |= 1 << uint(core)
+}
+
+// AccessRange charges an access to the byte range [off, off+n) of region r
+// by core, starting at virtual time now and walking it line by line. Pages
+// bound by first-touch bind to the accessing core's socket, exactly like
+// the OS policy. Lines after the first of each page-contiguous run are
+// marked streaming. It returns the total cycles charged.
+func (h *Hierarchy) AccessRange(now int64, core int, r *memory.Region, off, n int64, write bool) int64 {
+	if n <= 0 {
+		return 0
+	}
+	socket := h.top.SocketOf(core)
+	var total int64
+	firstLine := r.GlobalLine(off)
+	lastLine := r.GlobalLine(off + n - 1)
+	for line := firstLine; line <= lastLine; line++ {
+		lineOff := line*memory.LineSize - r.Base()
+		if lineOff < 0 {
+			lineOff = 0
+		}
+		home := r.TouchFrom(lineOff, socket)
+		streaming := line != firstLine && line%(memory.PageSize/memory.LineSize) != 0
+		c, _ := h.Access(now+total, core, line, home, write, streaming)
+		total += c
+	}
+	return total
+}
+
+// AccessStrided charges accesses to count elements of size elem bytes,
+// starting at off with the given stride in bytes — the pattern of a
+// row-major matrix column walk or strided gather. Strides other than elem
+// defeat streaming. It returns total cycles.
+func (h *Hierarchy) AccessStrided(now int64, core int, r *memory.Region, off, stride, elem int64, count int, write bool) int64 {
+	var total int64
+	for i := 0; i < count; i++ {
+		o := off + int64(i)*stride
+		total += h.AccessRange(now+total, core, r, o, elem, write)
+	}
+	return total
+}
+
+// FlushCore empties one core's private cache (used by tests and by
+// migration experiments).
+func (h *Hierarchy) FlushCore(core int) {
+	c := h.priv[core]
+	for i := range c.tag {
+		h.evictFromPrivate(core, c.tag[i])
+	}
+	c.flush()
+}
+
+// DirectorySize reports the number of tracked lines (bounded by total cache
+// capacity; used by tests to check the directory does not leak).
+func (h *Hierarchy) DirectorySize() int { return len(h.dir) }

@@ -1,0 +1,51 @@
+package core
+
+import "repro/internal/memory"
+
+// AutoPlace derives a locality hint from data rather than from the
+// programmer: it returns the place whose socket is home to the majority of
+// the pages in [off, off+n) of region r, or PlaceAny when the range is
+// unbound, spread without a majority, or homed on a socket with no workers.
+//
+// This implements the direction the paper's conclusion asks for: "devising
+// a programming interface that allows the programmer to be socket
+// oblivious". With AutoPlace the program never names a socket — it
+// partitions its data under any policy and spawns with
+//
+//	ctx.SpawnAt(core.AutoPlace(ctx, region, off, n), task)
+//
+// and the hint follows the pages wherever the policy put them, for any
+// socket count.
+func AutoPlace(ctx Context, r *memory.Region, off, n int64) int {
+	if n <= 0 {
+		return PlaceAny
+	}
+	places := ctx.NumPlaces()
+	if places <= 1 {
+		return PlaceAny
+	}
+	counts := make(map[int]int)
+	pages := 0
+	last := off + n - 1
+	if last >= r.Size() {
+		last = r.Size() - 1
+	}
+	for o := off; o <= last; o += memory.PageSize {
+		counts[r.HomeOf(o)]++
+		pages++
+	}
+	counts[r.HomeOf(last)] += 0 // ensure the final page is represented
+	bestSocket, bestCount := memory.SocketUnbound, 0
+	for s, c := range counts {
+		if c > bestCount || (c == bestCount && s > bestSocket) {
+			bestSocket, bestCount = s, c
+		}
+	}
+	if bestSocket == memory.SocketUnbound || bestCount*2 <= pages {
+		return PlaceAny // unbound or no majority
+	}
+	if bestSocket >= places {
+		return PlaceAny // majority socket hosts no workers in this run
+	}
+	return bestSocket
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/memory"
+	"repro/internal/sched"
+)
+
+func autoPlaceProbe(t *testing.T, p int, prep func(rt *Runtime) *memory.Region, off, n int64) int {
+	t.Helper()
+	rt := newRT(p, sched.PolicyNUMAWS, 1)
+	r := prep(rt)
+	got := -99
+	rt.Run(func(ctx Context) {
+		got = AutoPlace(ctx, r, off, n)
+	})
+	return got
+}
+
+func TestAutoPlaceMajoritySocket(t *testing.T) {
+	got := autoPlaceProbe(t, 32, func(rt *Runtime) *memory.Region {
+		return rt.Alloc("a", 8*memory.PageSize, memory.BindTo{Socket: 2})
+	}, 0, 8*memory.PageSize)
+	if got != 2 {
+		t.Errorf("AutoPlace = %d, want 2 (all pages on socket 2)", got)
+	}
+}
+
+func TestAutoPlaceFollowsBandedBlocks(t *testing.T) {
+	prep := func(rt *Runtime) *memory.Region {
+		return rt.Alloc("banded", 8*memory.PageSize,
+			memory.BindBlocks{Blocks: 4, Sockets: []int{0, 1, 2, 3}})
+	}
+	// Third quarter (pages 4-5) lives on socket 2.
+	if got := autoPlaceProbe(t, 32, prep, 4*memory.PageSize, 2*memory.PageSize); got != 2 {
+		t.Errorf("AutoPlace over third quarter = %d, want 2", got)
+	}
+	// First quarter on socket 0.
+	if got := autoPlaceProbe(t, 32, prep, 0, 2*memory.PageSize); got != 0 {
+		t.Errorf("AutoPlace over first quarter = %d, want 0", got)
+	}
+}
+
+func TestAutoPlaceNoMajority(t *testing.T) {
+	got := autoPlaceProbe(t, 32, func(rt *Runtime) *memory.Region {
+		return rt.Alloc("il", 8*memory.PageSize, memory.Interleave{})
+	}, 0, 8*memory.PageSize)
+	if got != PlaceAny {
+		t.Errorf("AutoPlace over interleaved pages = %d, want PlaceAny", got)
+	}
+}
+
+func TestAutoPlaceUnbound(t *testing.T) {
+	got := autoPlaceProbe(t, 32, func(rt *Runtime) *memory.Region {
+		return rt.Alloc("ft", 4*memory.PageSize, memory.FirstTouch{})
+	}, 0, 4*memory.PageSize)
+	if got != PlaceAny {
+		t.Errorf("AutoPlace over untouched first-touch pages = %d, want PlaceAny", got)
+	}
+}
+
+func TestAutoPlaceSocketWithoutWorkers(t *testing.T) {
+	// At P=8 only socket 0 hosts workers; data on socket 3 yields PlaceAny
+	// rather than an unservable hint... and at P=8 there is only one place,
+	// so the single-place fast path already answers.
+	got := autoPlaceProbe(t, 8, func(rt *Runtime) *memory.Region {
+		return rt.Alloc("far", 4*memory.PageSize, memory.BindTo{Socket: 3})
+	}, 0, 4*memory.PageSize)
+	if got != PlaceAny {
+		t.Errorf("AutoPlace with one place = %d, want PlaceAny", got)
+	}
+	// At P=16 (two places), socket-3 data still has no local workers.
+	got = autoPlaceProbe(t, 16, func(rt *Runtime) *memory.Region {
+		return rt.Alloc("far", 4*memory.PageSize, memory.BindTo{Socket: 3})
+	}, 0, 4*memory.PageSize)
+	if got != PlaceAny {
+		t.Errorf("AutoPlace for workerless socket = %d, want PlaceAny", got)
+	}
+}
+
+func TestAutoPlaceZeroLength(t *testing.T) {
+	got := autoPlaceProbe(t, 32, func(rt *Runtime) *memory.Region {
+		return rt.Alloc("z", memory.PageSize, memory.BindTo{Socket: 1})
+	}, 0, 0)
+	if got != PlaceAny {
+		t.Errorf("AutoPlace over empty range = %d, want PlaceAny", got)
+	}
+}
+
+// TestAutoPlaceEndToEnd: a socket-oblivious program using AutoPlace gets the
+// same locality benefit as explicit hints.
+func TestAutoPlaceEndToEnd(t *testing.T) {
+	run := func(auto bool) int64 {
+		rt := newRT(32, sched.PolicyNUMAWS, 1)
+		const bands = 64
+		arr := rt.Alloc("data", bands*4*memory.PageSize,
+			memory.BindBlocks{Blocks: 4, Sockets: []int{0, 1, 2, 3}})
+		bandBytes := arr.Size() / bands
+		// Recursive banded sweep, hints on subtrees (the shape real
+		// programs use — a flat spawn loop cannot benefit from hints under
+		// continuation stealing, since each child runs on its spawner).
+		var sweep func(c Context, lo, hi int)
+		sweep = func(c Context, lo, hi int) {
+			for hi-lo > 1 {
+				mid := (lo + hi) / 2
+				l, h := lo, mid
+				hint := PlaceAny
+				if auto {
+					hint = AutoPlace(c, arr, int64(l)*bandBytes, int64(h-l)*bandBytes)
+				}
+				c.SpawnAt(hint, func(cc Context) { sweep(cc, l, h) })
+				lo = mid
+			}
+			c.Read(arr, int64(lo)*bandBytes, bandBytes)
+			c.Compute(5000)
+		}
+		rep := rt.Run(func(ctx Context) {
+			for pass := 0; pass < 6; pass++ {
+				sweep(ctx, 0, bands)
+				ctx.Sync()
+			}
+		})
+		return rep.Cache.Remote()
+	}
+	unhinted := run(false)
+	auto := run(true)
+	if auto >= unhinted {
+		t.Errorf("auto-placed run has %d remote accesses, unhinted %d; AutoPlace should reduce them", auto, unhinted)
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// TestRecordedDagOnRealProgram exercises Config.RecordDAG end to end: the
+// recorded work must equal the engine's work total, the span must bound the
+// makespan from below, and the dag must be identical across worker counts.
+func TestRecordedDagOnRealProgram(t *testing.T) {
+	mk := func() Task {
+		var rec func(depth int) Task
+		rec = func(depth int) Task {
+			return func(ctx Context) {
+				if depth == 0 {
+					ctx.Compute(500)
+					return
+				}
+				ctx.Spawn(rec(depth - 1))
+				ctx.Call(rec(depth - 1))
+				ctx.Sync()
+				ctx.Compute(5)
+			}
+		}
+		return rec(6)
+	}
+	run := func(p int) *Report {
+		cfg := DefaultConfig(p, sched.PolicyNUMAWS)
+		cfg.RecordDAG = true
+		return NewRuntime(cfg).Run(mk())
+	}
+	r1 := run(1)
+	r32 := run(32)
+
+	if r1.DAG == nil || r32.DAG == nil {
+		t.Fatal("RecordDAG produced no graph")
+	}
+	// The dag is schedule-invariant.
+	if r1.DAG.Work() != r32.DAG.Work() || r1.DAG.Span() != r32.DAG.Span() {
+		t.Errorf("dag differs across P: W %d/%d, S %d/%d",
+			r1.DAG.Work(), r32.DAG.Work(), r1.DAG.Span(), r32.DAG.Span())
+	}
+	// Pure strand work (dag) plus engine bookkeeping equals the engine's
+	// work total; the dag work must never exceed it.
+	if r32.DAG.Work() > r32.Sched.WorkTotal() {
+		t.Errorf("dag work %d exceeds engine work %d", r32.DAG.Work(), r32.Sched.WorkTotal())
+	}
+	// Lower bounds on the makespan from the measured dag.
+	if r32.Time < r32.DAG.Span() {
+		t.Errorf("T32 %d below measured span %d", r32.Time, r32.DAG.Span())
+	}
+	if r32.Time < r32.DAG.Work()/32 {
+		t.Errorf("T32 %d below measured work/32 %d", r32.Time, r32.DAG.Work()/32)
+	}
+	if p := r32.DAG.Parallelism(); p < 2 {
+		t.Errorf("parallelism %f too low for a 64-leaf binary tree", p)
+	}
+}
+
+// TestDagNotRecordedByDefault ensures the recorder costs nothing unless
+// asked for.
+func TestDagNotRecordedByDefault(t *testing.T) {
+	rep := newRT(4, sched.PolicyCilk, 1).Run(func(ctx Context) { ctx.Compute(10) })
+	if rep.DAG != nil {
+		t.Error("DAG recorded without RecordDAG")
+	}
+}

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/dag"
+	"repro/internal/memory"
+	"repro/internal/sched"
+	"repro/internal/topology"
+)
+
+// Config assembles a platform instance: machine shape, scheduler policy and
+// knobs, and the cache cost model.
+type Config struct {
+	// Sched configures the machine (Topology, Workers, Placement) and the
+	// scheduler (Policy, costs, ablation switches, Seed).
+	Sched sched.Config
+	// Geometry sizes the caches; the zero value takes cache.DefaultGeometry.
+	Geometry cache.Geometry
+	// Latency sets the access cost table; the zero value takes
+	// cache.DefaultLatency.
+	Latency cache.Latency
+	// RecordDAG captures the computation dag during Run, making measured
+	// work and span available in Report.DAG (at some memory cost per
+	// strand).
+	RecordDAG bool
+}
+
+// DefaultConfig returns a platform on the paper's 4x8 machine with the given
+// worker count and policy.
+func DefaultConfig(workers int, policy sched.Policy) Config {
+	return Config{
+		Sched: sched.Config{
+			Topology: topology.XeonE5_4620(),
+			Workers:  workers,
+			Policy:   policy,
+			Seed:     1,
+		},
+	}
+}
+
+// Report is the outcome of one run.
+type Report struct {
+	// Time is the virtual completion time in cycles: TS for a serial run,
+	// T_P for a simulated parallel run.
+	Time int64
+	// Workers is the worker count used (1 for serial).
+	Workers int
+	// Sched holds scheduler statistics; nil for serial runs.
+	Sched *sched.Stats
+	// Cache aggregates memory-hierarchy statistics over all cores.
+	Cache cache.Stats
+	// DAG is the recorded computation dag (only when Config.RecordDAG).
+	DAG *dag.Graph
+}
+
+// Runtime is one instantiated platform: an allocator, a cache hierarchy and
+// a scheduler. A Runtime runs one computation (fresh Runtimes give fresh,
+// cold-cache machines, which keeps measurements independent).
+type Runtime struct {
+	cfg    Config
+	alloc  *memory.Allocator
+	caches *cache.Hierarchy
+	engine *sched.Engine
+
+	used bool
+}
+
+// NewRuntime builds a platform from cfg.
+func NewRuntime(cfg Config) *Runtime {
+	if cfg.Sched.Topology == nil {
+		panic("core: Config.Sched.Topology is required")
+	}
+	if cfg.Geometry == (cache.Geometry{}) {
+		cfg.Geometry = cache.DefaultGeometry()
+	}
+	if cfg.Latency == (cache.Latency{}) {
+		cfg.Latency = cache.DefaultLatency()
+	}
+	rt := &Runtime{
+		cfg:    cfg,
+		alloc:  memory.NewAllocator(cfg.Sched.Topology.Sockets()),
+		caches: cache.NewHierarchy(cfg.Sched.Topology, cfg.Geometry, cfg.Latency),
+	}
+	return rt
+}
+
+// Alloc reserves a simulated region. Typically called by the root task
+// during setup; also usable before Run.
+func (rt *Runtime) Alloc(name string, size int64, pol memory.Policy) *memory.Region {
+	return rt.alloc.Alloc(name, size, pol)
+}
+
+// Allocator exposes the runtime's allocator for the typed-array helpers.
+func (rt *Runtime) Allocator() *memory.Allocator { return rt.alloc }
+
+// Topology reports the machine.
+func (rt *Runtime) Topology() *topology.Topology { return rt.cfg.Sched.Topology }
+
+// Places reports how many virtual places the configured run will have (one
+// per socket hosting at least one worker). Programs use it at setup time to
+// partition data, mirroring the paper's "the programmer needs to use the
+// runtime to query the number of sockets and perform the appropriate data
+// partitioning".
+func (rt *Runtime) Places() int {
+	pl := rt.cfg.Sched.Placement
+	if pl == nil {
+		pl = rt.cfg.Sched.Topology.Pack(rt.cfg.Sched.Workers)
+	}
+	return pl.Used
+}
+
+// Run executes root under the configured parallel scheduler and returns the
+// run report. A Runtime is single-use.
+func (rt *Runtime) Run(root Task) *Report {
+	rt.checkFresh()
+	var runner sched.Runner = (*simRunner)(rt)
+	var rec *dag.Recorder
+	if rt.cfg.RecordDAG {
+		rec = dag.Wrap(runner)
+		runner = rec
+	}
+	rt.engine = sched.NewEngine(rt.cfg.Sched, runner)
+	rootFrame := sched.NewRootFrame(PlaceAny)
+	rootFrame.Data = newSimTask(rt, rootFrame, root)
+	stats := rt.engine.Run(rootFrame)
+	rep := &Report{
+		Time:    stats.Makespan,
+		Workers: rt.cfg.Sched.Workers,
+		Sched:   stats,
+		Cache:   rt.caches.TotalStats(),
+	}
+	if rec != nil {
+		rep.DAG = rec.Graph()
+	}
+	return rep
+}
+
+// RunSerial executes root as the serial elision — "removing the parallel
+// control constructs": Spawn degenerates to Call and Sync to a no-op — and
+// returns the TS report. Memory and compute costs are still charged (to
+// core 0), because TS is a real execution time, just without parallel
+// overhead.
+func (rt *Runtime) RunSerial(root Task) *Report {
+	rt.checkFresh()
+	ctx := &serialCtx{rt: rt}
+	root(ctx)
+	return &Report{
+		Time:    ctx.clock,
+		Workers: 1,
+		Cache:   rt.caches.TotalStats(),
+	}
+}
+
+func (rt *Runtime) checkFresh() {
+	if rt.used {
+		panic("core: a Runtime runs one computation; create a new Runtime per run")
+	}
+	rt.used = true
+}
+
+// serialCtx implements Context for the serial elision.
+type serialCtx struct {
+	rt    *Runtime
+	clock int64
+	place int
+}
+
+var _ Context = (*serialCtx)(nil)
+
+func (c *serialCtx) Spawn(t Task)          { t(c) }
+func (c *serialCtx) SpawnAt(p int, t Task) { old := c.place; c.place = p; t(c); c.place = old }
+func (c *serialCtx) Sync()                 {}
+func (c *serialCtx) Call(t Task)           { t(c) }
+func (c *serialCtx) Compute(n int64)       { c.clock += n }
+func (c *serialCtx) NumPlaces() int        { return c.rt.cfg.Sched.Topology.Sockets() }
+func (c *serialCtx) Place() int            { return c.place }
+func (c *serialCtx) SetPlace(p int)        { c.place = p }
+func (c *serialCtx) Worker() int           { return 0 }
+
+func (c *serialCtx) Read(r *memory.Region, off, n int64) {
+	c.clock += c.rt.caches.AccessRange(c.clock, 0, r, off, n, false)
+}
+
+func (c *serialCtx) Write(r *memory.Region, off, n int64) {
+	c.clock += c.rt.caches.AccessRange(c.clock, 0, r, off, n, true)
+}
+
+func (c *serialCtx) ReadStrided(r *memory.Region, off, stride, elem int64, count int) {
+	c.clock += c.rt.caches.AccessStrided(c.clock, 0, r, off, stride, elem, count, false)
+}
+
+func (c *serialCtx) WriteStrided(r *memory.Region, off, stride, elem int64, count int) {
+	c.clock += c.rt.caches.AccessStrided(c.clock, 0, r, off, stride, elem, count, true)
+}
+
+// simRunner adapts the Runtime to sched.Runner. It is a distinct type only
+// to keep the Resume method off Runtime's public surface.
+type simRunner Runtime
+
+// Resume implements sched.Runner by handing control to the frame's task
+// goroutine until its next scheduling event. Exactly one task goroutine runs
+// at a time (strict handoff), which keeps the simulation deterministic.
+func (r *simRunner) Resume(w int, f *sched.Frame) sched.Yield {
+	t := f.Data.(*simTask)
+	t.ctx.worker = w
+	t.ctx.core = (*Runtime)(r).engine.CoreOf(w)
+	t.ctx.start = (*Runtime)(r).engine.ClockOf(w)
+	if !t.started {
+		t.started = true
+		go t.main()
+	} else {
+		t.resume <- struct{}{}
+	}
+	y := <-t.yield
+	if t.err != nil {
+		panic(fmt.Sprintf("core: task panicked: %v", t.err))
+	}
+	return y
+}
+
+// simTask is the continuation state of one frame: a goroutine that runs the
+// user's Task and parks at every spawn/sync/return.
+type simTask struct {
+	fn      Task
+	ctx     *simCtx
+	resume  chan struct{}
+	yield   chan sched.Yield
+	started bool
+	err     any
+}
+
+func newSimTask(rt *Runtime, f *sched.Frame, fn Task) *simTask {
+	t := &simTask{
+		fn:     fn,
+		resume: make(chan struct{}),
+		yield:  make(chan sched.Yield),
+	}
+	t.ctx = &simCtx{rt: rt, frame: f, task: t}
+	return t
+}
+
+// main is the task goroutine body: run the user function, then an implicit
+// sync (every Cilk function syncs before returning), then yield Return.
+func (t *simTask) main() {
+	defer func() {
+		if p := recover(); p != nil {
+			t.err = p
+			t.yield <- sched.Yield{Kind: sched.YieldReturn, Cost: t.ctx.cost}
+		}
+	}()
+	t.fn(t.ctx)
+	if t.ctx.spawned {
+		t.ctx.Sync()
+	}
+	t.yield <- sched.Yield{Kind: sched.YieldReturn, Cost: t.ctx.cost}
+}
+
+// simCtx implements Context on the simulated platform.
+type simCtx struct {
+	rt      *Runtime
+	frame   *sched.Frame
+	task    *simTask
+	worker  int
+	core    int
+	start   int64 // virtual time at which the current strand was resumed
+	cost    int64 // cycles accumulated in the current strand
+	spawned bool  // whether anything was spawned since the last sync
+}
+
+// now is the strand's current virtual time, so DRAM bandwidth queuing sees
+// real arrival times.
+func (c *simCtx) now() int64 { return c.start + c.cost }
+
+var _ Context = (*simCtx)(nil)
+
+func (c *simCtx) Spawn(t Task)          { c.spawnAt(c.frame.Place, t) }
+func (c *simCtx) SpawnAt(p int, t Task) { c.spawnAt(c.checkPlace(p), t) }
+
+func (c *simCtx) checkPlace(p int) int {
+	if p != PlaceAny && (p < 0 || p >= c.NumPlaces()) {
+		panic(fmt.Sprintf("core: place %d out of range [0,%d)", p, c.NumPlaces()))
+	}
+	return p
+}
+
+func (c *simCtx) spawnAt(place int, fn Task) {
+	child := sched.NewFrame(c.frame, place)
+	child.Data = newSimTask(c.rt, child, fn)
+	c.spawned = true
+	c.task.yield <- sched.Yield{Kind: sched.YieldSpawn, Cost: c.cost, Child: child}
+	c.cost = 0
+	<-c.task.resume
+}
+
+func (c *simCtx) Sync() {
+	c.spawned = false
+	c.task.yield <- sched.Yield{Kind: sched.YieldSync, Cost: c.cost}
+	c.cost = 0
+	<-c.task.resume
+}
+
+// Call runs t as a plain (non-spawn) Cilk function call: same worker, no
+// stealable continuation, but its own frame — so a cilk_sync inside t waits
+// only for t's own spawned children, never the caller's.
+func (c *simCtx) Call(t Task) {
+	child := sched.NewCalledFrame(c.frame, c.frame.Place)
+	child.Data = newSimTask(c.rt, child, t)
+	c.task.yield <- sched.Yield{Kind: sched.YieldCall, Cost: c.cost, Child: child}
+	c.cost = 0
+	<-c.task.resume
+}
+
+func (c *simCtx) Compute(n int64) { c.cost += n }
+
+func (c *simCtx) Read(r *memory.Region, off, n int64) {
+	c.cost += c.rt.caches.AccessRange(c.now(), c.core, r, off, n, false)
+}
+
+func (c *simCtx) Write(r *memory.Region, off, n int64) {
+	c.cost += c.rt.caches.AccessRange(c.now(), c.core, r, off, n, true)
+}
+
+func (c *simCtx) ReadStrided(r *memory.Region, off, stride, elem int64, count int) {
+	c.cost += c.rt.caches.AccessStrided(c.now(), c.core, r, off, stride, elem, count, false)
+}
+
+func (c *simCtx) WriteStrided(r *memory.Region, off, stride, elem int64, count int) {
+	c.cost += c.rt.caches.AccessStrided(c.now(), c.core, r, off, stride, elem, count, true)
+}
+
+func (c *simCtx) NumPlaces() int { return c.rt.engine.Places() }
+func (c *simCtx) Place() int     { return c.frame.Place }
+func (c *simCtx) SetPlace(p int) { c.frame.Place = c.checkPlace(p) }
+func (c *simCtx) Worker() int    { return c.worker }
+
+// QueueCycles reports the total extra cycles the run paid to DRAM bandwidth
+// congestion (see cache.Latency.DRAMOccupancy).
+func (rt *Runtime) QueueCycles() int64 { return rt.caches.QueueCycles }

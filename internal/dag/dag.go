@@ -1,0 +1,193 @@
+// Package dag records the computation dag of a simulated run and measures
+// its work and span — the two quantities the paper's Section IV analysis is
+// stated in ("the work is then defined as the total number of nodes in the
+// dag, and span is the number of nodes along a longest path").
+//
+// A Recorder wraps any sched.Runner and observes its yields: every strand
+// becomes a node weighted by its cycle cost; spawn, sync, call and return
+// events become the series-parallel edges. Because the dag is a property of
+// the *program*, not the schedule, recording the same computation at
+// different worker counts or under different schedulers must produce
+// identical work and span — a strong invariant the tests exploit.
+package dag
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// Graph is a recorded computation dag.
+type Graph struct {
+	cost  []int64
+	preds [][]int32
+	edges int
+}
+
+// Nodes reports the number of strands recorded.
+func (g *Graph) Nodes() int { return len(g.cost) }
+
+// Edges reports the number of dependence edges.
+func (g *Graph) Edges() int { return g.edges }
+
+// Work is the total strand cost — T1 of the dag (excluding scheduler
+// bookkeeping).
+func (g *Graph) Work() int64 {
+	var w int64
+	for _, c := range g.cost {
+		w += c
+	}
+	return w
+}
+
+// Span is the cost of the longest path — T∞ of the dag. Computed by a
+// topological pass (Kahn), since suspension can create nodes out of
+// dependence order.
+func (g *Graph) Span() int64 {
+	n := len(g.cost)
+	if n == 0 {
+		return 0
+	}
+	indeg := make([]int32, n)
+	succs := make([][]int32, n)
+	for v, ps := range g.preds {
+		for _, u := range ps {
+			succs[u] = append(succs[u], int32(v))
+			indeg[v]++
+		}
+	}
+	dist := make([]int64, n)
+	queue := make([]int32, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, int32(v))
+			dist[v] = g.cost[v]
+		}
+	}
+	var best int64
+	processed := 0
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		processed++
+		if dist[u] > best {
+			best = dist[u]
+		}
+		for _, v := range succs[u] {
+			if d := dist[u] + g.cost[v]; d > dist[v] {
+				dist[v] = d
+			}
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if processed != n {
+		panic(fmt.Sprintf("dag: cycle detected (%d of %d nodes processed)", processed, n))
+	}
+	return best
+}
+
+// Parallelism is Work/Span, the paper's T1/T∞.
+func (g *Graph) Parallelism() float64 {
+	s := g.Span()
+	if s == 0 {
+		return 0
+	}
+	return float64(g.Work()) / float64(s)
+}
+
+// frameState tracks dag construction for one live frame.
+type frameState struct {
+	last     int32   // the frame's most recent strand node
+	children []int32 // end nodes of children returned since the last sync
+	pending  bool    // a sync was yielded; join on next resume
+}
+
+// Recorder wraps a Runner and builds the Graph as the run executes. It is
+// not safe for concurrent use; the engine calls Resume serially, which is
+// exactly the guarantee it needs.
+type Recorder struct {
+	inner  sched.Runner
+	g      *Graph
+	frames map[*sched.Frame]*frameState
+}
+
+// Wrap returns a Recorder around inner; pass the Recorder itself as the
+// engine's Runner.
+func Wrap(inner sched.Runner) *Recorder {
+	return &Recorder{
+		inner:  inner,
+		g:      &Graph{},
+		frames: make(map[*sched.Frame]*frameState),
+	}
+}
+
+// Graph returns the recorded dag (valid after the run completes).
+func (r *Recorder) Graph() *Graph { return r.g }
+
+func (r *Recorder) node(cost int64, preds ...int32) int32 {
+	id := int32(len(r.g.cost))
+	r.g.cost = append(r.g.cost, cost)
+	ps := make([]int32, 0, len(preds))
+	for _, p := range preds {
+		if p >= 0 {
+			ps = append(ps, p)
+			r.g.edges++
+		}
+	}
+	r.g.preds = append(r.g.preds, ps)
+	return id
+}
+
+func (r *Recorder) state(f *sched.Frame) *frameState {
+	st := r.frames[f]
+	if st == nil {
+		st = &frameState{last: -1}
+		r.frames[f] = st
+	}
+	return st
+}
+
+// Resume implements sched.Runner.
+func (r *Recorder) Resume(w int, f *sched.Frame) sched.Yield {
+	st := r.state(f)
+	// If the frame parked at a cilk_sync, this resume means the sync has
+	// completed: every child spawned since the last sync has returned (the
+	// engine only resumes a synching frame once its join counter drains).
+	// Materialize the join node now, when all child end nodes exist.
+	if st.pending {
+		st.pending = false
+		preds := append([]int32{st.last}, st.children...)
+		st.last = r.node(0, preds...)
+		st.children = st.children[:0]
+	}
+
+	y := r.inner.Resume(w, f)
+	// The strand just executed: a node depending on the frame's previous
+	// strand (or join node).
+	n := r.node(y.Cost, st.last)
+	st.last = n
+
+	switch y.Kind {
+	case sched.YieldSpawn, sched.YieldCall:
+		// The child's first strand depends on this strand.
+		cs := r.state(y.Child)
+		cs.last = n
+	case sched.YieldSync:
+		st.pending = true
+	case sched.YieldReturn:
+		if f.Parent != nil {
+			ps := r.state(f.Parent)
+			if f.Called() {
+				// The caller's next strand depends directly on the callee.
+				ps.last = n
+			} else {
+				ps.children = append(ps.children, n)
+			}
+		}
+		delete(r.frames, f)
+	}
+	return y
+}

@@ -1,0 +1,164 @@
+package dag
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sched"
+	"repro/internal/topology"
+)
+
+// scriptRunner produces a fixed fork-join tree through the Runner interface
+// (mirroring the sched package's test runner, kept local to avoid exporting
+// test helpers).
+type scriptRunner struct {
+	fanout    int
+	depth     int
+	leafCost  int64
+	innerCost int64
+}
+
+type scriptState struct {
+	depth   int
+	spawned int
+	synced  bool
+}
+
+func (r *scriptRunner) state(f *sched.Frame) *scriptState {
+	if f.Data == nil {
+		f.Data = &scriptState{depth: r.depth}
+	}
+	return f.Data.(*scriptState)
+}
+
+func (r *scriptRunner) Resume(w int, f *sched.Frame) sched.Yield {
+	st := r.state(f)
+	if st.depth == 0 {
+		return sched.Yield{Kind: sched.YieldReturn, Cost: r.leafCost}
+	}
+	if st.spawned < r.fanout {
+		child := sched.NewFrame(f, sched.PlaceAny)
+		child.Data = &scriptState{depth: st.depth - 1}
+		st.spawned++
+		return sched.Yield{Kind: sched.YieldSpawn, Cost: r.innerCost, Child: child}
+	}
+	if !st.synced {
+		st.synced = true
+		return sched.Yield{Kind: sched.YieldSync, Cost: r.innerCost}
+	}
+	return sched.Yield{Kind: sched.YieldReturn, Cost: r.innerCost}
+}
+
+// analytic work and span for the script tree.
+func (r *scriptRunner) work() int64 {
+	nodes := int64(1)
+	var inner int64
+	for d := 0; d < r.depth; d++ {
+		inner += nodes
+		nodes *= int64(r.fanout)
+	}
+	return nodes*r.leafCost + inner*int64(r.fanout+2)*r.innerCost
+}
+
+func (r *scriptRunner) span() int64 {
+	// Critical path per inner level: the spawn strands up to and including
+	// the last spawn (fanout * inner), then the last child's subtree in
+	// parallel with the pre-sync strand — the subtree dominates — then the
+	// return strand after the join. The pre-sync strand is NOT on the
+	// critical path (it runs in parallel with the last child), so each
+	// level contributes (fanout + 1) * innerCost.
+	return int64(r.depth)*int64(r.fanout+1)*r.innerCost + r.leafCost
+}
+
+func record(t *testing.T, p int, pol sched.Policy, seed int64, script *scriptRunner) (*Graph, *sched.Stats) {
+	t.Helper()
+	rec := Wrap(script)
+	e := sched.NewEngine(sched.Config{
+		Topology: topology.XeonE5_4620(),
+		Workers:  p,
+		Policy:   pol,
+		Seed:     seed,
+	}, rec)
+	stats := e.Run(sched.NewRootFrame(sched.PlaceAny))
+	return rec.Graph(), stats
+}
+
+func TestWorkMatchesAnalytic(t *testing.T) {
+	script := &scriptRunner{fanout: 3, depth: 4, leafCost: 100, innerCost: 7}
+	g, _ := record(t, 8, sched.PolicyCilk, 1, script)
+	if g.Work() != script.work() {
+		t.Errorf("recorded work %d, want %d", g.Work(), script.work())
+	}
+}
+
+func TestSpanMatchesAnalytic(t *testing.T) {
+	script := &scriptRunner{fanout: 2, depth: 5, leafCost: 100, innerCost: 3}
+	g, _ := record(t, 8, sched.PolicyCilk, 1, script)
+	if g.Span() != script.span() {
+		t.Errorf("recorded span %d, want %d", g.Span(), script.span())
+	}
+}
+
+func TestDagInvariantAcrossSchedules(t *testing.T) {
+	// The dag is a property of the program: identical across P, policy and
+	// seed.
+	base, _ := record(t, 1, sched.PolicyCilk, 1, &scriptRunner{fanout: 3, depth: 5, leafCost: 50, innerCost: 5})
+	for _, tc := range []struct {
+		p    int
+		pol  sched.Policy
+		seed int64
+	}{{8, sched.PolicyCilk, 2}, {32, sched.PolicyNUMAWS, 3}, {32, sched.PolicyNUMAWS, 99}} {
+		g, _ := record(t, tc.p, tc.pol, tc.seed, &scriptRunner{fanout: 3, depth: 5, leafCost: 50, innerCost: 5})
+		if g.Work() != base.Work() || g.Span() != base.Span() || g.Nodes() != base.Nodes() {
+			t.Errorf("P=%d %v seed=%d: dag (%d nodes, W=%d, S=%d) differs from base (%d, %d, %d)",
+				tc.p, tc.pol, tc.seed, g.Nodes(), g.Work(), g.Span(), base.Nodes(), base.Work(), base.Span())
+		}
+	}
+}
+
+// Property: for random tree shapes, span <= work, and parallelism >= 1.
+func TestSpanLEWorkProperty(t *testing.T) {
+	f := func(fanout, depth uint8, leaf uint16) bool {
+		script := &scriptRunner{
+			fanout:    int(fanout)%4 + 1,
+			depth:     int(depth)%5 + 1,
+			leafCost:  int64(leaf)%500 + 1,
+			innerCost: 3,
+		}
+		g, _ := record(t, 4, sched.PolicyNUMAWS, 7, script)
+		return g.Span() <= g.Work() && g.Parallelism() >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMakespanRespectsDagBounds(t *testing.T) {
+	// T_P must satisfy max(Work/P, Span) <= T_P against the *measured* dag
+	// (engine bookkeeping only adds time).
+	script := &scriptRunner{fanout: 4, depth: 5, leafCost: 2000, innerCost: 10}
+	for _, p := range []int{1, 8, 32} {
+		g, stats := record(t, p, sched.PolicyNUMAWS, 1, &scriptRunner{fanout: 4, depth: 5, leafCost: 2000, innerCost: 10})
+		if stats.Makespan < g.Work()/int64(p) {
+			t.Errorf("P=%d: makespan %d below Work/P = %d", p, stats.Makespan, g.Work()/int64(p))
+		}
+		if stats.Makespan < g.Span() {
+			t.Errorf("P=%d: makespan %d below Span %d", p, stats.Makespan, g.Span())
+		}
+	}
+	_ = script
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := &Graph{}
+	if g.Work() != 0 || g.Span() != 0 || g.Parallelism() != 0 || g.Nodes() != 0 {
+		t.Error("empty graph should be all zeros")
+	}
+}
+
+func TestEdgesCounted(t *testing.T) {
+	g, _ := record(t, 2, sched.PolicyCilk, 1, &scriptRunner{fanout: 2, depth: 2, leafCost: 10, innerCost: 1})
+	if g.Edges() < g.Nodes()-1 {
+		t.Errorf("graph with %d nodes has only %d edges; must be connected", g.Nodes(), g.Edges())
+	}
+}

@@ -1,0 +1,136 @@
+// Package deque implements the THE-protocol work-stealing deque from Cilk-5
+// (Frigo, Leiserson, Randall, PLDI 1998), which the paper keeps unchanged in
+// NUMA-WS: "The THE protocol remains unchanged in NUMA-WS".
+//
+// The protocol's point is the work-first principle applied to deque access:
+// the victim (owner) pushes and pops at the tail without taking a lock in
+// the common case, and only synchronizes with a thief when both race for the
+// last item. Thieves always lock and take from the head (the oldest, and in
+// the ABP potential argument the "top-heavy", item).
+//
+// The deque is safe for one owner plus any number of concurrent thieves: the
+// simulator uses it single-threaded (events are serialized in virtual time)
+// and the native executor uses it with real goroutine thieves.
+package deque
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Deque is a THE-protocol double-ended queue. The zero value is unusable;
+// call New.
+type Deque[T any] struct {
+	head  atomic.Int64 // H: next index a thief would steal
+	tail  atomic.Int64 // T: next index the owner would push
+	lock  sync.Mutex   // the "E" in THE: taken by thieves, and by the owner on conflict
+	tasks []T
+	zero  T
+}
+
+// DefaultCapacity bounds deque depth. Depth equals the spawn depth of the
+// computation (one entry per in-flight spawned ancestor), which is
+// logarithmic for divide-and-conquer programs, so this is generous.
+const DefaultCapacity = 1 << 16
+
+// New returns an empty deque with the given capacity (DefaultCapacity if
+// capacity <= 0). Capacity is fixed: growing the backing array under a
+// concurrent thief read would be unsafe without extra indirection, and
+// spawn depth bounds usage.
+func New[T any](capacity int) *Deque[T] {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Deque[T]{tasks: make([]T, capacity)}
+}
+
+// PushTail adds x at the tail. Owner-only. It panics if the deque is full
+// (spawn depth exceeded capacity).
+func (d *Deque[T]) PushTail(x T) {
+	t := d.tail.Load()
+	if int(t) == len(d.tasks) {
+		// Out of room: compact under the lock. Entries live in [H, T);
+		// shift them to the front. Thieves are excluded by the lock.
+		d.lock.Lock()
+		h := d.head.Load()
+		if int(t-h) >= len(d.tasks) {
+			d.lock.Unlock()
+			panic("deque: capacity exceeded")
+		}
+		copy(d.tasks, d.tasks[h:t])
+		d.tail.Store(t - h)
+		d.head.Store(0)
+		t = d.tail.Load()
+		d.lock.Unlock()
+	}
+	d.tasks[t] = x
+	d.tail.Store(t + 1)
+}
+
+// PopTail removes and returns the item at the tail. Owner-only. The fast
+// path takes no lock; the owner locks only when it races a thief for the
+// final item, per the THE protocol.
+func (d *Deque[T]) PopTail() (T, bool) {
+	t := d.tail.Load() - 1
+	d.tail.Store(t)
+	h := d.head.Load()
+	if h > t {
+		// Possible conflict with a thief: restore, lock, retry.
+		d.tail.Store(t + 1)
+		d.lock.Lock()
+		h = d.head.Load()
+		t = d.tail.Load() - 1
+		d.tail.Store(t)
+		if h > t {
+			// The deque is empty (the thief won).
+			d.tail.Store(t + 1)
+			d.lock.Unlock()
+			return d.zero, false
+		}
+		d.lock.Unlock()
+	}
+	x := d.tasks[t]
+	d.tasks[t] = d.zero
+	return x, true
+}
+
+// StealHead removes and returns the item at the head. Thief side: always
+// locks.
+func (d *Deque[T]) StealHead() (T, bool) {
+	d.lock.Lock()
+	defer d.lock.Unlock()
+	h := d.head.Load()
+	d.head.Store(h + 1)
+	if h+1 > d.tail.Load() {
+		d.head.Store(h) // lost to the owner; restore
+		return d.zero, false
+	}
+	x := d.tasks[h]
+	d.tasks[h] = d.zero
+	return x, true
+}
+
+// PeekHead returns the head item without removing it, for diagnostics and
+// the simulator's deterministic inspection. It takes the lock.
+func (d *Deque[T]) PeekHead() (T, bool) {
+	d.lock.Lock()
+	defer d.lock.Unlock()
+	h, t := d.head.Load(), d.tail.Load()
+	if h >= t {
+		return d.zero, false
+	}
+	return d.tasks[h], true
+}
+
+// Len reports the current number of items. Racy under concurrency; exact
+// when used single-threaded (as in the simulator).
+func (d *Deque[T]) Len() int {
+	n := int(d.tail.Load() - d.head.Load())
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Empty reports whether the deque has no items (same caveat as Len).
+func (d *Deque[T]) Empty() bool { return d.Len() == 0 }

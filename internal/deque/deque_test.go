@@ -1,0 +1,257 @@
+package deque
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestLIFOAtTail(t *testing.T) {
+	d := New[int](8)
+	for i := 1; i <= 3; i++ {
+		d.PushTail(i)
+	}
+	for want := 3; want >= 1; want-- {
+		got, ok := d.PopTail()
+		if !ok || got != want {
+			t.Fatalf("PopTail() = (%d, %v), want (%d, true)", got, ok, want)
+		}
+	}
+	if _, ok := d.PopTail(); ok {
+		t.Error("PopTail on empty deque succeeded")
+	}
+}
+
+func TestFIFOAtHead(t *testing.T) {
+	d := New[int](8)
+	for i := 1; i <= 3; i++ {
+		d.PushTail(i)
+	}
+	for want := 1; want <= 3; want++ {
+		got, ok := d.StealHead()
+		if !ok || got != want {
+			t.Fatalf("StealHead() = (%d, %v), want (%d, true)", got, ok, want)
+		}
+	}
+	if _, ok := d.StealHead(); ok {
+		t.Error("StealHead on empty deque succeeded")
+	}
+}
+
+func TestOwnerAndThiefInterleaved(t *testing.T) {
+	d := New[int](8)
+	d.PushTail(1) // oldest
+	d.PushTail(2)
+	d.PushTail(3) // newest
+	if got, _ := d.StealHead(); got != 1 {
+		t.Errorf("thief got %d, want 1 (oldest)", got)
+	}
+	if got, _ := d.PopTail(); got != 3 {
+		t.Errorf("owner got %d, want 3 (newest)", got)
+	}
+	if got, _ := d.PopTail(); got != 2 {
+		t.Errorf("owner got %d, want 2", got)
+	}
+	if d.Len() != 0 {
+		t.Errorf("Len() = %d, want 0", d.Len())
+	}
+}
+
+func TestPeekHead(t *testing.T) {
+	d := New[int](4)
+	if _, ok := d.PeekHead(); ok {
+		t.Error("PeekHead on empty succeeded")
+	}
+	d.PushTail(7)
+	got, ok := d.PeekHead()
+	if !ok || got != 7 {
+		t.Errorf("PeekHead() = (%d, %v), want (7, true)", got, ok)
+	}
+	if d.Len() != 1 {
+		t.Error("PeekHead consumed the item")
+	}
+}
+
+func TestCompactionOnFull(t *testing.T) {
+	d := New[int](4)
+	for i := 0; i < 4; i++ {
+		d.PushTail(i)
+	}
+	// Steal two to free space at the front; pushes should compact.
+	d.StealHead()
+	d.StealHead()
+	d.PushTail(4)
+	d.PushTail(5)
+	want := []int{2, 3, 4, 5}
+	for _, w := range want {
+		got, ok := d.StealHead()
+		if !ok || got != w {
+			t.Fatalf("after compaction StealHead() = (%d, %v), want (%d, true)", got, ok, w)
+		}
+	}
+}
+
+func TestCapacityPanic(t *testing.T) {
+	d := New[int](2)
+	d.PushTail(1)
+	d.PushTail(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("overfull push did not panic")
+		}
+	}()
+	d.PushTail(3)
+}
+
+func TestZeroCapacityGetsDefault(t *testing.T) {
+	d := New[int](0)
+	for i := 0; i < 100; i++ {
+		d.PushTail(i)
+	}
+	if d.Len() != 100 {
+		t.Errorf("Len() = %d, want 100", d.Len())
+	}
+}
+
+// Property: any sequence of pushes then k steals + j pops partitions the
+// items: steals see the oldest k in order, pops see the newest j newest-first.
+func TestPartitionProperty(t *testing.T) {
+	f := func(n, k uint8) bool {
+		count := int(n)%32 + 1
+		steals := int(k) % (count + 1)
+		d := New[int](64)
+		for i := 0; i < count; i++ {
+			d.PushTail(i)
+		}
+		for i := 0; i < steals; i++ {
+			got, ok := d.StealHead()
+			if !ok || got != i {
+				return false
+			}
+		}
+		for i := count - 1; i >= steals; i-- {
+			got, ok := d.PopTail()
+			if !ok || got != i {
+				return false
+			}
+		}
+		_, ok := d.PopTail()
+		return !ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Concurrent stress: one owner pushes/pops, many thieves steal. Every item
+// must be consumed exactly once in total.
+func TestConcurrentOwnerThieves(t *testing.T) {
+	const items = 20000
+	const thieves = 4
+	d := New[int64](items + 1)
+	var consumed atomic.Int64
+	var stolen atomic.Int64
+	var wg sync.WaitGroup
+
+	stop := make(chan struct{})
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if _, ok := d.StealHead(); ok {
+					consumed.Add(1)
+					stolen.Add(1)
+				}
+				select {
+				case <-stop:
+					// Drain anything left before exiting.
+					for {
+						if _, ok := d.StealHead(); !ok {
+							return
+						}
+						consumed.Add(1)
+						stolen.Add(1)
+					}
+				default:
+				}
+			}
+		}()
+	}
+
+	// Owner: push all items, popping a few along the way like a real worker.
+	for i := int64(0); i < items; i++ {
+		d.PushTail(i)
+		if i%3 == 0 {
+			if _, ok := d.PopTail(); ok {
+				consumed.Add(1)
+			}
+		}
+	}
+	// Owner drains its remainder.
+	for {
+		if _, ok := d.PopTail(); !ok {
+			break
+		}
+		consumed.Add(1)
+	}
+	close(stop)
+	wg.Wait()
+	// Final sweep in case a thief parked an index transiently.
+	for {
+		if _, ok := d.StealHead(); !ok {
+			break
+		}
+		consumed.Add(1)
+	}
+
+	if got := consumed.Load(); got != items {
+		t.Errorf("consumed %d items, want %d", got, items)
+	}
+}
+
+func TestConcurrentNoDuplicates(t *testing.T) {
+	const items = 5000
+	d := New[int](items)
+	seen := make([]atomic.Int32, items)
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if v, ok := d.StealHead(); ok {
+					seen[v].Add(1)
+				}
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	for i := 0; i < items; i++ {
+		d.PushTail(i)
+		if v, ok := d.PopTail(); ok {
+			seen[v].Add(1)
+		}
+	}
+	close(done)
+	wg.Wait()
+	for {
+		if v, ok := d.StealHead(); ok {
+			seen[v].Add(1)
+		} else {
+			break
+		}
+	}
+	for i := range seen {
+		if n := seen[i].Load(); n != 1 {
+			t.Fatalf("item %d consumed %d times, want exactly once", i, n)
+		}
+	}
+}

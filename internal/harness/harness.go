@@ -1,0 +1,361 @@
+// Package harness defines the paper's experiments: which benchmark
+// configurations run on which platform at which worker counts, and the
+// measurement loops that regenerate each figure and table.
+//
+// The paper's machine-and-methodology choices are encoded here: workers are
+// packed onto the fewest sockets (Fig. 9's policy), Cilk Plus baselines run
+// with the better of first-touch and interleave placement and no hints,
+// NUMA-WS runs use partitioned placement plus hints (except matmul and
+// strassen, which per the paper use no hints), and both platforms run
+// identical inputs and base-case sizes.
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/memory"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Spec describes one benchmark configuration (one row of the paper's
+// tables).
+type Spec struct {
+	Name  string
+	Input string // human-readable "input size / base case" for the table
+	// Make builds a fresh workload instance; aware selects the NUMA-aware
+	// configuration used for NUMA-WS runs.
+	Make func(aware bool) workloads.Workload
+	// InFig3 marks the seven benchmarks of Fig. 3 (the -z variants are
+	// table-only).
+	InFig3 bool
+	// Fig9Name is the series name in Fig. 9 ("" if the benchmark has no
+	// curve; the paper plots matmul and strassen only as their -z
+	// variants).
+	Fig9Name string
+}
+
+// Scale selects input sizes.
+type Scale int
+
+// Available scales.
+const (
+	// ScaleSmall runs in seconds; used by tests and -short benches.
+	ScaleSmall Scale = iota
+	// ScaleFull is the EXPERIMENTS.md configuration.
+	ScaleFull
+)
+
+// Specs returns the paper's nine benchmark configurations.
+func Specs(s Scale) []Spec {
+	type dims struct {
+		sortN, sortBase             int
+		heatN, heatSteps, heatBands int
+		cgN, cgNZ, cgIters, cgBands int
+		hull1N, hull2N, hullGrain   int
+		hullBands                   int
+		mmN, mmBase                 int
+		stN, stBase                 int
+	}
+	d := dims{
+		sortN: 1 << 20, sortBase: 4096,
+		heatN: 768, heatSteps: 20, heatBands: 128,
+		cgN: 16384, cgNZ: 32, cgIters: 8, cgBands: 128,
+		hull1N: 200_000, hull2N: 50_000, hullGrain: 2048, hullBands: 64,
+		mmN: 512, mmBase: 32,
+		stN: 256, stBase: 16,
+	}
+	if s == ScaleSmall {
+		d = dims{
+			sortN: 1 << 15, sortBase: 1024,
+			heatN: 128, heatSteps: 8, heatBands: 16,
+			cgN: 1024, cgNZ: 16, cgIters: 6, cgBands: 16,
+			hull1N: 20_000, hull2N: 6_000, hullGrain: 512, hullBands: 16,
+			mmN: 128, mmBase: 32,
+			stN: 128, stBase: 32,
+		}
+	}
+	const seed = 20180707 // IISWC 2018 vintage
+	cfg := func(aware bool, base memory.Policy) workloads.Config {
+		return workloads.Config{Aware: aware, Base: base, Seed: seed}
+	}
+	// The baseline placement: first-touch after serial initialization, so
+	// every page lands on socket 0 — the configuration a vanilla Cilk Plus
+	// program gets by default, and the one whose serial elision matches TS.
+	il := memory.BindTo{Socket: 0}
+	return []Spec{
+		{
+			Name: "cg", Input: fmt.Sprintf("%dx%d/n=%d", d.cgN, d.cgNZ, d.cgBands),
+			Make: func(aware bool) workloads.Workload {
+				return workloads.NewCG(d.cgN, d.cgNZ, d.cgIters, d.cgBands, cfg(aware, il))
+			},
+			InFig3: true, Fig9Name: "cg",
+		},
+		{
+			Name: "cilksort", Input: fmt.Sprintf("%d/%d", d.sortN, d.sortBase),
+			Make: func(aware bool) workloads.Workload {
+				return workloads.NewCilksort(d.sortN, d.sortBase, cfg(aware, il))
+			},
+			InFig3: true, Fig9Name: "cilksort",
+		},
+		{
+			Name: "heat", Input: fmt.Sprintf("%dx%dx%d/%d rows", d.heatN, d.heatN, d.heatSteps, d.heatN/d.heatBands),
+			Make: func(aware bool) workloads.Workload {
+				return workloads.NewHeat(d.heatN, d.heatN, d.heatSteps, d.heatBands, cfg(aware, il))
+			},
+			InFig3: true, Fig9Name: "heat",
+		},
+		{
+			Name: "hull1", Input: fmt.Sprintf("%d/%d", d.hull1N, d.hullGrain),
+			Make: func(aware bool) workloads.Workload {
+				return workloads.NewHull(d.hull1N, d.hullGrain, d.hullBands, workloads.InDisk, cfg(aware, il))
+			},
+			InFig3: true, Fig9Name: "hull1",
+		},
+		{
+			Name: "hull2", Input: fmt.Sprintf("%d/%d", d.hull2N, d.hullGrain),
+			Make: func(aware bool) workloads.Workload {
+				return workloads.NewHull(d.hull2N, d.hullGrain, d.hullBands, workloads.OnCircle, cfg(aware, il))
+			},
+			InFig3: true, Fig9Name: "hull2",
+		},
+		{
+			Name: "matmul", Input: fmt.Sprintf("%dx%d/%dx%d", d.mmN, d.mmN, d.mmBase, d.mmBase),
+			// Per the paper, matmul uses no locality hints on either
+			// platform; the aware flag is dropped.
+			Make: func(bool) workloads.Workload {
+				return workloads.NewMatmul(d.mmN, d.mmBase, false, cfg(false, il))
+			},
+			InFig3: true,
+		},
+		{
+			Name: "matmul-z", Input: fmt.Sprintf("%dx%d/%dx%d", d.mmN, d.mmN, d.mmBase, d.mmBase),
+			Make: func(bool) workloads.Workload {
+				return workloads.NewMatmul(d.mmN, d.mmBase, true, cfg(false, il))
+			},
+			Fig9Name: "matmul-z",
+		},
+		{
+			Name: "strassen", Input: fmt.Sprintf("%dx%d/%dx%d", d.stN, d.stN, d.stBase, d.stBase),
+			Make: func(bool) workloads.Workload {
+				return workloads.NewStrassen(d.stN, d.stBase, false, cfg(false, il))
+			},
+			InFig3: true,
+		},
+		{
+			Name: "strassen-z", Input: fmt.Sprintf("%dx%d/%dx%d", d.stN, d.stN, d.stBase, d.stBase),
+			Make: func(bool) workloads.Workload {
+				return workloads.NewStrassen(d.stN, d.stBase, true, cfg(false, il))
+			},
+			Fig9Name: "strassen-z",
+		},
+	}
+}
+
+// Options configures measurement runs.
+type Options struct {
+	Topology *topology.Topology // nil: the paper's 4x8 machine
+	P        int                // parallel worker count; 0 means 32
+	Seed     int64              // scheduler seed; 0 means 1
+	// Seeds averages each parallel measurement over this many scheduler
+	// seeds (Seed, Seed+1, ...), echoing the paper's "each data point is
+	// the average of 10 runs". 0 means 1.
+	Seeds  int
+	Verify bool // verify every run's result
+	// RecordDAG captures the computation dag of parallel runs (see
+	// core.Config.RecordDAG).
+	RecordDAG bool
+}
+
+func (o Options) fill() Options {
+	if o.Topology == nil {
+		o.Topology = topology.XeonE5_4620()
+	}
+	if o.P == 0 {
+		o.P = 32
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Seeds == 0 {
+		o.Seeds = 1
+	}
+	return o
+}
+
+// runtime builds a fresh platform.
+func runtime(top *topology.Topology, workers int, pol sched.Policy, seed int64, recordDAG bool) *core.Runtime {
+	return core.NewRuntime(core.Config{
+		Sched: sched.Config{
+			Topology: top,
+			Workers:  workers,
+			Policy:   pol,
+			Seed:     seed,
+		},
+		Geometry:  cache.DefaultGeometry(),
+		Latency:   cache.DefaultLatency(),
+		RecordDAG: recordDAG,
+	})
+}
+
+// RunOne executes one (spec, policy, P) measurement and returns the run
+// report. aware follows the platform: NUMA-WS runs get the NUMA-aware
+// workload configuration.
+func RunOne(spec Spec, pol sched.Policy, opt Options) (*core.Report, error) {
+	opt = opt.fill()
+	aware := pol == sched.PolicyNUMAWS
+	w := spec.Make(aware)
+	rt := runtime(opt.Topology, opt.P, pol, opt.Seed, opt.RecordDAG)
+	w.Prepare(rt)
+	rep := rt.Run(w.Root())
+	if opt.Verify {
+		if err := w.Verify(); err != nil {
+			return nil, fmt.Errorf("harness: %s on %v at P=%d: %w", spec.Name, pol, opt.P, err)
+		}
+	}
+	return rep, nil
+}
+
+// RunSerial measures TS for a spec (serial elision, baseline placement).
+func RunSerial(spec Spec, opt Options) (*core.Report, error) {
+	opt = opt.fill()
+	w := spec.Make(false)
+	rt := runtime(opt.Topology, 1, sched.PolicyCilk, opt.Seed, false)
+	w.Prepare(rt)
+	rep := rt.RunSerial(w.Root())
+	if opt.Verify {
+		if err := w.Verify(); err != nil {
+			return nil, fmt.Errorf("harness: %s serial: %w", spec.Name, err)
+		}
+	}
+	return rep, nil
+}
+
+// Measure runs the full Fig. 7/Fig. 8 protocol for one spec: TS, then T1
+// and TP on both platforms.
+func Measure(spec Spec, opt Options) (metrics.Row, error) {
+	opt = opt.fill()
+	row := metrics.Row{Name: spec.Name, Input: spec.Input, P: opt.P}
+
+	ts, err := RunSerial(spec, opt)
+	if err != nil {
+		return row, err
+	}
+	row.TS = ts.Time
+
+	for _, pol := range []sched.Policy{sched.PolicyCilk, sched.PolicyNUMAWS} {
+		o1 := opt
+		o1.P = 1
+		r1, err := RunOne(spec, pol, o1)
+		if err != nil {
+			return row, err
+		}
+		var pr metrics.PlatformResult
+		pr.T1 = r1.Time
+		pr.W1 = r1.Sched.WorkTotal()
+		for s := 0; s < opt.Seeds; s++ {
+			o := opt
+			o.Seed = opt.Seed + int64(s)
+			rp, err := RunOne(spec, pol, o)
+			if err != nil {
+				return row, err
+			}
+			pr.TP += rp.Time
+			pr.WP += rp.Sched.WorkTotal()
+			pr.SP += rp.Sched.SchedTotal()
+			pr.IP += rp.Sched.IdleTotal()
+		}
+		n := int64(opt.Seeds)
+		pr.TP /= n
+		pr.WP /= n
+		pr.SP /= n
+		pr.IP /= n
+		if pol == sched.PolicyCilk {
+			row.Cilk = pr
+		} else {
+			row.NUMAWS = pr
+		}
+	}
+	return row, nil
+}
+
+// MeasureAll measures every spec.
+func MeasureAll(specs []Spec, opt Options) ([]metrics.Row, error) {
+	rows := make([]metrics.Row, 0, len(specs))
+	for _, spec := range specs {
+		row, err := Measure(spec, opt)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig9Points is the paper's Fig. 9 x-axis.
+var Fig9Points = []int{1, 8, 16, 24, 32}
+
+// MeasureScalability produces the Fig. 9 series: NUMA-WS TP over the
+// worker counts, tight socket packing (the Pack default).
+func MeasureScalability(specs []Spec, opt Options, points []int) ([]metrics.Series, error) {
+	opt = opt.fill()
+	if len(points) == 0 {
+		points = Fig9Points
+	}
+	var out []metrics.Series
+	for _, spec := range specs {
+		if spec.Fig9Name == "" {
+			continue
+		}
+		s := metrics.Series{Name: spec.Fig9Name, P: points}
+		for _, p := range points {
+			var total int64
+			for sd := 0; sd < opt.Seeds; sd++ {
+				o := opt
+				o.P = p
+				o.Seed = opt.Seed + int64(sd)
+				rep, err := RunOne(spec, sched.PolicyNUMAWS, o)
+				if err != nil {
+					return nil, err
+				}
+				total += rep.Time
+			}
+			s.TP = append(s.TP, total/int64(opt.Seeds))
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// RunTraced is RunOne with an execution timeline attached: it returns the
+// run report plus the recorded per-worker trace (see internal/trace).
+func RunTraced(spec Spec, pol sched.Policy, opt Options) (*core.Report, *trace.Timeline, error) {
+	opt = opt.fill()
+	tl := trace.New(opt.P)
+	aware := pol == sched.PolicyNUMAWS
+	w := spec.Make(aware)
+	rt := core.NewRuntime(core.Config{
+		Sched: sched.Config{
+			Topology: opt.Topology,
+			Workers:  opt.P,
+			Policy:   pol,
+			Seed:     opt.Seed,
+			Tracer:   tl,
+		},
+		Geometry: cache.DefaultGeometry(),
+		Latency:  cache.DefaultLatency(),
+	})
+	w.Prepare(rt)
+	rep := rt.Run(w.Root())
+	if opt.Verify {
+		if err := w.Verify(); err != nil {
+			return nil, nil, fmt.Errorf("harness: %s traced on %v: %w", spec.Name, pol, err)
+		}
+	}
+	return rep, tl, nil
+}

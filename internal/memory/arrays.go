@@ -1,0 +1,58 @@
+package memory
+
+// Typed array helpers pair real Go slices (on which workloads perform the
+// actual computation) with simulated Regions (against which the cache model
+// charges access costs). The pairing is what lets a benchmark both compute a
+// verifiable result and produce a faithful memory-access profile.
+
+// F64 is a float64 array backed by a simulated region.
+type F64 struct {
+	Data []float64
+	R    *Region
+}
+
+// NewF64 allocates an n-element float64 array under the given policy.
+func NewF64(a *Allocator, name string, n int, pol Policy) *F64 {
+	return &F64{
+		Data: make([]float64, n),
+		R:    a.Alloc(name, int64(n)*8, pol),
+	}
+}
+
+// Span converts an element range to a (byte offset, byte length) pair for
+// Context.Read/Write.
+func (f *F64) Span(i, n int) (off, size int64) { return int64(i) * 8, int64(n) * 8 }
+
+// I32 is an int32 array backed by a simulated region.
+type I32 struct {
+	Data []int32
+	R    *Region
+}
+
+// NewI32 allocates an n-element int32 array under the given policy.
+func NewI32(a *Allocator, name string, n int, pol Policy) *I32 {
+	return &I32{
+		Data: make([]int32, n),
+		R:    a.Alloc(name, int64(n)*4, pol),
+	}
+}
+
+// Span converts an element range to a (byte offset, byte length) pair.
+func (f *I32) Span(i, n int) (off, size int64) { return int64(i) * 4, int64(n) * 4 }
+
+// I64 is an int64 array backed by a simulated region.
+type I64 struct {
+	Data []int64
+	R    *Region
+}
+
+// NewI64 allocates an n-element int64 array under the given policy.
+func NewI64(a *Allocator, name string, n int, pol Policy) *I64 {
+	return &I64{
+		Data: make([]int64, n),
+		R:    a.Alloc(name, int64(n)*8, pol),
+	}
+}
+
+// Span converts an element range to a (byte offset, byte length) pair.
+func (f *I64) Span(i, n int) (off, size int64) { return int64(i) * 8, int64(n) * 8 }

@@ -1,0 +1,227 @@
+package memory
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocBasics(t *testing.T) {
+	a := NewAllocator(4)
+	r := a.Alloc("x", 10000, Interleave{})
+	if r.Size() != 10000 {
+		t.Errorf("Size() = %d, want 10000", r.Size())
+	}
+	if got, want := r.Pages(), 3; got != want { // ceil(10000/4096) = 3
+		t.Errorf("Pages() = %d, want %d", got, want)
+	}
+	if r.Base()%PageSize != 0 {
+		t.Errorf("Base() = %d, want page-aligned", r.Base())
+	}
+}
+
+func TestRegionsDoNotOverlap(t *testing.T) {
+	a := NewAllocator(2)
+	r1 := a.Alloc("a", 100, FirstTouch{})
+	r2 := a.Alloc("b", 100, FirstTouch{})
+	// Even tiny regions get distinct pages, so they never share a line.
+	if r1.GlobalLine(99) >= r2.GlobalLine(0) {
+		t.Errorf("regions share lines: r1 last line %d, r2 first line %d", r1.GlobalLine(99), r2.GlobalLine(0))
+	}
+	if r1.GlobalPage(0) == r2.GlobalPage(0) {
+		t.Error("regions share a page")
+	}
+}
+
+func TestFirstTouchBinding(t *testing.T) {
+	a := NewAllocator(4)
+	r := a.Alloc("ft", 3*PageSize, FirstTouch{})
+	if got := r.HomeOf(0); got != SocketUnbound {
+		t.Errorf("HomeOf(0) before touch = %d, want unbound", got)
+	}
+	if got := r.TouchFrom(0, 2); got != 2 {
+		t.Errorf("TouchFrom(0, 2) = %d, want 2", got)
+	}
+	// Second touch from a different socket does not rebind.
+	if got := r.TouchFrom(100, 3); got != 2 {
+		t.Errorf("TouchFrom(100, 3) = %d, want 2 (first touch wins)", got)
+	}
+	// Other pages remain unbound.
+	if got := r.HomeOf(PageSize); got != SocketUnbound {
+		t.Errorf("HomeOf(page 1) = %d, want unbound", got)
+	}
+}
+
+func TestInterleavePolicy(t *testing.T) {
+	a := NewAllocator(4)
+	r := a.Alloc("il", 8*PageSize, Interleave{})
+	for pg := 0; pg < 8; pg++ {
+		if got, want := r.HomeOf(int64(pg)*PageSize), pg%4; got != want {
+			t.Errorf("page %d home = %d, want %d", pg, got, want)
+		}
+	}
+	dist := r.Distribution(4)
+	for s := 0; s < 4; s++ {
+		if dist[s] != 2 {
+			t.Errorf("socket %d owns %d pages, want 2", s, dist[s])
+		}
+	}
+	if dist[4] != 0 {
+		t.Errorf("%d unbound pages, want 0", dist[4])
+	}
+}
+
+func TestBindToPolicy(t *testing.T) {
+	a := NewAllocator(4)
+	r := a.Alloc("b3", 4*PageSize, BindTo{Socket: 3})
+	for pg := 0; pg < 4; pg++ {
+		if got := r.HomeOf(int64(pg) * PageSize); got != 3 {
+			t.Errorf("page %d home = %d, want 3", pg, got)
+		}
+	}
+}
+
+func TestBindBlocksQuarters(t *testing.T) {
+	// The Fig. 4 pattern: quarters of the array on sockets 0..3.
+	a := NewAllocator(4)
+	r := a.Alloc("quarters", 8*PageSize, BindBlocks{Blocks: 4, Sockets: []int{0, 1, 2, 3}})
+	wantHomes := []int{0, 0, 1, 1, 2, 2, 3, 3}
+	for pg, want := range wantHomes {
+		if got := r.HomeOf(int64(pg) * PageSize); got != want {
+			t.Errorf("page %d home = %d, want %d", pg, got, want)
+		}
+	}
+}
+
+func TestBindBlocksUnevenPages(t *testing.T) {
+	a := NewAllocator(4)
+	// 5 pages over 4 blocks: per = ceil(5/4) = 2 -> blocks of pages {0,1},{2,3},{4}.
+	r := a.Alloc("uneven", 5*PageSize, BindBlocks{Blocks: 4, Sockets: []int{0, 1, 2, 3}})
+	wantHomes := []int{0, 0, 1, 1, 2}
+	for pg, want := range wantHomes {
+		if got := r.HomeOf(int64(pg) * PageSize); got != want {
+			t.Errorf("page %d home = %d, want %d", pg, got, want)
+		}
+	}
+}
+
+func TestBindRange(t *testing.T) {
+	a := NewAllocator(4)
+	r := a.Alloc("rebind", 4*PageSize, BindTo{Socket: 0})
+	r.BindRange(PageSize, 2*PageSize, 2) // pages 1 and 2
+	wantHomes := []int{0, 2, 2, 0}
+	for pg, want := range wantHomes {
+		if got := r.HomeOf(int64(pg) * PageSize); got != want {
+			t.Errorf("page %d home = %d, want %d", pg, got, want)
+		}
+	}
+	r.BindRange(0, 0, 3) // no-op
+	if got := r.HomeOf(0); got != 0 {
+		t.Errorf("BindRange with n=0 changed page 0 home to %d", got)
+	}
+}
+
+func TestOffsetBoundsPanic(t *testing.T) {
+	a := NewAllocator(2)
+	r := a.Alloc("small", 100, FirstTouch{})
+	for _, off := range []int64{-1, 100, 5000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("HomeOf(%d) did not panic", off)
+				}
+			}()
+			r.HomeOf(off)
+		}()
+	}
+}
+
+func TestAllocPanics(t *testing.T) {
+	a := NewAllocator(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Alloc with size 0 did not panic")
+		}
+	}()
+	a.Alloc("zero", 0, FirstTouch{})
+}
+
+func TestNewAllocatorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewAllocator(0) did not panic")
+		}
+	}()
+	NewAllocator(0)
+}
+
+// Property: line and page addresses are monotone in the offset and
+// consistent with each other (a line's page is the byte's page).
+func TestAddressProperties(t *testing.T) {
+	a := NewAllocator(4)
+	r := a.Alloc("prop", 1<<20, Interleave{})
+	f := func(raw uint32) bool {
+		off := int64(raw) % r.Size()
+		line := r.GlobalLine(off)
+		page := r.GlobalPage(off)
+		if line*LineSize/PageSize != page {
+			return false
+		}
+		if off+1 < r.Size() && r.GlobalLine(off+1) < line {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: interleave distributes pages across sockets within 1 of evenly.
+func TestInterleaveBalanceProperty(t *testing.T) {
+	f := func(rawPages uint8, rawSockets uint8) bool {
+		sockets := int(rawSockets)%8 + 1
+		pages := int(rawPages)%64 + 1
+		a := NewAllocator(sockets)
+		r := a.Alloc("p", int64(pages)*PageSize, Interleave{})
+		dist := r.Distribution(sockets)
+		min, max := pages, 0
+		for s := 0; s < sockets; s++ {
+			if dist[s] < min {
+				min = dist[s]
+			}
+			if dist[s] > max {
+				max = dist[s]
+			}
+		}
+		return max-min <= 1 && dist[sockets] == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	for _, tc := range []struct {
+		pol  Policy
+		want string
+	}{
+		{FirstTouch{}, "first-touch"},
+		{Interleave{}, "interleave"},
+		{BindTo{Socket: 2}, "bind(2)"},
+		{BindBlocks{Blocks: 4, Sockets: []int{0, 1}}, "bind-blocks"},
+	} {
+		if !strings.Contains(tc.pol.String(), tc.want) {
+			t.Errorf("%T.String() = %q, want contains %q", tc.pol, tc.pol.String(), tc.want)
+		}
+	}
+}
+
+func TestAllocatorString(t *testing.T) {
+	a := NewAllocator(2)
+	a.Alloc("alpha", 100, FirstTouch{})
+	s := a.String()
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "2 sockets") {
+		t.Errorf("String() = %q, missing region or socket info", s)
+	}
+}

@@ -1,0 +1,174 @@
+// Package metrics derives and formats the paper's reported quantities: spawn
+// overhead T1/TS, scalability T1/TP, work inflation W_P/T1, and the
+// work/scheduling/idle time breakdown, rendered as the rows of Fig. 3,
+// Fig. 7 (table), Fig. 8 (table) and Fig. 9.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PlatformResult is one platform's measurements for one benchmark.
+type PlatformResult struct {
+	T1 int64 // one-worker time
+	TP int64 // P-worker time
+	WP int64 // summed work time at P workers
+	SP int64 // summed scheduling time at P workers
+	IP int64 // summed idle time at P workers
+	W1 int64 // work time at one worker (= T1)
+}
+
+// SpawnOverhead is T1/TS.
+func (r *PlatformResult) SpawnOverhead(ts int64) float64 { return ratio(r.T1, ts) }
+
+// Scalability is T1/TP.
+func (r *PlatformResult) Scalability() float64 { return ratio(r.T1, r.TP) }
+
+// WorkInflation is WP/T1: how much the total useful-work time grew going
+// parallel.
+func (r *PlatformResult) WorkInflation() float64 { return ratio(r.WP, r.T1) }
+
+// Row is one benchmark's full measurement across both platforms.
+type Row struct {
+	Name   string
+	Input  string // "input size / base case size" description
+	TS     int64
+	Cilk   PlatformResult
+	NUMAWS PlatformResult
+	P      int // worker count of the TP/WP/SP/IP columns
+}
+
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// cyc renders a cycle count compactly.
+func cyc(v int64) string {
+	switch {
+	case v >= 10_000_000_000:
+		return fmt.Sprintf("%.1fG", float64(v)/1e9)
+	case v >= 10_000_000:
+		return fmt.Sprintf("%.1fM", float64(v)/1e6)
+	case v >= 10_000:
+		return fmt.Sprintf("%.1fk", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}
+
+// Table7 renders the Fig. 7 table: TS, then T1 (spawn overhead) and TP
+// (scalability) per platform. Times are virtual cycles, not seconds — the
+// parenthesized ratios are the comparable quantities.
+func Table7(rows []Row) string {
+	var b strings.Builder
+	p := 0
+	if len(rows) > 0 {
+		p = rows[0].P
+	}
+	fmt.Fprintf(&b, "Fig. 7: execution times (virtual cycles); spawn overhead under T1, scalability under T%d\n", p)
+	fmt.Fprintf(&b, "%-12s %-14s %10s | %10s %-8s %10s %-8s | %10s %-8s %10s %-8s\n",
+		"benchmark", "input/base", "TS",
+		"Cilk T1", "(T1/TS)", fmt.Sprintf("Cilk T%d", p), "(T1/TP)",
+		"NWS T1", "(T1/TS)", fmt.Sprintf("NWS T%d", p), "(T1/TP)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-14s %10s | %10s (%.2fx)  %10s (%.2fx)  | %10s (%.2fx)  %10s (%.2fx)\n",
+			r.Name, r.Input, cyc(r.TS),
+			cyc(r.Cilk.T1), r.Cilk.SpawnOverhead(r.TS), cyc(r.Cilk.TP), r.Cilk.Scalability(),
+			cyc(r.NUMAWS.T1), r.NUMAWS.SpawnOverhead(r.TS), cyc(r.NUMAWS.TP), r.NUMAWS.Scalability())
+	}
+	return b.String()
+}
+
+// Table8 renders the Fig. 8 table: T1, W_P (work inflation), S_P, I_P per
+// platform.
+func Table8(rows []Row) string {
+	var b strings.Builder
+	p := 0
+	if len(rows) > 0 {
+		p = rows[0].P
+	}
+	fmt.Fprintf(&b, "Fig. 8: work/scheduling/idle breakdown at P=%d; work inflation (W%d/T1) in parentheses\n", p, p)
+	fmt.Fprintf(&b, "%-12s | %10s %10s %-8s %8s %8s | %10s %10s %-8s %8s %8s\n",
+		"benchmark",
+		"Cilk T1", fmt.Sprintf("W%d", p), "(infl)", fmt.Sprintf("S%d", p), fmt.Sprintf("I%d", p),
+		"NWS T1", fmt.Sprintf("W%d", p), "(infl)", fmt.Sprintf("S%d", p), fmt.Sprintf("I%d", p))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s | %10s %10s (%.2fx)  %8s %8s | %10s %10s (%.2fx)  %8s %8s\n",
+			r.Name,
+			cyc(r.Cilk.T1), cyc(r.Cilk.WP), r.Cilk.WorkInflation(), cyc(r.Cilk.SP), cyc(r.Cilk.IP),
+			cyc(r.NUMAWS.T1), cyc(r.NUMAWS.WP), r.NUMAWS.WorkInflation(), cyc(r.NUMAWS.SP), cyc(r.NUMAWS.IP))
+	}
+	return b.String()
+}
+
+// Fig3 renders the normalized total processing times of the Cilk Plus runs:
+// for P=1 the normalized T1, for P=P the work/scheduling/idle components,
+// all normalized to TS.
+func Fig3(rows []Row) string {
+	var b strings.Builder
+	p := 0
+	if len(rows) > 0 {
+		p = rows[0].P
+	}
+	fmt.Fprintf(&b, "Fig. 3: total processing time on Cilk Plus normalized to TS (P=1 and P=%d)\n", p)
+	fmt.Fprintf(&b, "%-12s %10s | %10s %10s %10s %10s\n",
+		"benchmark", "P=1", fmt.Sprintf("P=%d tot", p), "work", "sched", "idle")
+	for _, r := range rows {
+		ts := float64(r.TS)
+		if ts == 0 {
+			continue
+		}
+		w := float64(r.Cilk.WP) / ts
+		s := float64(r.Cilk.SP) / ts
+		i := float64(r.Cilk.IP) / ts
+		fmt.Fprintf(&b, "%-12s %10.2f | %10.2f %10.2f %10.2f %10.2f\n",
+			r.Name, float64(r.Cilk.T1)/ts, w+s+i, w, s, i)
+	}
+	return b.String()
+}
+
+// Series is one benchmark's scalability curve for Fig. 9.
+type Series struct {
+	Name string
+	P    []int
+	TP   []int64 // TP[i] corresponds to P[i]
+}
+
+// Speedup reports T1/TP per point (P[0] must be 1).
+func (s *Series) Speedup() []float64 {
+	out := make([]float64, len(s.TP))
+	if len(s.TP) == 0 {
+		return out
+	}
+	t1 := s.TP[0]
+	for i, tp := range s.TP {
+		out[i] = ratio(t1, tp)
+	}
+	return out
+}
+
+// Fig9 renders the scalability curves as a table of T1/TP values.
+func Fig9(series []Series) string {
+	var b strings.Builder
+	b.WriteString("Fig. 9: scalability (T1/TP) on NUMA-WS; workers packed onto the fewest sockets\n")
+	if len(series) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-12s", "benchmark")
+	for _, p := range series[0].P {
+		fmt.Fprintf(&b, " %8s", fmt.Sprintf("P=%d", p))
+	}
+	b.WriteByte('\n')
+	for _, s := range series {
+		fmt.Fprintf(&b, "%-12s", s.Name)
+		for _, sp := range s.Speedup() {
+			fmt.Fprintf(&b, " %8.2f", sp)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

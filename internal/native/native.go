@@ -1,0 +1,217 @@
+// Package native executes the same workloads as the simulated platform on
+// real goroutines, with real work-stealing deques, for correctness and
+// parallel-execution validation.
+//
+// Why this is not the paper's scheduler: NUMA-WS relies on
+// continuation-stealing (the thief resumes the suspended parent's stack) and
+// worker-to-core pinning. Go offers neither — goroutine stacks cannot be
+// adopted by another thread of control, and the Go scheduler hides core
+// placement. The native executor therefore uses child-stealing (the spawned
+// child is the stealable item; the parent's goroutine keeps running the
+// continuation) plus work-helping at syncs, which preserves the programming
+// model and the fork-join semantics, while the simulator (package core)
+// models the faithful continuation-stealing runtime. This split is the
+// repro-band substitution documented in DESIGN.md.
+package native
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/deque"
+	"repro/internal/memory"
+)
+
+// Pool is a fixed-size work-stealing executor.
+type Pool struct {
+	workers int
+	places  int
+	deques  []*deque.Deque[*job]
+	done    atomic.Bool
+	seedCtr atomic.Uint64
+}
+
+// job is one spawned task instance.
+type job struct {
+	fn     core.Task
+	ctx    *nativeCtx
+	parent *nativeCtx
+}
+
+// NewPool builds an executor with the given worker count (defaults to
+// GOMAXPROCS if workers <= 0) and a number of virtual places to report
+// through Context.NumPlaces (defaults to 1). Place hints are accepted and
+// recorded but do not constrain scheduling — the Go runtime controls actual
+// placement.
+func NewPool(workers, places int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if places <= 0 {
+		places = 1
+	}
+	p := &Pool{
+		workers: workers,
+		places:  places,
+		deques:  make([]*deque.Deque[*job], workers),
+	}
+	for i := range p.deques {
+		p.deques[i] = deque.New[*job](0)
+	}
+	return p
+}
+
+// Workers reports the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes root to completion on the pool and blocks until done. A Pool
+// is reusable across sequential Run calls (not concurrent ones).
+func (p *Pool) Run(root core.Task) {
+	p.done.Store(false)
+	rootCtx := &nativeCtx{pool: p, place: core.PlaceAny}
+	var panicked atomic.Value
+	finished := make(chan struct{})
+
+	rootJob := &job{
+		fn: func(ctx core.Context) {
+			defer close(finished)
+			root(ctx)
+		},
+		ctx: rootCtx,
+	}
+	p.deques[0].PushTail(rootJob)
+
+	stop := make(chan struct{})
+	for w := 1; w < p.workers; w++ {
+		go p.workerLoop(w, stop, &panicked)
+	}
+	// Worker 0 runs in the caller's goroutine so Run blocks naturally.
+	go func() {
+		<-finished
+		p.done.Store(true)
+	}()
+	p.workerLoop(0, stop, &panicked)
+	close(stop)
+	// Wait for the root to be fully finished (worker 0 may have observed
+	// done before the closing goroutine ran).
+	<-finished
+	if v := panicked.Load(); v != nil {
+		panic(fmt.Sprintf("native: task panicked: %v", v))
+	}
+}
+
+func (p *Pool) workerLoop(w int, stop <-chan struct{}, panicked *atomic.Value) {
+	backoff := 0
+	for !p.done.Load() {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if j := p.findWork(w); j != nil {
+			backoff = 0
+			p.runJob(w, j, panicked)
+			continue
+		}
+		backoff++
+		if backoff > 64 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// findWork pops the local deque tail first (depth-first, cache-friendly),
+// then scans other workers' heads.
+func (p *Pool) findWork(w int) *job {
+	if j, ok := p.deques[w].PopTail(); ok {
+		return j
+	}
+	n := p.workers
+	start := int(p.seedCtr.Add(1)) % n
+	for i := 0; i < n; i++ {
+		v := (start + i) % n
+		if v == w {
+			continue
+		}
+		if j, ok := p.deques[v].StealHead(); ok {
+			return j
+		}
+	}
+	return nil
+}
+
+func (p *Pool) runJob(w int, j *job, panicked *atomic.Value) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked.CompareAndSwap(nil, fmt.Sprint(r))
+			p.done.Store(true)
+		}
+		if j.parent != nil {
+			j.parent.pending.Add(-1)
+		}
+	}()
+	j.ctx.worker = w
+	j.fn(j.ctx)
+	j.ctx.Sync() // implicit sync at return, as in Cilk
+}
+
+// nativeCtx implements core.Context with real parallelism and no cost model.
+type nativeCtx struct {
+	pool    *Pool
+	place   int
+	worker  int
+	pending atomic.Int64
+}
+
+var _ core.Context = (*nativeCtx)(nil)
+
+func (c *nativeCtx) Spawn(t core.Task)          { c.spawnAt(c.place, t) }
+func (c *nativeCtx) SpawnAt(p int, t core.Task) { c.spawnAt(p, t) }
+
+func (c *nativeCtx) spawnAt(place int, t core.Task) {
+	child := &nativeCtx{pool: c.pool, place: place, worker: c.worker}
+	c.pending.Add(1)
+	c.pool.deques[c.worker].PushTail(&job{fn: t, ctx: child, parent: c})
+}
+
+// Sync waits for this frame's children, helping execute pending work while
+// waiting (a blocked worker would waste a core).
+func (c *nativeCtx) Sync() {
+	var panicked atomic.Value
+	backoff := 0
+	for c.pending.Load() > 0 {
+		if j := c.pool.findWork(c.worker); j != nil {
+			backoff = 0
+			c.pool.runJob(c.worker, j, &panicked)
+			if v := panicked.Load(); v != nil {
+				panic(v)
+			}
+			continue
+		}
+		backoff++
+		if backoff > 16 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Call gives the callee its own sync scope, matching Cilk's function-scoped
+// cilk_sync: a sync inside t must not wait for the caller's children.
+func (c *nativeCtx) Call(t core.Task) {
+	child := &nativeCtx{pool: c.pool, place: c.place, worker: c.worker}
+	t(child)
+	child.Sync() // implicit sync at function return
+}
+
+func (c *nativeCtx) Compute(int64)                                         {}
+func (c *nativeCtx) Read(*memory.Region, int64, int64)                     {}
+func (c *nativeCtx) Write(*memory.Region, int64, int64)                    {}
+func (c *nativeCtx) ReadStrided(*memory.Region, int64, int64, int64, int)  {}
+func (c *nativeCtx) WriteStrided(*memory.Region, int64, int64, int64, int) {}
+
+func (c *nativeCtx) NumPlaces() int { return c.pool.places }
+func (c *nativeCtx) Place() int     { return c.place }
+func (c *nativeCtx) SetPlace(p int) { c.place = p }
+func (c *nativeCtx) Worker() int    { return c.worker }

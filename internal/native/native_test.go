@@ -1,0 +1,160 @@
+package native
+
+import (
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestRunsToCompletion(t *testing.T) {
+	var n atomic.Int64
+	p := NewPool(4, 4)
+	p.Run(func(ctx core.Context) {
+		for i := 0; i < 100; i++ {
+			ctx.Spawn(func(core.Context) { n.Add(1) })
+		}
+		ctx.Sync()
+	})
+	if n.Load() != 100 {
+		t.Errorf("ran %d tasks, want 100", n.Load())
+	}
+}
+
+func TestNestedForkJoin(t *testing.T) {
+	var sum atomic.Int64
+	var rec func(depth, val int) core.Task
+	rec = func(depth, val int) core.Task {
+		return func(ctx core.Context) {
+			if depth == 0 {
+				sum.Add(int64(val))
+				return
+			}
+			ctx.Spawn(rec(depth-1, val))
+			ctx.Spawn(rec(depth-1, val))
+			ctx.Sync()
+		}
+	}
+	NewPool(8, 1).Run(rec(10, 1))
+	if sum.Load() != 1024 {
+		t.Errorf("sum = %d, want 1024 leaves", sum.Load())
+	}
+}
+
+func TestSyncOrdersEffects(t *testing.T) {
+	// After Sync returns, all spawned children's effects must be visible.
+	data := make([]int, 1000)
+	NewPool(8, 1).Run(func(ctx core.Context) {
+		core.SpawnRange(ctx, 0, len(data), 16, func(c core.Context, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				data[i] = i * i
+			}
+		})
+		// SpawnRange ends with Sync; everything must be written now.
+		for i, v := range data {
+			if v != i*i {
+				t.Errorf("data[%d] = %d before use, want %d", i, v, i*i)
+				return
+			}
+		}
+	})
+}
+
+func TestParallelSort(t *testing.T) {
+	// A real recursive algorithm end-to-end on the native executor.
+	n := 50000
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = (i * 1103515245) % 99991
+	}
+	var msort func(a, tmp []int) core.Task
+	msort = func(a, tmp []int) core.Task {
+		return func(ctx core.Context) {
+			if len(a) < 512 {
+				sort.Ints(a)
+				return
+			}
+			mid := len(a) / 2
+			ctx.Spawn(msort(a[:mid], tmp[:mid]))
+			ctx.Call(msort(a[mid:], tmp[mid:]))
+			ctx.Sync()
+			copy(tmp, a)
+			i, j := 0, mid
+			for k := 0; k < len(a); k++ {
+				switch {
+				case i >= mid:
+					a[k] = tmp[j]
+					j++
+				case j >= len(a):
+					a[k] = tmp[i]
+					i++
+				case tmp[i] <= tmp[j]:
+					a[k] = tmp[i]
+					i++
+				default:
+					a[k] = tmp[j]
+					j++
+				}
+			}
+		}
+	}
+	NewPool(8, 1).Run(msort(xs, make([]int, n)))
+	if !sort.IntsAreSorted(xs) {
+		t.Error("native parallel mergesort produced unsorted output")
+	}
+}
+
+func TestPlacesReported(t *testing.T) {
+	var places, got int
+	p := NewPool(2, 3)
+	p.Run(func(ctx core.Context) {
+		places = ctx.NumPlaces()
+		ctx.SpawnAt(2, func(c core.Context) { got = c.Place() })
+		ctx.Sync()
+	})
+	if places != 3 {
+		t.Errorf("NumPlaces = %d, want 3", places)
+	}
+	if got != 2 {
+		t.Errorf("child place = %d, want 2", got)
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("panic did not propagate out of Run")
+		}
+	}()
+	NewPool(4, 1).Run(func(ctx core.Context) {
+		ctx.Spawn(func(core.Context) { panic("native boom") })
+		ctx.Sync()
+	})
+}
+
+func TestPoolReusable(t *testing.T) {
+	p := NewPool(4, 1)
+	var a, b atomic.Int64
+	p.Run(func(ctx core.Context) {
+		core.SpawnRange(ctx, 0, 50, 4, func(c core.Context, lo, hi int) { a.Add(int64(hi - lo)) })
+	})
+	p.Run(func(ctx core.Context) {
+		core.SpawnRange(ctx, 0, 70, 4, func(c core.Context, lo, hi int) { b.Add(int64(hi - lo)) })
+	})
+	if a.Load() != 50 || b.Load() != 70 {
+		t.Errorf("reuse failed: a=%d b=%d", a.Load(), b.Load())
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	p := NewPool(0, 0)
+	if p.Workers() < 1 {
+		t.Errorf("Workers() = %d, want >= 1", p.Workers())
+	}
+	done := false
+	p.Run(func(core.Context) { done = true })
+	if !done {
+		t.Error("root never ran")
+	}
+}

@@ -1,0 +1,749 @@
+// Package sched implements the two work-stealing schedulers the paper
+// compares — classic Cilk Plus work stealing (its Fig. 2 pseudocode) and
+// NUMA-WS (its Fig. 5 pseudocode: locality-biased steals plus lazy work
+// pushing through single-entry mailboxes) — on top of a deterministic
+// virtual-time engine.
+//
+// Every design point called out in the paper is represented and
+// individually switchable so ablation benchmarks can probe it: the
+// deque-vs-mailbox coin flip, the constant pushing threshold, the
+// single-entry mailbox, the biased victim distribution, and the work-first
+// rule that pushing happens only on steal-path events.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/deque"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Policy selects which scheduler drives the run.
+type Policy int
+
+// The two schedulers under comparison.
+const (
+	// PolicyCilk is classic work stealing as in Intel Cilk Plus (Fig. 2):
+	// uniformly random victims, no mailboxes, no work pushing.
+	PolicyCilk Policy = iota
+	// PolicyNUMAWS is the paper's scheduler (Fig. 5): locality-biased
+	// steals and lazy work pushing with single-entry mailboxes.
+	PolicyNUMAWS
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == PolicyCilk {
+		return "cilk"
+	}
+	return "numa-ws"
+}
+
+// Config parameterizes a run.
+type Config struct {
+	Topology *topology.Topology
+	Workers  int
+	// Placement maps workers to cores; nil means Topology.Pack(Workers),
+	// the paper's tight packing.
+	Placement *topology.Placement
+	Policy    Policy
+	Seed      int64
+
+	// Scheduling costs, in cycles. Zero values take defaults.
+	SpawnCost        int64 // work-path: push continuation at cilk_spawn
+	ReturnCost       int64 // work-path: pop at spawned-child return
+	StealAttemptCost int64 // steal-path: one steal attempt, before hop cost
+	StealHopCost     int64 // added per hop of thief-victim socket distance
+	PromoteCost      int64 // steal-path: shadow-to-full frame promotion
+	SyncCheckCost    int64 // steal-path: nontrivial sync / CHECKPARENT
+	PushAttemptCost  int64 // steal-path: one PUSHBACK attempt
+	MailboxPopCost   int64 // steal-path: taking a frame out of a mailbox
+
+	// PushThreshold is the paper's constant pushing threshold: once a
+	// frame accumulates more failed pushes than this, the pusher resumes
+	// it itself. Zero takes the default; negative means threshold 0
+	// (a single failed attempt already gives up).
+	PushThreshold int
+	// BiasWeights[h] is the steal weight for victims h hops away. Nil
+	// takes the default {4, 2, 1, ...}. Every weight must be positive so
+	// each deque keeps probability >= 1/(cP), which Lemma 1 requires.
+	BiasWeights []float64
+
+	// Ablation switches (all false/zero in the faithful configuration).
+	DisableCoinFlip bool // always check the mailbox before the deque
+	MailboxCapacity int  // mailbox entries; 0 means the paper's single entry
+	EagerPush       bool // push at spawn time (work-path pushing, the anti-pattern)
+	DisableBias     bool // uniform victims even under PolicyNUMAWS
+	DisableMailbox  bool // biased steals only, no work pushing
+
+	// MaxEvents aborts runaway simulations; 0 means a large default.
+	MaxEvents int64
+
+	// Tracer, if non-nil, receives the per-worker execution timeline
+	// (strand execution, scheduler bookkeeping, idle probing). See
+	// internal/trace for a recorder and renderer.
+	Tracer Tracer
+}
+
+// TraceKind classifies a traced time span.
+type TraceKind int
+
+// Span categories: useful work (strand execution), scheduler bookkeeping
+// (spawn/sync/steal/push handling), and idle probing (failed steals).
+const (
+	TraceWork TraceKind = iota
+	TraceBookkeeping
+	TraceIdle
+)
+
+// String names the trace kind.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceWork:
+		return "work"
+	case TraceBookkeeping:
+		return "bookkeeping"
+	case TraceIdle:
+		return "idle"
+	}
+	return fmt.Sprintf("trace(%d)", int(k))
+}
+
+// Tracer receives execution-timeline spans from the engine. Calls are
+// serialized (the engine is single-threaded); spans for one worker are
+// non-overlapping and in increasing time order.
+type Tracer interface {
+	Span(worker int, start, end int64, kind TraceKind)
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Placement == nil {
+		out.Placement = out.Topology.Pack(out.Workers)
+	}
+	def := func(v *int64, d int64) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&out.SpawnCost, 8)
+	def(&out.ReturnCost, 4)
+	def(&out.StealAttemptCost, 150)
+	def(&out.StealHopCost, 60)
+	def(&out.PromoteCost, 300)
+	def(&out.SyncCheckCost, 80)
+	def(&out.PushAttemptCost, 120)
+	def(&out.MailboxPopCost, 40)
+	if out.PushThreshold == 0 {
+		out.PushThreshold = 4
+	}
+	if out.PushThreshold < 0 {
+		out.PushThreshold = 0
+	}
+	if out.BiasWeights == nil {
+		out.BiasWeights = defaultBiasWeights(out.Topology.MaxDistance())
+	}
+	if out.MailboxCapacity <= 0 {
+		out.MailboxCapacity = 1
+	}
+	if out.MaxEvents == 0 {
+		out.MaxEvents = 2_000_000_000
+	}
+	return out
+}
+
+func defaultBiasWeights(maxHop int) []float64 {
+	w := make([]float64, maxHop+1)
+	for h := range w {
+		switch h {
+		case 0:
+			w[h] = 4
+		case 1:
+			w[h] = 2
+		default:
+			w[h] = 1
+		}
+	}
+	return w
+}
+
+// WorkerStats is the per-worker time breakdown the paper's Fig. 3 and
+// Fig. 8 report: work time ("useful work"), scheduling time ("frame
+// promotions upon successful steals and nontrivial syncs" and, in NUMA-WS,
+// work pushing), and idle time ("trying to steal but failing to find work").
+type WorkerStats struct {
+	Work  int64
+	Sched int64
+	Idle  int64
+}
+
+// Stats aggregates a run.
+type Stats struct {
+	Makespan  int64 // T_P: virtual time when the root returned
+	PerWorker []WorkerStats
+
+	Steals         int64 // successful deque steals
+	StealAttempts  int64 // all steal attempts, successful or not
+	FailedSteals   int64
+	Promotions     int64 // shadow-to-full promotions
+	MailboxSteals  int64 // frames taken from another worker's mailbox
+	MailboxSelf    int64 // frames taken from the worker's own mailbox
+	Pushes         int64 // successful mailbox deposits
+	PushAttempts   int64
+	PushOverflows  int64 // frames that hit the pushing threshold
+	NontrivialSync int64
+	SuspendedSync  int64
+	Spawns         int64
+	FramesRun      int64 // successful CHECKPARENT resumptions
+	Events         int64
+	// RemoteResumes counts frames resumed on a socket other than their
+	// designated place (load balancing overriding the hint).
+	RemoteResumes int64
+	// LocalResumes counts placed frames resumed on their designated socket.
+	LocalResumes int64
+}
+
+// WorkTotal sums work time over workers (the paper's W_P).
+func (s *Stats) WorkTotal() int64 { return s.sum(func(w WorkerStats) int64 { return w.Work }) }
+
+// SchedTotal sums scheduling time over workers (S_P).
+func (s *Stats) SchedTotal() int64 { return s.sum(func(w WorkerStats) int64 { return w.Sched }) }
+
+// IdleTotal sums idle time over workers (I_P).
+func (s *Stats) IdleTotal() int64 { return s.sum(func(w WorkerStats) int64 { return w.Idle }) }
+
+func (s *Stats) sum(f func(WorkerStats) int64) int64 {
+	var t int64
+	for _, w := range s.PerWorker {
+		t += f(w)
+	}
+	return t
+}
+
+// nextAction mirrors the pseudocode's next_action variable.
+type nextAction int
+
+const (
+	actionSteal nextAction = iota
+	actionCheckParent
+)
+
+// worker is the engine-side state of one logical worker.
+type worker struct {
+	id     int
+	core   int
+	socket int
+	deque  *deque.Deque[*Frame]
+	// mailbox holds ready full frames deposited by work pushing. The
+	// paper's mailbox has exactly one entry; larger capacities exist only
+	// for the ablation study.
+	mailbox []*Frame
+
+	clock    int64
+	run      *Frame // frame to execute at the next event, if any
+	pending  *Yield // a finished strand's event, to apply at its end time
+	next     nextAction
+	check    *Frame // parent to CHECKPARENT, if next == actionCheckParent
+	stats    WorkerStats
+	weights  []float64 // per-victim steal weights (biased policy)
+	uweights []float64 // uniform weights
+}
+
+func (w *worker) mailboxFull() bool  { return len(w.mailbox) == cap(w.mailbox) }
+func (w *worker) mailboxEmpty() bool { return len(w.mailbox) == 0 }
+
+// Engine runs one computation under one scheduler configuration.
+type Engine struct {
+	cfg     Config
+	runner  Runner
+	rng     *sim.RNG
+	q       sim.Queue
+	workers []*worker
+	stats   Stats
+	done    bool
+	finish  int64
+}
+
+// NewEngine builds an engine. The configuration is validated and defaulted.
+func NewEngine(cfg Config, r Runner) *Engine {
+	if cfg.Topology == nil {
+		panic("sched: Config.Topology is required")
+	}
+	if cfg.Workers <= 0 || cfg.Workers > cfg.Topology.Cores() {
+		panic(fmt.Sprintf("sched: %d workers invalid for a %d-core machine", cfg.Workers, cfg.Topology.Cores()))
+	}
+	c := cfg.withDefaults()
+	e := &Engine{cfg: c, runner: r, rng: sim.NewRNG(c.Seed)}
+	e.workers = make([]*worker, c.Workers)
+	for i := range e.workers {
+		w := &worker{
+			id:      i,
+			core:    c.Placement.Core[i],
+			socket:  c.Placement.Socket[i],
+			deque:   deque.New[*Frame](0),
+			mailbox: make([]*Frame, 0, c.MailboxCapacity),
+		}
+		e.workers[i] = w
+	}
+	// Precompute steal weights per thief: weights[v] over victims v != thief.
+	for _, w := range e.workers {
+		w.weights = make([]float64, c.Workers)
+		w.uweights = make([]float64, c.Workers)
+		for v := range e.workers {
+			if v == w.id {
+				continue // self weight stays 0: a worker never steals from itself
+			}
+			hop := c.Topology.Distance(w.socket, e.workers[v].socket)
+			w.weights[v] = c.BiasWeights[hop]
+			w.uweights[v] = 1
+		}
+	}
+	return e
+}
+
+// CoreOf reports the machine core that worker w is pinned to; the execution
+// layer uses it to charge memory accesses to the right cache.
+func (e *Engine) CoreOf(w int) int { return e.workers[w].core }
+
+// ClockOf reports worker w's current virtual time; the execution layer uses
+// it to timestamp a resumed strand's memory accesses.
+func (e *Engine) ClockOf(w int) int64 { return e.workers[w].clock }
+
+// SocketOf reports worker w's socket.
+func (e *Engine) SocketOf(w int) int { return e.workers[w].socket }
+
+// Workers reports the worker count.
+func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// Places reports the number of virtual places: one per socket that hosts at
+// least one worker ("threads on a given socket [form] a single group; each
+// group forms a virtual place").
+func (e *Engine) Places() int { return e.cfg.Placement.Used }
+
+// Run executes the computation rooted at root to completion and returns the
+// collected statistics. Worker 0 starts with the root, mirroring the
+// runtime "always pins the worker who started the root computation at the
+// first core on the first socket"; all other workers start stealing.
+func (e *Engine) Run(root *Frame) *Stats {
+	if !root.Root {
+		panic("sched: Run requires a root frame (NewRootFrame)")
+	}
+	e.done = false
+	e.stats = Stats{}
+	e.workers[0].run = root
+	for _, w := range e.workers {
+		w.next = actionSteal
+		e.q.Push(w.clock, w.id)
+	}
+	for !e.done && e.q.Len() > 0 {
+		e.stats.Events++
+		if e.stats.Events > e.cfg.MaxEvents {
+			panic(fmt.Sprintf("sched: exceeded %d events; computation appears stuck", e.cfg.MaxEvents))
+		}
+		at, id := e.q.Pop()
+		w := e.workers[id]
+		if at > w.clock {
+			w.clock = at
+		}
+		switch {
+		case w.pending != nil:
+			y := *w.pending
+			w.pending = nil
+			e.apply(w, y)
+		case w.run != nil:
+			e.execute(w)
+		default:
+			e.schedule(w)
+		}
+		if !e.done {
+			e.q.Push(w.clock, w.id)
+		}
+	}
+	e.stats.Makespan = e.finish
+	e.stats.PerWorker = make([]WorkerStats, len(e.workers))
+	for i, w := range e.workers {
+		st := w.stats
+		// Account the tail gap between a worker's last event and the end
+		// of the run as idle time, so Work+Sched+Idle ≈ P * T_P.
+		if w.clock < e.finish {
+			st.Idle += e.finish - w.clock
+		}
+		e.stats.PerWorker[i] = st
+	}
+	return &e.stats
+}
+
+// execute advances w's assigned frame by one strand. The resulting
+// scheduling event (push, pop, sync check) is deferred to the strand's
+// completion time: the strand occupies [clock, clock+cost), and other
+// workers' events inside that window must observe the deque as it was when
+// the strand began — otherwise a long strand would, for example, pop its
+// parent continuation "at" its start and collapse the steal window to
+// nothing.
+func (e *Engine) execute(w *worker) {
+	f := w.run
+	start := w.clock
+	y := e.runner.Resume(w.id, f)
+	w.clock += y.Cost
+	w.stats.Work += y.Cost
+	w.pending = &y
+	if e.cfg.Tracer != nil && w.clock > start {
+		e.cfg.Tracer.Span(w.id, start, w.clock, TraceWork)
+	}
+}
+
+// apply performs the scheduling event a completed strand ended with
+// (Fig. 2 spawn/return handling, Fig. 5 sync handling).
+func (e *Engine) apply(w *worker, y Yield) {
+	f := w.run
+	start := w.clock
+	defer func() {
+		if e.cfg.Tracer != nil && w.clock > start {
+			// Spawn and return handling is work-path cost (the engine
+			// charges it to the work term); sync handling is steal-path.
+			kind := TraceWork
+			if y.Kind == YieldSync {
+				kind = TraceBookkeeping
+			}
+			e.cfg.Tracer.Span(w.id, start, w.clock, kind)
+		}
+	}()
+	switch y.Kind {
+	case YieldSpawn:
+		e.onSpawn(w, f, y.Child)
+	case YieldReturn:
+		e.onReturn(w, f)
+	case YieldSync:
+		e.onSync(w, f)
+	case YieldCall:
+		// A plain call: the callee runs next on this worker; the caller's
+		// continuation is not stealable (nothing is pushed). No cost — a
+		// call is just a function call.
+		w.run = y.Child
+	default:
+		panic(fmt.Sprintf("sched: unknown yield kind %v", y.Kind))
+	}
+}
+
+// onSpawn implements "F spawns G": push F's continuation at the tail, keep
+// executing G. With the EagerPush ablation enabled, a mis-placed child is
+// instead pushed to its designated socket right here — on the work path —
+// which is exactly the overhead the work-first principle forbids.
+func (e *Engine) onSpawn(w *worker, parent, child *Frame) {
+	e.stats.Spawns++
+	w.clock += e.cfg.SpawnCost
+	w.stats.Work += e.cfg.SpawnCost
+	parent.children++
+
+	if e.cfg.EagerPush && e.cfg.Policy == PolicyNUMAWS &&
+		child.Place != PlaceAny && child.Place != w.socket {
+		// Work-path pushing (the anti-pattern): promote the child so it can
+		// run detached, then push it toward its socket. The cost lands on
+		// the work term because the worker doing useful work pays it, which
+		// is exactly what the work-first principle forbids.
+		parent.full = true
+		parent.stolen = true // the detached child makes the next sync nontrivial
+		child.full = true
+		cost, ok := e.tryPush(child)
+		w.clock += cost
+		w.stats.Work += cost // charged to work: this is the point of the ablation
+		if ok {
+			w.run = parent // parent continues; child runs remotely
+			return
+		}
+		child.full = false // fall back to the normal spawn path below
+	}
+
+	w.deque.PushTail(parent)
+	w.run = child
+}
+
+// onReturn implements "G returns to its spawning parent F".
+func (e *Engine) onReturn(w *worker, f *Frame) {
+	w.clock += e.cfg.ReturnCost
+	w.stats.Work += e.cfg.ReturnCost
+	if f.Root {
+		e.done = true
+		e.finish = w.clock
+		w.run = nil
+		return
+	}
+	if f.called {
+		// Returning from a plain call: resume the caller right here (its
+		// continuation was never stealable, and whichever worker finishes
+		// the callee carries the caller forward).
+		w.run = f.Parent
+		return
+	}
+	parent := f.Parent
+	parent.children--
+	if popped, ok := w.deque.PopTail(); ok {
+		if popped != parent {
+			panic("sched: deque tail is not the returning child's parent")
+		}
+		w.run = parent
+		return
+	}
+	// Parent was stolen; the deque is empty. Check whether we are the last
+	// returning child (scheduling loop CHECK_PARENT).
+	w.run = nil
+	w.next = actionCheckParent
+	w.check = parent
+}
+
+// onSync implements "F executes cilk_sync" per Fig. 5: trivial for
+// non-stolen frames (work path untouched); otherwise a nontrivial sync that
+// may succeed (and, under NUMA-WS, push the synched frame home) or suspend.
+func (e *Engine) onSync(w *worker, f *Frame) {
+	if !f.stolen && f.children == 0 {
+		// Nothing to do: a frame that has not been stolen since its last
+		// sync has no outstanding children (its spawns all returned via
+		// local pops), so the sync is a no-op on the work path. The
+		// children check only matters under the EagerPush ablation, where
+		// detached children can exist without a steal.
+		w.run = f
+		return
+	}
+	w.clock += e.cfg.SyncCheckCost
+	w.stats.Sched += e.cfg.SyncCheckCost
+	e.stats.NontrivialSync++
+	if f.children == 0 {
+		// CHECKSYNC succeeded.
+		f.stolen = false
+		if e.pushHomeIfForeign(w, f) {
+			w.run = nil
+			w.next = actionSteal
+			return
+		}
+		w.run = f
+		return
+	}
+	// Outstanding children: suspend and go steal. A suspended frame needs
+	// full-frame bookkeeping (its children will resume it from other
+	// workers).
+	e.stats.SuspendedSync++
+	f.suspended = true
+	f.full = true
+	w.run = nil
+	w.next = actionSteal
+}
+
+// pushHomeIfForeign applies Fig. 5's PUSHBACK on a ready full frame that is
+// earmarked for a different socket. It reports whether the frame was handed
+// away (in which case the caller must not run it). Costs are charged to the
+// scheduling term — this is a steal-path event.
+func (e *Engine) pushHomeIfForeign(w *worker, f *Frame) bool {
+	if e.cfg.Policy != PolicyNUMAWS || e.cfg.DisableMailbox {
+		return false
+	}
+	if f.Place == PlaceAny || f.Place == w.socket {
+		return false
+	}
+	cost, ok := e.tryPush(f)
+	w.clock += cost
+	w.stats.Sched += cost
+	return ok
+}
+
+// tryPush performs PUSHBACK(F): repeatedly pick a random worker on F's
+// designated socket and try to deposit F in its mailbox; each failure
+// increments the frame's counter, and once the counter exceeds the pushing
+// threshold the push gives up (the caller resumes F itself). Returns the
+// total cycle cost of the attempts and whether F was deposited.
+func (e *Engine) tryPush(f *Frame) (int64, bool) {
+	candidates := e.cfg.Placement.WorkersOn(f.Place)
+	var cost int64
+	if len(candidates) == 0 {
+		// The designated socket hosts no workers in this run (fewer sockets
+		// in use than places the program named); treat as threshold
+		// overflow.
+		e.stats.PushOverflows++
+		return 0, false
+	}
+	for {
+		e.stats.PushAttempts++
+		cost += e.cfg.PushAttemptCost
+		r := e.workers[candidates[e.rng.Intn(len(candidates))]]
+		if !r.mailboxFull() {
+			r.mailbox = append(r.mailbox, f)
+			e.stats.Pushes++
+			return cost, true
+		}
+		f.pushCount++
+		if f.pushCount > e.cfg.PushThreshold {
+			e.stats.PushOverflows++
+			return cost, false
+		}
+	}
+}
+
+// schedule runs one iteration of the scheduling loop (Fig. 2 lines 19-25,
+// Fig. 5 lines 17-29) for a worker with no assigned frame.
+func (e *Engine) schedule(w *worker) {
+	var frame *Frame
+	start := w.clock
+	defer func() {
+		if e.cfg.Tracer != nil && w.clock > start {
+			kind := TraceIdle
+			if frame != nil {
+				kind = TraceBookkeeping
+			}
+			e.cfg.Tracer.Span(w.id, start, w.clock, kind)
+		}
+	}()
+
+	if w.next == actionCheckParent {
+		// CHECKPARENT: resume the suspended parent if we were its last
+		// returning child.
+		parent := w.check
+		w.check = nil
+		w.next = actionSteal
+		w.clock += e.cfg.SyncCheckCost
+		w.stats.Sched += e.cfg.SyncCheckCost
+		if parent.suspended && parent.children == 0 {
+			parent.suspended = false
+			parent.stolen = false // the sync completes as the frame resumes
+			frame = parent
+			e.stats.FramesRun++
+		}
+	}
+
+	// Fig. 5 lines 21-24: a resumed parent earmarked elsewhere is pushed
+	// home instead of run here.
+	if frame != nil && e.pushHomeIfForeign(w, frame) {
+		frame = nil
+	}
+
+	// In the faithful schedulers a worker reaches the scheduling loop only
+	// with an empty deque ("when a worker is about to return control back
+	// to the scheduling loop, its deque must be empty"). The EagerPush
+	// ablation breaks that invariant — a frame can suspend at a sync while
+	// its ancestors' continuations still sit in the deque — so resume the
+	// youngest such continuation before acquiring any unrelated work:
+	// running a mailbox or stolen frame on top of a non-empty deque would
+	// corrupt the pop-at-return pairing.
+	if frame == nil {
+		if popped, ok := w.deque.PopTail(); ok {
+			w.clock += e.cfg.SyncCheckCost
+			w.stats.Sched += e.cfg.SyncCheckCost
+			frame = popped
+		}
+	}
+
+	// Fig. 5 line 26: check our own mailbox before stealing.
+	if frame == nil && e.cfg.Policy == PolicyNUMAWS && !e.cfg.DisableMailbox && !w.mailboxEmpty() {
+		frame = e.popMailbox(w)
+		w.clock += e.cfg.MailboxPopCost
+		w.stats.Sched += e.cfg.MailboxPopCost
+		e.stats.MailboxSelf++
+	}
+
+	if frame == nil {
+		frame = e.steal(w)
+	}
+	if frame != nil {
+		e.noteResume(frame, w)
+	}
+	w.run = frame
+}
+
+func (e *Engine) noteResume(f *Frame, w *worker) {
+	if f.Place == PlaceAny {
+		return
+	}
+	if f.Place == w.socket {
+		e.stats.LocalResumes++
+	} else {
+		e.stats.RemoteResumes++
+	}
+}
+
+func (e *Engine) popMailbox(w *worker) *Frame {
+	f := w.mailbox[0]
+	copy(w.mailbox, w.mailbox[1:])
+	w.mailbox = w.mailbox[:len(w.mailbox)-1]
+	return f
+}
+
+// steal performs one steal attempt and returns the acquired frame or nil.
+// Under PolicyCilk this is RANDOMSTEAL; under PolicyNUMAWS it is
+// BIASEDSTEALWITHPUSH.
+func (e *Engine) steal(w *worker) *Frame {
+	if e.cfg.Workers == 1 {
+		// No victims exist; spin (costed) until our own work appears.
+		w.clock += e.cfg.StealAttemptCost
+		w.stats.Idle += e.cfg.StealAttemptCost
+		return nil
+	}
+	e.stats.StealAttempts++
+
+	weights := w.uweights
+	if e.cfg.Policy == PolicyNUMAWS && !e.cfg.DisableBias {
+		weights = w.weights
+	}
+	victim := e.workers[e.rng.Pick(weights)]
+	attemptCost := e.cfg.StealAttemptCost +
+		int64(e.cfg.Topology.Distance(w.socket, victim.socket))*e.cfg.StealHopCost
+	w.clock += attemptCost
+
+	if e.cfg.Policy != PolicyNUMAWS || e.cfg.DisableMailbox {
+		return e.stealDeque(w, victim, attemptCost)
+	}
+
+	// NUMA-WS: flip a coin between the victim's deque and its mailbox. The
+	// paper's analysis needs the deque reachable with probability 1/2 so
+	// the critical node at some deque head keeps probability >= 1/(2cP).
+	intoDeque := e.rng.Coin()
+	if e.cfg.DisableCoinFlip {
+		intoDeque = false // ablation: always look at the mailbox first
+	}
+	if intoDeque {
+		return e.stealDeque(w, victim, attemptCost)
+	}
+	if victim.mailboxEmpty() {
+		// Outcome 1: empty mailbox; fall back to the deque.
+		return e.stealDeque(w, victim, attemptCost)
+	}
+	f := e.popMailbox(victim)
+	if f.Place == PlaceAny || f.Place == w.socket {
+		// Outcome 2: earmarked for our socket; take it.
+		w.stats.Sched += attemptCost + e.cfg.MailboxPopCost
+		w.clock += e.cfg.MailboxPopCost
+		e.stats.MailboxSteals++
+		return f
+	}
+	// Outcome 3: earmarked for a different socket; we become the pusher.
+	cost, ok := e.tryPush(f)
+	w.clock += cost
+	w.stats.Sched += cost + attemptCost
+	if ok {
+		return nil
+	}
+	// Pushing threshold reached: take it ourselves.
+	e.stats.MailboxSteals++
+	return f
+}
+
+// stealDeque attempts to take the head of the victim's deque, promoting the
+// stolen frame, and — under NUMA-WS — pushing it home if it is earmarked for
+// a different socket.
+func (e *Engine) stealDeque(w, victim *worker, attemptCost int64) *Frame {
+	f, ok := victim.deque.StealHead()
+	if !ok {
+		w.stats.Idle += attemptCost
+		e.stats.FailedSteals++
+		return nil
+	}
+	if !f.full {
+		e.stats.Promotions++
+	}
+	f.promote()
+	w.clock += e.cfg.PromoteCost
+	w.stats.Sched += attemptCost + e.cfg.PromoteCost
+	e.stats.Steals++
+	if e.pushHomeIfForeign(w, f) {
+		return nil
+	}
+	return f
+}

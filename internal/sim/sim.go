@@ -1,0 +1,130 @@
+// Package sim provides the primitives of the deterministic discrete-event
+// simulation that replaces the paper's physical testbed: a virtual-time
+// priority queue of workers and a seeded random number generator.
+//
+// All scheduler randomness (victim selection, the deque-vs-mailbox coin
+// flip, receiver choice in work pushing) flows through one RNG, so a run is
+// a pure function of (program, configuration, seed). Ties in virtual time
+// are broken by worker id, which keeps the event order total.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is virtual time in cycles.
+type Time = int64
+
+// item is a queue entry: worker id scheduled to act at a virtual time.
+type item struct {
+	at Time
+	id int
+}
+
+// Queue is a min-heap of worker wakeups ordered by (time, id). The zero
+// value is ready to use.
+type Queue struct {
+	h itemHeap
+}
+
+type itemHeap []item
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].id < h[j].id
+}
+func (h itemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
+func (h *itemHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Push schedules worker id to act at virtual time at.
+func (q *Queue) Push(at Time, id int) {
+	if at < 0 {
+		panic(fmt.Sprintf("sim: negative time %d", at))
+	}
+	heap.Push(&q.h, item{at: at, id: id})
+}
+
+// Pop removes and returns the earliest (time, id) entry. It panics on an
+// empty queue; callers gate on Len.
+func (q *Queue) Pop() (Time, int) {
+	if len(q.h) == 0 {
+		panic("sim: pop from empty queue")
+	}
+	it := heap.Pop(&q.h).(item)
+	return it.at, it.id
+}
+
+// Peek reports the earliest entry without removing it.
+func (q *Queue) Peek() (Time, int) {
+	if len(q.h) == 0 {
+		panic("sim: peek at empty queue")
+	}
+	return q.h[0].at, q.h[0].id
+}
+
+// Len reports the number of queued entries.
+func (q *Queue) Len() int { return len(q.h) }
+
+// RNG is the seeded source of all scheduler randomness.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic RNG for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Intn returns a uniform integer in [0, n). n must be positive.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a non-negative pseudo-random 63-bit integer.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Float64 returns a uniform float in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Coin returns true with probability 1/2 — the NUMA-WS thief's choice
+// between a victim's deque and its mailbox.
+func (g *RNG) Coin() bool { return g.r.Intn(2) == 0 }
+
+// Pick returns an index in [0, len(weights)) chosen with probability
+// proportional to weights[i]. Weights must be non-negative with a positive
+// sum. This implements the locality-biased victim distribution.
+func (g *RNG) Pick(weights []float64) int {
+	var sum float64
+	for i, w := range weights {
+		if w < 0 {
+			panic(fmt.Sprintf("sim: negative weight %f at %d", w, i))
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		panic("sim: weights sum to zero")
+	}
+	x := g.r.Float64() * sum
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1 // floating-point slack
+}
+
+// Shuffle permutes the ints in place.
+func (g *RNG) Shuffle(xs []int) {
+	g.r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

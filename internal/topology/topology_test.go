@@ -1,0 +1,234 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestXeonE5_4620(t *testing.T) {
+	top := XeonE5_4620()
+	if got, want := top.Sockets(), 4; got != want {
+		t.Errorf("Sockets() = %d, want %d", got, want)
+	}
+	if got, want := top.CoresPerSocket(), 8; got != want {
+		t.Errorf("CoresPerSocket() = %d, want %d", got, want)
+	}
+	if got, want := top.Cores(), 32; got != want {
+		t.Errorf("Cores() = %d, want %d", got, want)
+	}
+	if got, want := top.MaxDistance(), 2; got != want {
+		t.Errorf("MaxDistance() = %d, want %d", got, want)
+	}
+	// Fig. 1: sockets 0 and 3 are two hops apart, 0 and 1 one hop.
+	if got := top.Distance(0, 3); got != 2 {
+		t.Errorf("Distance(0,3) = %d, want 2", got)
+	}
+	if got := top.Distance(0, 1); got != 1 {
+		t.Errorf("Distance(0,1) = %d, want 1", got)
+	}
+	if got := top.Distance(2, 2); got != 0 {
+		t.Errorf("Distance(2,2) = %d, want 0", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		sockets int
+		cores   int
+		dist    [][]int
+	}{
+		{"zero sockets", 0, 8, nil},
+		{"zero cores", 2, 0, [][]int{{0, 1}, {1, 0}}},
+		{"wrong rows", 2, 4, [][]int{{0, 1}}},
+		{"wrong cols", 2, 4, [][]int{{0, 1}, {1}}},
+		{"nonzero diagonal", 2, 4, [][]int{{1, 1}, {1, 0}}},
+		{"asymmetric", 2, 4, [][]int{{0, 1}, {2, 0}}},
+		{"nonpositive off-diagonal", 2, 4, [][]int{{0, 0}, {0, 0}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(tc.sockets, tc.cores, tc.dist); err == nil {
+				t.Errorf("New(%d, %d, %v) succeeded, want error", tc.sockets, tc.cores, tc.dist)
+			}
+		})
+	}
+}
+
+func TestNewCopiesDistance(t *testing.T) {
+	dist := [][]int{{0, 1}, {1, 0}}
+	top := MustNew(2, 2, dist)
+	dist[0][1] = 99
+	if got := top.Distance(0, 1); got != 1 {
+		t.Errorf("Distance(0,1) = %d after caller mutation, want 1 (matrix must be copied)", got)
+	}
+}
+
+func TestSocketOf(t *testing.T) {
+	top := XeonE5_4620()
+	cases := []struct{ core, socket int }{
+		{0, 0}, {7, 0}, {8, 1}, {15, 1}, {16, 2}, {23, 2}, {24, 3}, {31, 3},
+	}
+	for _, tc := range cases {
+		if got := top.SocketOf(tc.core); got != tc.socket {
+			t.Errorf("SocketOf(%d) = %d, want %d", tc.core, got, tc.socket)
+		}
+	}
+}
+
+func TestSocketOfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SocketOf(32) did not panic")
+		}
+	}()
+	XeonE5_4620().SocketOf(32)
+}
+
+func TestCoresOn(t *testing.T) {
+	top := XeonE5_4620()
+	got := top.CoresOn(2)
+	want := []int{16, 17, 18, 19, 20, 21, 22, 23}
+	if len(got) != len(want) {
+		t.Fatalf("CoresOn(2) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CoresOn(2) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPackTight(t *testing.T) {
+	top := XeonE5_4620()
+	// Fig. 9: "for 24 cores, 3 sockets are used."
+	pl := top.Pack(24)
+	if pl.Used != 3 {
+		t.Errorf("Pack(24).Used = %d, want 3", pl.Used)
+	}
+	pl = top.Pack(8)
+	if pl.Used != 1 {
+		t.Errorf("Pack(8).Used = %d, want 1", pl.Used)
+	}
+	pl = top.Pack(9)
+	if pl.Used != 2 {
+		t.Errorf("Pack(9).Used = %d, want 2", pl.Used)
+	}
+	// Worker 0 pins to the first core of the first socket (root worker rule).
+	if pl.Core[0] != 0 || pl.Socket[0] != 0 {
+		t.Errorf("Pack: worker 0 at core %d socket %d, want core 0 socket 0", pl.Core[0], pl.Socket[0])
+	}
+}
+
+func TestSpreadEven(t *testing.T) {
+	top := XeonE5_4620()
+	pl := top.Spread(32)
+	if pl.Used != 4 {
+		t.Errorf("Spread(32).Used = %d, want 4", pl.Used)
+	}
+	for s := 0; s < 4; s++ {
+		if got := len(pl.WorkersOn(s)); got != 8 {
+			t.Errorf("Spread(32): socket %d has %d workers, want 8", s, got)
+		}
+	}
+	pl = top.Spread(6)
+	for s := 0; s < 4; s++ {
+		n := len(pl.WorkersOn(s))
+		if n < 1 || n > 2 {
+			t.Errorf("Spread(6): socket %d has %d workers, want 1 or 2", s, n)
+		}
+	}
+}
+
+func TestSpreadSpillsWhenSocketFull(t *testing.T) {
+	top := TwoSocket(2) // 4 cores total
+	pl := top.Spread(4)
+	if got := len(pl.WorkersOn(0)); got != 2 {
+		t.Errorf("Spread(4) on 2x2: socket 0 has %d workers, want 2", got)
+	}
+	if got := len(pl.WorkersOn(1)); got != 2 {
+		t.Errorf("Spread(4) on 2x2: socket 1 has %d workers, want 2", got)
+	}
+	// All cores distinct.
+	seen := map[int]bool{}
+	for _, c := range pl.Core {
+		if seen[c] {
+			t.Errorf("Spread(4): core %d assigned twice", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestPackPanicsOnTooMany(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Pack(33) did not panic")
+		}
+	}()
+	XeonE5_4620().Pack(33)
+}
+
+// Property: for any worker count, Pack assigns distinct cores, socket ids
+// consistent with SocketOf, and uses ceil(p/coresPerSocket) sockets.
+func TestPackProperties(t *testing.T) {
+	top := XeonE5_4620()
+	f := func(raw uint8) bool {
+		p := int(raw)%top.Cores() + 1
+		pl := top.Pack(p)
+		seen := map[int]bool{}
+		for w := 0; w < p; w++ {
+			if seen[pl.Core[w]] {
+				return false
+			}
+			seen[pl.Core[w]] = true
+			if top.SocketOf(pl.Core[w]) != pl.Socket[w] {
+				return false
+			}
+		}
+		want := (p + top.CoresPerSocket() - 1) / top.CoresPerSocket()
+		return pl.Used == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Spread never assigns the same core twice and balances within 1.
+func TestSpreadProperties(t *testing.T) {
+	top := XeonE5_4620()
+	f := func(raw uint8) bool {
+		p := int(raw)%top.Cores() + 1
+		pl := top.Spread(p)
+		seen := map[int]bool{}
+		min, max := top.Cores(), 0
+		for s := 0; s < top.Sockets(); s++ {
+			n := len(pl.WorkersOn(s))
+			if n < min {
+				min = n
+			}
+			if n > max {
+				max = n
+			}
+		}
+		for _, c := range pl.Core {
+			if seen[c] {
+				return false
+			}
+			seen[c] = true
+		}
+		return max-min <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := XeonE5_4620().String()
+	for _, want := range []string{"4 sockets x 8 cores", "Socket 0", "Socket 3", "cores 24-31", "node distances"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q in:\n%s", want, s)
+		}
+	}
+}

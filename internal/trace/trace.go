@@ -1,0 +1,154 @@
+// Package trace records and renders per-worker execution timelines from the
+// scheduler engine — the visualization behind the paper's Fig. 3/Fig. 8 time
+// breakdown: where each worker's cycles went (useful work, scheduler
+// bookkeeping, idle probing) over the course of a run.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sched"
+)
+
+// span is one recorded interval.
+type span struct {
+	worker     int
+	start, end int64
+	kind       sched.TraceKind
+}
+
+// Timeline implements sched.Tracer: it records spans and renders them.
+type Timeline struct {
+	workers int
+	spans   []span
+	last    int64
+}
+
+var _ sched.Tracer = (*Timeline)(nil)
+
+// New returns a timeline for a machine with the given worker count.
+func New(workers int) *Timeline {
+	return &Timeline{workers: workers}
+}
+
+// Span implements sched.Tracer.
+func (t *Timeline) Span(worker int, start, end int64, kind sched.TraceKind) {
+	if worker < 0 || worker >= t.workers || end <= start {
+		return
+	}
+	t.spans = append(t.spans, span{worker: worker, start: start, end: end, kind: kind})
+	if end > t.last {
+		t.last = end
+	}
+}
+
+// Spans reports the number of recorded spans.
+func (t *Timeline) Spans() int { return len(t.spans) }
+
+// End reports the latest recorded time.
+func (t *Timeline) End() int64 { return t.last }
+
+// Totals sums recorded cycles per kind for one worker (or all workers if
+// worker < 0).
+func (t *Timeline) Totals(worker int) (work, book, idle int64) {
+	for _, s := range t.spans {
+		if worker >= 0 && s.worker != worker {
+			continue
+		}
+		d := s.end - s.start
+		switch s.kind {
+		case sched.TraceWork:
+			work += d
+		case sched.TraceBookkeeping:
+			book += d
+		default:
+			idle += d
+		}
+	}
+	return work, book, idle
+}
+
+// Utilization reports the fraction of [0, End] each worker spent on useful
+// work.
+func (t *Timeline) Utilization() []float64 {
+	out := make([]float64, t.workers)
+	if t.last == 0 {
+		return out
+	}
+	for w := 0; w < t.workers; w++ {
+		work, _, _ := t.Totals(w)
+		out[w] = float64(work) / float64(t.last)
+	}
+	return out
+}
+
+// Render draws the timeline as one row per worker over `cols` time buckets.
+// Each bucket shows the dominant activity: '#' work, '+' bookkeeping,
+// '.' idle probing, ' ' nothing recorded.
+func (t *Timeline) Render(cols int) string {
+	if cols < 1 {
+		cols = 64
+	}
+	if t.last == 0 {
+		return "(empty timeline)\n"
+	}
+	// buckets[w][c][kind] accumulates cycles.
+	buckets := make([][][3]int64, t.workers)
+	for w := range buckets {
+		buckets[w] = make([][3]int64, cols)
+	}
+	scale := float64(cols) / float64(t.last)
+	for _, s := range t.spans {
+		k := int(s.kind)
+		if k > 2 {
+			k = 2
+		}
+		// Distribute the span's cycles across the buckets it overlaps.
+		c0 := int(float64(s.start) * scale)
+		c1 := int(float64(s.end-1) * scale)
+		if c1 >= cols {
+			c1 = cols - 1
+		}
+		for c := c0; c <= c1; c++ {
+			bLo := int64(float64(c) / scale)
+			bHi := int64(float64(c+1) / scale)
+			lo, hi := s.start, s.end
+			if bLo > lo {
+				lo = bLo
+			}
+			if bHi < hi {
+				hi = bHi
+			}
+			if hi > lo {
+				buckets[s.worker][c][k] += hi - lo
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline: %d cycles across %d workers ('#' work, '+' bookkeeping, '.' idle)\n", t.last, t.workers)
+	for w := 0; w < t.workers; w++ {
+		fmt.Fprintf(&b, "w%-3d |", w)
+		for c := 0; c < cols; c++ {
+			bb := buckets[w][c]
+			switch {
+			case bb[0] == 0 && bb[1] == 0 && bb[2] == 0:
+				b.WriteByte(' ')
+			case bb[0] >= bb[1] && bb[0] >= bb[2]:
+				b.WriteByte('#')
+			case bb[1] >= bb[2]:
+				b.WriteByte('+')
+			default:
+				b.WriteByte('.')
+			}
+		}
+		work, book, idle := t.Totals(w)
+		total := work + book + idle
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(work) / float64(total)
+		}
+		fmt.Fprintf(&b, "| %5.1f%% work (w=%d b=%d i=%d)\n", pct, work, book, idle)
+	}
+	return b.String()
+}

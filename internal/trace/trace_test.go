@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/topology"
+)
+
+func TestSpanRecordingAndTotals(t *testing.T) {
+	tl := New(2)
+	tl.Span(0, 0, 100, sched.TraceWork)
+	tl.Span(0, 100, 130, sched.TraceBookkeeping)
+	tl.Span(1, 0, 80, sched.TraceIdle)
+	if tl.Spans() != 3 {
+		t.Errorf("Spans() = %d, want 3", tl.Spans())
+	}
+	if tl.End() != 130 {
+		t.Errorf("End() = %d, want 130", tl.End())
+	}
+	work, book, idle := tl.Totals(0)
+	if work != 100 || book != 30 || idle != 0 {
+		t.Errorf("worker 0 totals = (%d,%d,%d), want (100,30,0)", work, book, idle)
+	}
+	work, book, idle = tl.Totals(-1)
+	if work != 100 || book != 30 || idle != 80 {
+		t.Errorf("all totals = (%d,%d,%d), want (100,30,80)", work, book, idle)
+	}
+}
+
+func TestInvalidSpansIgnored(t *testing.T) {
+	tl := New(2)
+	tl.Span(-1, 0, 10, sched.TraceWork)
+	tl.Span(5, 0, 10, sched.TraceWork)
+	tl.Span(0, 10, 10, sched.TraceWork) // zero length
+	tl.Span(0, 10, 5, sched.TraceWork)  // negative length
+	if tl.Spans() != 0 {
+		t.Errorf("invalid spans were recorded: %d", tl.Spans())
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	tl := New(2)
+	tl.Span(0, 0, 100, sched.TraceWork)
+	tl.Span(1, 0, 50, sched.TraceWork)
+	tl.Span(1, 50, 100, sched.TraceIdle)
+	u := tl.Utilization()
+	if u[0] != 1.0 || u[1] != 0.5 {
+		t.Errorf("utilization = %v, want [1.0, 0.5]", u)
+	}
+}
+
+func TestRenderShape(t *testing.T) {
+	tl := New(2)
+	tl.Span(0, 0, 1000, sched.TraceWork)
+	tl.Span(1, 0, 500, sched.TraceIdle)
+	tl.Span(1, 500, 1000, sched.TraceBookkeeping)
+	out := tl.Render(20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("render has %d lines, want header + 2 workers:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "####") {
+		t.Errorf("worker 0 row lacks work marks: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], ".") || !strings.Contains(lines[2], "+") {
+		t.Errorf("worker 1 row lacks idle/bookkeeping marks: %q", lines[2])
+	}
+	if Timeline := New(1); !strings.Contains(Timeline.Render(10), "empty") {
+		t.Error("empty timeline should render a placeholder")
+	}
+}
+
+// TestEndToEndWithEngine traces a real engine run and checks the recorded
+// totals agree with the engine's own accounting.
+func TestEndToEndWithEngine(t *testing.T) {
+	tl := New(8)
+	cfg := sched.Config{
+		Topology: topology.XeonE5_4620(),
+		Workers:  8,
+		Policy:   sched.PolicyNUMAWS,
+		Seed:     5,
+		Tracer:   tl,
+	}
+	r := &fanoutRunner{depth: 5, leafCost: 2000}
+	e := sched.NewEngine(cfg, r)
+	st := e.Run(sched.NewRootFrame(sched.PlaceAny))
+
+	work, _, _ := tl.Totals(-1)
+	if work != st.WorkTotal() {
+		t.Errorf("traced work %d != engine work %d", work, st.WorkTotal())
+	}
+	if tl.End() < st.Makespan {
+		t.Errorf("trace end %d before makespan %d", tl.End(), st.Makespan)
+	}
+	if tl.Spans() == 0 {
+		t.Fatal("no spans recorded")
+	}
+	out := tl.Render(60)
+	if !strings.Contains(out, "w0") || !strings.Contains(out, "w7") {
+		t.Errorf("render missing worker rows:\n%s", out)
+	}
+}
+
+// fanoutRunner is a tiny scripted binary tree for the end-to-end test.
+type fanoutRunner struct {
+	depth    int
+	leafCost int64
+}
+
+type fanoutState struct {
+	depth   int
+	spawned bool
+	synced  bool
+}
+
+func (r *fanoutRunner) Resume(w int, f *sched.Frame) sched.Yield {
+	st, _ := f.Data.(*fanoutState)
+	if st == nil {
+		st = &fanoutState{depth: r.depth}
+		f.Data = st
+	}
+	if st.depth == 0 {
+		return sched.Yield{Kind: sched.YieldReturn, Cost: r.leafCost}
+	}
+	if !st.spawned {
+		st.spawned = true
+		child := sched.NewFrame(f, sched.PlaceAny)
+		child.Data = &fanoutState{depth: st.depth - 1}
+		return sched.Yield{Kind: sched.YieldSpawn, Cost: 10, Child: child}
+	}
+	if !st.synced {
+		st.synced = true
+		// Run the second half in this frame via a call.
+		child := sched.NewCalledFrame(f, f.Place)
+		child.Data = &fanoutState{depth: st.depth - 1}
+		return sched.Yield{Kind: sched.YieldCall, Cost: 10, Child: child}
+	}
+	if st.depth > 0 && st.synced && st.spawned {
+		st.depth = -1 // mark sync emitted next time
+		return sched.Yield{Kind: sched.YieldSync, Cost: 10}
+	}
+	return sched.Yield{Kind: sched.YieldReturn, Cost: 10}
+}

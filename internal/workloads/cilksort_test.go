@@ -1,0 +1,143 @@
+package workloads
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+func runSort(t *testing.T, n, base, p int, pol sched.Policy, aware bool) *Cilksort {
+	t.Helper()
+	w := NewCilksort(n, base, Config{Aware: aware, Seed: 11})
+	rt := newWorkloadRT(p, pol)
+	w.Prepare(rt)
+	if p == 1 {
+		rt.RunSerial(w.Root())
+	} else {
+		rt.Run(w.Root())
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestCilksortTinyInput(t *testing.T) {
+	// Below the base case: the top-level falls straight into quicksort.
+	runSort(t, 7, 64, 1, sched.PolicyCilk, false)
+	runSort(t, 7, 64, 8, sched.PolicyCilk, false)
+}
+
+func TestCilksortNonDivisibleLength(t *testing.T) {
+	// n % 4 != 0 exercises the "last quarter is larger" paths.
+	for _, n := range []int{1001, 4099, 65537} {
+		runSort(t, n, 256, 8, sched.PolicyNUMAWS, true)
+	}
+}
+
+func TestCilksortMinimumBase(t *testing.T) {
+	// Constructor clamps base below 8.
+	w := NewCilksort(100, 1, Config{Seed: 1})
+	if w.base != 8 {
+		t.Errorf("base = %d, want clamped to 8", w.base)
+	}
+}
+
+func TestCilksortAdversarialInputs(t *testing.T) {
+	// Already-sorted, reverse-sorted, and constant arrays via manual fill.
+	for name, fill := range map[string]func(d []int64){
+		"sorted": func(d []int64) {
+			for i := range d {
+				d[i] = int64(i)
+			}
+		},
+		"reversed": func(d []int64) {
+			for i := range d {
+				d[i] = int64(len(d) - i)
+			}
+		},
+		"constant": func(d []int64) {
+			for i := range d {
+				d[i] = 42
+			}
+		},
+		"two-vals": func(d []int64) {
+			for i := range d {
+				d[i] = int64(i % 2)
+			}
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			w := NewCilksort(5000, 256, Config{Seed: 1})
+			rt := newWorkloadRT(16, sched.PolicyCilk)
+			w.Prepare(rt)
+			fill(w.in.Data)
+			w.orig = append(w.orig[:0], w.in.Data...)
+			rt.Run(w.Root())
+			if err := w.Verify(); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestCilksortResultIdenticalAcrossSchedules(t *testing.T) {
+	// The sorted output (a pure function of the input) must be identical
+	// no matter the scheduler or worker count.
+	a := runSort(t, 20000, 512, 1, sched.PolicyCilk, false)
+	b := runSort(t, 20000, 512, 32, sched.PolicyNUMAWS, true)
+	for i := range a.in.Data {
+		if a.in.Data[i] != b.in.Data[i] {
+			t.Fatalf("outputs diverge at %d", i)
+		}
+	}
+}
+
+func TestCilksortSortedRunsAreMergeable(t *testing.T) {
+	// White-box: seqmerge on crafted runs.
+	w := NewCilksort(64, 8, Config{Seed: 1})
+	rt := newWorkloadRT(1, sched.PolicyCilk)
+	w.Prepare(rt)
+	for i := 0; i < 32; i++ {
+		w.in.Data[i] = int64(2 * i)      // evens
+		w.in.Data[32+i] = int64(2*i + 1) // odds
+	}
+	rt.RunSerial(func(ctx core.Context) {
+		w.seqmerge(ctx, 0, 32, 32, 64, w.in, w.tmp, 0)
+	})
+	if !sort.SliceIsSorted(w.tmp.Data[:64], func(i, j int) bool { return w.tmp.Data[i] < w.tmp.Data[j] }) {
+		t.Errorf("seqmerge output not sorted: %v", w.tmp.Data[:16])
+	}
+}
+
+func TestCilksortParmergeEmptySide(t *testing.T) {
+	w := NewCilksort(64, 16, Config{Seed: 1})
+	rt := newWorkloadRT(1, sched.PolicyCilk)
+	w.Prepare(rt)
+	for i := 0; i < 32; i++ {
+		w.in.Data[i] = int64(i)
+	}
+	rt.RunSerial(func(ctx core.Context) {
+		// One side empty: must copy the other side verbatim.
+		w.parmerge(ctx, 0, 32, 32, 32, w.in, w.tmp, 0)
+	})
+	for i := 0; i < 32; i++ {
+		if w.tmp.Data[i] != int64(i) {
+			t.Fatalf("tmp[%d] = %d, want %d", i, w.tmp.Data[i], i)
+		}
+	}
+}
+
+func TestCilksortAwareBindsQuarters(t *testing.T) {
+	w := NewCilksort(1<<16, 512, Config{Aware: true, Seed: 1})
+	rt := newWorkloadRT(32, sched.PolicyNUMAWS)
+	w.Prepare(rt)
+	dist := w.in.R.Distribution(4)
+	for s := 0; s < 4; s++ {
+		if dist[s] == 0 {
+			t.Errorf("aware cilksort left socket %d with no pages: %v", s, dist)
+		}
+	}
+}

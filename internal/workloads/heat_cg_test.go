@@ -1,0 +1,155 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestHeatBoundariesFixed(t *testing.T) {
+	w := NewHeat(32, 32, 5, 4, Config{Seed: 1})
+	rt := newWorkloadRT(8, sched.PolicyCilk)
+	w.Prepare(rt)
+	rt.Run(w.Root())
+	if err := w.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	u := w.grid[w.cur].Data
+	for x := 0; x < 32; x++ {
+		if u[x] != 100 || u[31*32+x] != 100 {
+			t.Fatalf("boundary cell changed: top %g bottom %g", u[x], u[31*32+x])
+		}
+	}
+	for y := 0; y < 32; y++ {
+		if u[y*32] != 100 || u[y*32+31] != 100 {
+			t.Fatalf("boundary cell changed at row %d", y)
+		}
+	}
+}
+
+func TestHeatInteriorDiffuses(t *testing.T) {
+	w := NewHeat(32, 32, 10, 4, Config{Seed: 1})
+	rt := newWorkloadRT(4, sched.PolicyNUMAWS)
+	w.Prepare(rt)
+	before := w.grid[0].Data[5*32+5]
+	rt.Run(w.Root())
+	after := w.grid[w.cur].Data[5*32+5]
+	if before == after {
+		t.Error("interior cell unchanged after 10 steps; diffusion not happening")
+	}
+}
+
+func TestHeatSingleBand(t *testing.T) {
+	w := NewHeat(16, 16, 3, 1, Config{Seed: 2})
+	rt := newWorkloadRT(4, sched.PolicyCilk)
+	w.Prepare(rt)
+	rt.Run(w.Root())
+	if err := w.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeatMoreBandsThanRows(t *testing.T) {
+	// 10 interior rows split over 16 bands: some bands are empty.
+	w := NewHeat(12, 12, 3, 16, Config{Seed: 2})
+	rt := newWorkloadRT(8, sched.PolicyNUMAWS)
+	w.Prepare(rt)
+	rt.Run(w.Root())
+	if err := w.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeatZeroSteps(t *testing.T) {
+	w := NewHeat(16, 16, 0, 4, Config{Seed: 2})
+	rt := newWorkloadRT(4, sched.PolicyCilk)
+	w.Prepare(rt)
+	rt.Run(w.Root())
+	if err := w.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeatNonSquare(t *testing.T) {
+	w := NewHeat(24, 48, 4, 6, Config{Seed: 3})
+	rt := newWorkloadRT(8, sched.PolicyCilk)
+	w.Prepare(rt)
+	rt.Run(w.Root())
+	if err := w.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCGBitwiseIdenticalAcrossP(t *testing.T) {
+	// The banded reduction order makes CG's floats schedule-independent:
+	// x must be bitwise identical at P=1 and P=32.
+	run := func(p int, pol sched.Policy, aware bool) []float64 {
+		w := NewCG(512, 10, 6, 8, Config{Aware: aware, Seed: 4})
+		rt := newWorkloadRT(p, pol)
+		w.Prepare(rt)
+		if p == 1 {
+			rt.RunSerial(w.Root())
+		} else {
+			rt.Run(w.Root())
+		}
+		if err := w.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		return append([]float64(nil), w.x.Data...)
+	}
+	serial := run(1, sched.PolicyCilk, false)
+	par := run(32, sched.PolicyNUMAWS, true)
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("x[%d] differs: %g vs %g", i, serial[i], par[i])
+		}
+	}
+}
+
+func TestCGSingleBand(t *testing.T) {
+	w := NewCG(128, 8, 4, 1, Config{Seed: 5})
+	rt := newWorkloadRT(4, sched.PolicyCilk)
+	w.Prepare(rt)
+	rt.Run(w.Root())
+	if err := w.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCGMatrixShape(t *testing.T) {
+	w := NewCG(256, 12, 2, 4, Config{Seed: 6})
+	rt := newWorkloadRT(1, sched.PolicyCilk)
+	w.Prepare(rt)
+	// Every row has exactly nzRow entries with sorted unique columns
+	// including the diagonal, and is diagonally dominant.
+	for i := 0; i < 256; i++ {
+		lo, hi := int(w.rowptr.Data[i]), int(w.rowptr.Data[i+1])
+		if hi-lo != 12 {
+			t.Fatalf("row %d has %d nonzeros, want 12", i, hi-lo)
+		}
+		var offdiag, diag float64
+		seenDiag := false
+		for k := lo; k < hi; k++ {
+			col := int(w.colidx.Data[k])
+			if k > lo && col <= int(w.colidx.Data[k-1]) {
+				t.Fatalf("row %d columns not strictly sorted", i)
+			}
+			if col == i {
+				seenDiag = true
+				diag = w.vals.Data[k]
+			} else {
+				v := w.vals.Data[k]
+				if v < 0 {
+					v = -v
+				}
+				offdiag += v
+			}
+		}
+		if !seenDiag {
+			t.Fatalf("row %d missing diagonal", i)
+		}
+		if diag <= offdiag {
+			t.Fatalf("row %d not diagonally dominant: %g <= %g", i, diag, offdiag)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/sched"
+)
+
+func TestHullTriangle(t *testing.T) {
+	// Three points: all are hull vertices.
+	w := NewHull(3, 64, 2, InDisk, Config{Seed: 1})
+	rt := newWorkloadRT(4, sched.PolicyCilk)
+	w.Prepare(rt)
+	w.x.Data[0], w.y.Data[0] = 0, 0
+	w.x.Data[1], w.y.Data[1] = 1, 0
+	w.x.Data[2], w.y.Data[2] = 0.5, 1
+	rt.Run(w.Root())
+	if err := w.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range w.hullMark {
+		if !m {
+			t.Errorf("triangle vertex %d not marked", i)
+		}
+	}
+}
+
+func TestHullSquareWithInteriorPoint(t *testing.T) {
+	w := NewHull(5, 64, 2, InDisk, Config{Seed: 1})
+	rt := newWorkloadRT(4, sched.PolicyCilk)
+	w.Prepare(rt)
+	coords := [][2]float64{{-1, -1}, {1, -1}, {1, 1}, {-1, 1}, {0, 0}}
+	for i, c := range coords {
+		w.x.Data[i], w.y.Data[i] = c[0], c[1]
+	}
+	rt.Run(w.Root())
+	if err := w.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if !w.hullMark[i] {
+			t.Errorf("square corner %d not marked", i)
+		}
+	}
+	if w.hullMark[4] {
+		t.Error("interior point wrongly marked as hull vertex")
+	}
+}
+
+func TestHullParallelMatchesSerial(t *testing.T) {
+	mark := func(p int, pol sched.Policy) []bool {
+		w := NewHull(8000, 256, 8, InDisk, Config{Seed: 13})
+		rt := newWorkloadRT(p, pol)
+		w.Prepare(rt)
+		if p == 1 {
+			rt.RunSerial(w.Root())
+		} else {
+			rt.Run(w.Root())
+		}
+		if err := w.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		return w.hullMark
+	}
+	a := mark(1, sched.PolicyCilk)
+	b := mark(32, sched.PolicyNUMAWS)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hull membership of point %d differs across schedules", i)
+		}
+	}
+}
+
+func TestMonotoneChainReference(t *testing.T) {
+	xs := []float64{0, 2, 2, 0, 1}
+	ys := []float64{0, 0, 2, 2, 1}
+	hull := monotoneChain(xs, ys)
+	if len(hull) != 4 {
+		t.Fatalf("reference hull has %d vertices, want 4: %v", len(hull), hull)
+	}
+	want := map[int32]bool{0: true, 1: true, 2: true, 3: true}
+	for _, i := range hull {
+		if !want[i] {
+			t.Errorf("unexpected hull vertex %d", i)
+		}
+	}
+}
+
+func TestHullCirclePointsOnUnitCircle(t *testing.T) {
+	w := NewHull(100, 64, 2, OnCircle, Config{Seed: 3})
+	rt := newWorkloadRT(1, sched.PolicyCilk)
+	w.Prepare(rt)
+	for i := 0; i < 100; i++ {
+		r := math.Hypot(w.x.Data[i], w.y.Data[i])
+		if math.Abs(r-1) > 1e-12 {
+			t.Fatalf("point %d radius %g, want 1", i, r)
+		}
+	}
+}
+
+func TestMatmulIdentity(t *testing.T) {
+	w := NewMatmul(32, 16, false, Config{Seed: 1})
+	rt := newWorkloadRT(8, sched.PolicyCilk)
+	w.Prepare(rt)
+	// B = I: C must equal A.
+	for r := 0; r < 32; r++ {
+		for c := 0; c < 32; c++ {
+			v := 0.0
+			if r == c {
+				v = 1
+			}
+			w.b.Set(r, c, v)
+		}
+	}
+	rt.Run(w.Root())
+	if !layout.Equal(w.a, w.c, 1e-12) {
+		t.Error("A * I != A")
+	}
+}
+
+func TestMatmulBaseOnly(t *testing.T) {
+	// n == base: the whole multiply is one base case, no spawns.
+	for _, z := range []bool{false, true} {
+		w := NewMatmul(16, 16, z, Config{Seed: 2})
+		rt := newWorkloadRT(4, sched.PolicyNUMAWS)
+		w.Prepare(rt)
+		rep := rt.Run(w.Root())
+		if err := w.Verify(); err != nil {
+			t.Error(err)
+		}
+		if rep.Sched.Spawns != 0 {
+			t.Errorf("z=%v: base-only multiply spawned %d times", z, rep.Sched.Spawns)
+		}
+	}
+}
+
+func TestMatmulZMatchesPlain(t *testing.T) {
+	// Same inputs, both layouts: identical results (same fp order).
+	mk := func(z bool) *Matmul {
+		w := NewMatmul(64, 16, z, Config{Seed: 9})
+		rt := newWorkloadRT(16, sched.PolicyCilk)
+		w.Prepare(rt)
+		rt.Run(w.Root())
+		if err := w.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	plain, zed := mk(false), mk(true)
+	if !layout.Equal(plain.c, zed.c, 0) {
+		t.Error("matmul and matmul-z disagree bitwise")
+	}
+}
+
+func TestStrassenBaseOnly(t *testing.T) {
+	w := NewStrassen(16, 16, false, Config{Seed: 3})
+	rt := newWorkloadRT(4, sched.PolicyCilk)
+	w.Prepare(rt)
+	if w.temps != nil {
+		t.Error("base-only strassen built a temp tree")
+	}
+	rt.Run(w.Root())
+	if err := w.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStrassenTempTreeShape(t *testing.T) {
+	w := NewStrassen(64, 16, false, Config{Seed: 3})
+	rt := newWorkloadRT(4, sched.PolicyCilk)
+	w.Prepare(rt)
+	// 64 -> 32 -> 16(base): two levels of temps.
+	if w.temps == nil {
+		t.Fatal("no temp tree")
+	}
+	if w.temps.s[0].N != 32 {
+		t.Errorf("level-1 temps are %dx%d, want 32x32", w.temps.s[0].N, w.temps.s[0].N)
+	}
+	for i := 0; i < 7; i++ {
+		kid := w.temps.kids[i]
+		if kid == nil {
+			t.Fatalf("missing temp child %d", i)
+		}
+		if kid.m[0].N != 16 {
+			t.Errorf("level-2 temps are %d, want 16", kid.m[0].N)
+		}
+		for j := 0; j < 7; j++ {
+			if kid.kids[j] != nil {
+				t.Error("temp tree deeper than the recursion")
+			}
+		}
+	}
+}
+
+func TestStrassenAgainstMatmul(t *testing.T) {
+	// Strassen and the D&C matmul on identical inputs must agree within
+	// numerical tolerance.
+	sw := NewStrassen(64, 16, false, Config{Seed: 77})
+	rtS := newWorkloadRT(16, sched.PolicyNUMAWS)
+	sw.Prepare(rtS)
+	rtS.Run(sw.Root())
+
+	mw := NewMatmul(64, 16, false, Config{Seed: 77})
+	rtM := newWorkloadRT(16, sched.PolicyNUMAWS)
+	mw.Prepare(rtM)
+	rtM.Run(mw.Root())
+
+	if !layout.Equal(sw.a, mw.a, 0) || !layout.Equal(sw.b, mw.b, 0) {
+		t.Fatal("inputs differ despite same seed")
+	}
+	if !layout.Equal(sw.c, mw.c, 1e-6) {
+		t.Error("strassen and matmul disagree beyond tolerance")
+	}
+}
