@@ -17,6 +17,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/deque"
+	"repro/internal/exec"
 	"repro/internal/harness"
 	"repro/internal/layout"
 	"repro/internal/memory"
@@ -288,6 +289,28 @@ func BenchmarkAblationEagerPush(b *testing.B) {
 			}
 			b.ReportMetric(float64(rep.Time), "T32-cycles")
 			b.ReportMetric(float64(rep.Sched.WorkTotal()), "W32-cycles")
+		})
+	}
+}
+
+// BenchmarkMeasureAllJobs times the full experiment sweep serially and on
+// the whole-machine worker pool — the wall-clock win of internal/exec.
+// Each iteration is one complete MeasureAll at the small scale; compare
+// jobs=1 against jobs=N for the speedup (results are identical; see
+// TestMeasureAllParallelMatchesSerial).
+func BenchmarkMeasureAllJobs(b *testing.B) {
+	specs := benchSpecs(b)
+	counts := []int{1}
+	if exec.DefaultJobs() > 1 {
+		counts = append(counts, exec.DefaultJobs())
+	}
+	for _, jobs := range counts {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.MeasureAll(specs, harness.Options{Jobs: jobs}); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

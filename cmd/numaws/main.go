@@ -22,14 +22,30 @@
 //	-scale   small|full (default full)
 //	-p       parallel worker count for the tables (default 32)
 //	-seed    scheduler seed (default 1)
+//	-seeds   seeds to average each parallel measurement over (default 1)
 //	-verify  verify every run's computed result (default true)
+//	-jobs    how many simulations to run concurrently on the host
+//	         (default: the number of CPUs). Output is identical for every
+//	         value; -jobs only changes wall-clock time.
+//	-json    write the measured rows/series as a JSON document to this
+//	         file ("-" for stdout) in addition to the printed tables
+//	-csv     write the measured rows/series as CSV to this file
+//	         ("-" for stdout) in addition to the printed tables; when a
+//	         subcommand measures both rows and series, the series table
+//	         goes to a sibling *.series.csv file
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 
+	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/harness"
 	"repro/internal/layout"
 	"repro/internal/metrics"
@@ -43,6 +59,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "scheduler seed")
 	seeds := flag.Int("seeds", 1, "seeds to average each parallel measurement over")
 	verify := flag.Bool("verify", true, "verify every run's result")
+	jobs := flag.Int("jobs", exec.DefaultJobs(), "concurrent simulations on the host (wall-clock only; results are identical)")
+	jsonPath := flag.String("json", "", "write measured rows/series as JSON to this file (\"-\" for stdout)")
+	csvPath := flag.String("csv", "", "write measured rows/series as CSV to this file (\"-\" for stdout)")
 	flag.Parse()
 
 	cmd := flag.Arg(0)
@@ -53,16 +72,222 @@ func main() {
 	if *scale == "small" {
 		sc = harness.ScaleSmall
 	}
-	opt := harness.Options{P: *p, Seed: *seed, Seeds: *seeds, Verify: *verify}
+	opt := harness.Options{P: *p, Seed: *seed, Seeds: *seeds, Verify: *verify, Jobs: *jobs}
 	specs := harness.Specs(sc)
 
-	if err := run(cmd, specs, opt); err != nil {
+	kind, known := subcommands[cmd]
+	if !known {
+		fmt.Fprintln(os.Stderr, "numaws:", unknownSubcommand(cmd))
+		os.Exit(1)
+	}
+	// Go's flag package stops at the first positional argument, so a flag
+	// placed after the subcommand would be silently ignored — reject it
+	// loudly instead of running a sweep with the wrong configuration.
+	rest := flag.Args()
+	if len(rest) > 0 { // empty when cmd defaulted to "all"
+		rest = rest[1:]
+	}
+	if cmd == "timeline" && len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
+		rest = rest[1:] // the benchmark name operand
+	}
+	if len(rest) > 0 {
+		if strings.HasPrefix(rest[0], "-") {
+			fmt.Fprintf(os.Stderr, "numaws: flag %s must precede the subcommand: numaws [flags] %s\n", rest[0], cmd)
+		} else {
+			fmt.Fprintf(os.Stderr, "numaws: unexpected argument %q after %q\n", rest[0], cmd)
+		}
+		os.Exit(1)
+	}
+	if (*jsonPath != "" || *csvPath != "") && !kind.rows && !kind.series {
+		fmt.Fprintf(os.Stderr, "numaws: -json/-csv: subcommand %q produces no rows or series to export\n", cmd)
+		os.Exit(1)
+	}
+	// Open the export files before the sweep: an unwritable path should
+	// fail here, not after hours of simulation.
+	out, err := openSinks(*jsonPath, *csvPath, kind)
+	if err != nil {
+		out.discard() // drop any sink opened before the failing one
+		fmt.Fprintln(os.Stderr, "numaws:", err)
+		os.Exit(1)
+	}
+	var ex export
+	if err := run(cmd, specs, opt, &ex); err != nil {
+		out.discard()
+		fmt.Fprintln(os.Stderr, "numaws:", err)
+		os.Exit(1)
+	}
+	if err := ex.write(out); err != nil {
+		out.discard() // sinks not yet written keep their temp files
 		fmt.Fprintln(os.Stderr, "numaws:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cmd string, specs []harness.Spec, opt harness.Options) error {
+// measures says which result kinds a subcommand produces.
+type measures struct{ rows, series bool }
+
+// subcommands is the authoritative registry: every subcommand run()
+// handles, mapped to what it measures. Validity checks, the usage
+// message, and the export sinks derive from it; -json/-csv problems
+// (non-measuring subcommand, unwritable path) are rejected up front,
+// before hours of simulation.
+var subcommands = map[string]measures{
+	"fig1": {}, "fig6": {}, "dag": {}, "timeline": {},
+	"fig3":   {rows: true},
+	"table7": {rows: true},
+	"table8": {rows: true},
+	"tables": {rows: true},
+	"fig9":   {series: true},
+	"all":    {rows: true, series: true},
+}
+
+// seriesCSVPath derives the sibling file the series table lands in when
+// one -csv path must carry both kinds: out.csv -> out.series.csv.
+func seriesCSVPath(path string) string {
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + ".series" + ext
+}
+
+func unknownSubcommand(cmd string) error {
+	names := make([]string, 0, len(subcommands))
+	for name := range subcommands {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return fmt.Errorf("unknown subcommand %q (want %s)", cmd, strings.Join(names, ", "))
+}
+
+// export accumulates the measurements the executed subcommands produced,
+// for the optional machine-readable outputs. Each kind keeps the last
+// measurement set produced ("all" measures the full table rows after
+// fig3's subset, so the export carries the full set).
+type export struct {
+	rows   []metrics.Row
+	series []metrics.Series
+}
+
+// sink is one pre-opened export destination. File sinks write to a
+// temporary file in the destination directory and rename into place on
+// success, so a failed sweep neither truncates a previous export nor
+// leaves a partial one.
+type sink struct {
+	w    io.Writer
+	f    *os.File // the temporary file; nil for stdout
+	path string   // final destination
+}
+
+func openSink(path string) (*sink, error) {
+	if path == "" {
+		return nil, nil
+	}
+	if path == "-" {
+		return &sink{w: os.Stdout, path: path}, nil
+	}
+	// The temp file only proves the parent directory is writable; also
+	// make sure the destination itself can be renamed into, so a bad
+	// path fails now rather than after the sweep.
+	if st, err := os.Stat(path); err == nil && st.IsDir() {
+		return nil, fmt.Errorf("%s is a directory", path)
+	}
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return nil, err
+	}
+	return &sink{w: f, f: f, path: path}, nil
+}
+
+func (s *sink) put(fn func(io.Writer) error) error {
+	if s == nil {
+		return nil
+	}
+	if s.f == nil {
+		return fn(s.w)
+	}
+	err := fn(s.f)
+	if err == nil {
+		err = s.f.Chmod(0o644)
+	}
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(s.f.Name())
+		return err
+	}
+	if err := os.Rename(s.f.Name(), s.path); err != nil {
+		os.Remove(s.f.Name())
+		return err
+	}
+	return nil
+}
+
+// discard removes a file sink's temporary file without touching the
+// destination; used when the sweep fails before anything is exported.
+func (s *sink) discard() {
+	if s == nil || s.f == nil {
+		return
+	}
+	s.f.Close()
+	os.Remove(s.f.Name())
+}
+
+// sinks holds every export destination, opened before the sweep runs.
+type sinks struct {
+	json      *sink
+	csv       *sink
+	csvSeries *sink // non-nil when rows and series need separate CSV files
+}
+
+func (s sinks) discard() {
+	s.json.discard()
+	s.csv.discard()
+	s.csvSeries.discard()
+}
+
+// openSinks creates the export files a subcommand will need. Rows and
+// series have different column sets, so a file -csv carrying both kinds
+// splits the series table into a sibling *.series.csv; stdout keeps the
+// blank-line-separated two-table stream for eyeballing.
+func openSinks(jsonPath, csvPath string, kind measures) (sinks, error) {
+	var s sinks
+	var err error
+	if s.json, err = openSink(jsonPath); err != nil {
+		return s, err
+	}
+	if s.csv, err = openSink(csvPath); err != nil {
+		return s, err
+	}
+	if csvPath != "" && csvPath != "-" && kind.rows && kind.series {
+		if s.csvSeries, err = openSink(seriesCSVPath(csvPath)); err != nil {
+			return s, err
+		}
+	}
+	return s, nil
+}
+
+func (e *export) write(s sinks) error {
+	if err := s.json.put(func(w io.Writer) error {
+		return metrics.WriteJSON(w, e.rows, e.series)
+	}); err != nil {
+		return err
+	}
+	if s.csvSeries != nil {
+		if err := s.csv.put(func(w io.Writer) error {
+			return metrics.WriteRowsCSV(w, e.rows)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "numaws: rows CSV in %s, series CSV in %s\n", s.csv.path, s.csvSeries.path)
+		return s.csvSeries.put(func(w io.Writer) error {
+			return metrics.WriteSeriesCSV(w, e.series)
+		})
+	}
+	return s.csv.put(func(w io.Writer) error {
+		return metrics.WriteCSV(w, e.rows, e.series)
+	})
+}
+
+func run(cmd string, specs []harness.Spec, opt harness.Options, ex *export) error {
 	switch cmd {
 	case "fig1":
 		fmt.Println("Fig. 1: the evaluation machine")
@@ -73,16 +298,24 @@ func run(cmd string, specs []harness.Spec, opt harness.Options) error {
 		fmt.Println("\nFig. 6(b): blocked Z-Morton layout (4x4 blocks, row-major inside)")
 		fmt.Print(layout.Grid(8, layout.BlockedMorton, 4))
 	case "fig3":
-		rows, err := measureFig3(specs, opt)
+		var fig3 []harness.Spec
+		for _, spec := range specs {
+			if spec.InFig3 {
+				fig3 = append(fig3, spec)
+			}
+		}
+		rows, err := harness.MeasureAll(fig3, opt)
 		if err != nil {
 			return err
 		}
+		ex.rows = rows
 		fmt.Print(metrics.Fig3(rows))
 	case "table7", "table8", "tables":
 		rows, err := harness.MeasureAll(specs, opt)
 		if err != nil {
 			return err
 		}
+		ex.rows = rows
 		if cmd != "table8" {
 			fmt.Print(metrics.Table7(rows))
 		}
@@ -95,19 +328,24 @@ func run(cmd string, specs []harness.Spec, opt harness.Options) error {
 		if err != nil {
 			return err
 		}
+		ex.series = series
 		fmt.Print(metrics.Fig9(series))
 	case "dag":
 		fmt.Println("Measured computation dags (strand cycles; parallelism = work/span)")
 		fmt.Printf("%-12s %14s %14s %14s\n", "benchmark", "work (T1)", "span (Tinf)", "parallelism")
 		o := opt
 		o.RecordDAG = true
-		for _, spec := range specs {
-			rep, err := harness.RunOne(spec, sched.PolicyNUMAWS, o)
-			if err != nil {
-				return err
-			}
+		reps := make([]*core.Report, len(specs))
+		if err := exec.ForEach(o.Jobs, len(specs), func(i int) error {
+			rep, err := harness.RunOne(specs[i], sched.PolicyNUMAWS, o)
+			reps[i] = rep
+			return err
+		}); err != nil {
+			return err
+		}
+		for i, spec := range specs {
 			fmt.Printf("%-12s %14d %14d %14.1f\n",
-				spec.Name, rep.DAG.Work(), rep.DAG.Span(), rep.DAG.Parallelism())
+				spec.Name, reps[i].DAG.Work(), reps[i].DAG.Span(), reps[i].DAG.Parallelism())
 		}
 	case "timeline":
 		name := flag.Arg(1)
@@ -134,30 +372,13 @@ func run(cmd string, specs []harness.Spec, opt harness.Options) error {
 		}
 	case "all":
 		for _, sub := range []string{"fig1", "fig6", "fig3", "tables", "fig9", "dag"} {
-			if err := run(sub, specs, opt); err != nil {
+			if err := run(sub, specs, opt, ex); err != nil {
 				return err
 			}
 			fmt.Println()
 		}
 	default:
-		return fmt.Errorf("unknown subcommand %q (want fig1, fig3, fig6, table7, table8, fig9, dag, all)", cmd)
+		return unknownSubcommand(cmd)
 	}
 	return nil
-}
-
-// measureFig3 runs only what Fig. 3 needs: the Cilk Plus side of the seven
-// Fig. 3 benchmarks.
-func measureFig3(specs []harness.Spec, opt harness.Options) ([]metrics.Row, error) {
-	var rows []metrics.Row
-	for _, spec := range specs {
-		if !spec.InFig3 {
-			continue
-		}
-		row, err := harness.Measure(spec, opt)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
 }

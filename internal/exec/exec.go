@@ -1,0 +1,132 @@
+// Package exec runs the harness's independent simulation jobs on a bounded
+// worker pool.
+//
+// Every experiment the harness regenerates — each (spec, policy, P, seed)
+// measurement — is a fully independent simulation: it builds its own
+// workload, allocator and runtime, and shares no mutable state with any
+// other run. That makes the experiment sweep embarrassingly parallel, and
+// this package is the one place that exploits it. Callers pre-allocate a
+// result slot per job, submit one closure per job, and aggregate the slots
+// in canonical (serial) order after Wait, so parallel output is
+// byte-identical to serial output.
+package exec
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultJobs is the default worker count for parallel experiment
+// execution: one worker per available CPU.
+func DefaultJobs() int { return runtime.NumCPU() }
+
+// job pairs a submitted function with its position in the caller's
+// canonical order.
+type job struct {
+	idx int
+	fn  func() error
+}
+
+// Pool executes submitted jobs on a fixed number of worker goroutines.
+//
+// A pool with one worker degenerates to a serial loop: jobs run inline on
+// Submit, in submission order, and after the first failure subsequent jobs
+// are skipped — exactly the control flow of the serial code the pool
+// replaces. With more workers, jobs already started run to completion, but
+// once a failure is recorded workers skip jobs they have not started yet:
+// every caller discards all results on error, so finishing the sweep after
+// a failure would only burn cycles. Wait reports the failure with the
+// lowest submission index among the jobs that ran.
+type Pool struct {
+	workers int
+	ch      chan job
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	err    error
+	errIdx int
+}
+
+// NewPool starts a pool with the given number of workers; counts below one
+// are treated as one.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers, errIdx: -1}
+	if workers > 1 {
+		// A small buffer keeps workers fed without letting the submitter
+		// race arbitrarily far ahead of execution.
+		p.ch = make(chan job, 2*workers)
+		for i := 0; i < workers; i++ {
+			p.wg.Add(1)
+			go p.worker()
+		}
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for j := range p.ch {
+		if p.failed() {
+			continue
+		}
+		if err := j.fn(); err != nil {
+			p.record(j.idx, err)
+		}
+	}
+}
+
+func (p *Pool) failed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err != nil
+}
+
+func (p *Pool) record(idx int, err error) {
+	p.mu.Lock()
+	if p.err == nil || idx < p.errIdx {
+		p.err, p.errIdx = err, idx
+	}
+	p.mu.Unlock()
+}
+
+// Submit schedules one job. idx is the job's position in the caller's
+// canonical serial order; it determines which error Wait reports when
+// several jobs fail. Submit blocks when all workers are busy and the
+// buffer is full (backpressure); it must not be called after Wait, nor
+// from inside a job.
+func (p *Pool) Submit(idx int, fn func() error) {
+	if p.workers == 1 {
+		if p.err != nil {
+			return
+		}
+		if err := fn(); err != nil {
+			p.record(idx, err)
+		}
+		return
+	}
+	p.ch <- job{idx: idx, fn: fn}
+}
+
+// Wait blocks until every submitted job has finished and returns the
+// lowest-indexed error, if any. The pool cannot be reused after Wait.
+func (p *Pool) Wait() error {
+	if p.workers > 1 {
+		close(p.ch)
+		p.wg.Wait()
+	}
+	return p.err
+}
+
+// ForEach runs fn(0) … fn(n-1) on a pool with the given worker count and
+// returns the lowest-indexed error.
+func ForEach(workers, n int, fn func(i int) error) error {
+	p := NewPool(workers)
+	for i := 0; i < n; i++ {
+		i := i
+		p.Submit(i, func() error { return fn(i) })
+	}
+	return p.Wait()
+}

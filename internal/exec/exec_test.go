@@ -1,0 +1,170 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunCompletesAllJobs(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		const n = 100
+		done := make([]int32, n)
+		err := ForEach(workers, n, func(i int) error {
+			atomic.AddInt32(&done[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, d := range done {
+			if d != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times, want 1", workers, i, d)
+			}
+		}
+	}
+}
+
+func TestBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, max atomic.Int32
+	err := ForEach(workers, 64, func(int) error {
+		c := cur.Add(1)
+		for {
+			m := max.Load()
+			if c <= m || max.CompareAndSwap(m, c) {
+				break
+			}
+		}
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := max.Load(); m > workers {
+		t.Errorf("observed %d concurrent jobs, want <= %d", m, workers)
+	}
+}
+
+func TestWaitReportsLowestIndexedError(t *testing.T) {
+	errs := map[int]error{
+		7:  errors.New("err7"),
+		3:  errors.New("err3"),
+		50: errors.New("err50"),
+	}
+
+	// Serial pools short-circuit: job 3 fails first and 7/50 never run.
+	err := ForEach(1, 64, func(i int) error { return errs[i] })
+	if err == nil || err.Error() != "err3" {
+		t.Errorf("workers=1: got %v, want err3", err)
+	}
+
+	// Parallel pools report the lowest index among the failures that
+	// ran; the skip-after-failure optimization means any of the three
+	// may be it, but never a fabricated error.
+	err = ForEach(4, 64, func(i int) error { return errs[i] })
+	switch {
+	case err == nil:
+		t.Error("workers=4: got nil, want one of the injected errors")
+	case err.Error() != "err3" && err.Error() != "err7" && err.Error() != "err50":
+		t.Errorf("workers=4: got %v, want one of the injected errors", err)
+	}
+
+	// With exactly one failing job, the reported error is deterministic
+	// regardless of worker count.
+	for _, workers := range []int{2, 8} {
+		err := ForEach(workers, 64, func(i int) error {
+			if i == 7 {
+				return errs[7]
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "err7" {
+			t.Errorf("workers=%d: got %v, want err7", workers, err)
+		}
+	}
+}
+
+func TestSerialPoolRunsInlineInOrderAndShortCircuits(t *testing.T) {
+	p := NewPool(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		p.Submit(i, func() error {
+			order = append(order, i) // inline: no locking needed
+			if i == 4 {
+				return fmt.Errorf("boom at %d", i)
+			}
+			return nil
+		})
+	}
+	if err := p.Wait(); err == nil || err.Error() != "boom at 4" {
+		t.Fatalf("Wait = %v, want boom at 4", err)
+	}
+	want := []int{0, 1, 2, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("ran jobs %v, want %v (short-circuit after failure)", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("ran jobs %v, want %v", order, want)
+		}
+	}
+}
+
+func TestParallelPoolSkipsJobsAfterFailure(t *testing.T) {
+	const n = 256
+	p := NewPool(4)
+	failed := make(chan struct{})
+	p.Submit(0, func() error {
+		close(failed)
+		return errors.New("early failure")
+	})
+	<-failed
+	// Give the worker ample time to record the failure; every job
+	// submitted below should then be skipped, not executed.
+	time.Sleep(20 * time.Millisecond)
+	var ran atomic.Int32
+	for i := 1; i < n; i++ {
+		p.Submit(i, func() error {
+			ran.Add(1)
+			time.Sleep(time.Millisecond)
+			return nil
+		})
+	}
+	if err := p.Wait(); err == nil || err.Error() != "early failure" {
+		t.Fatalf("Wait = %v, want early failure", err)
+	}
+	// The skip is an optimization, not a hard contract, so allow a few
+	// stragglers that raced the error record — but running the whole
+	// sweep after a failure is the bug this pins against.
+	if got := ran.Load(); got > n/2 {
+		t.Errorf("%d of %d jobs ran after the failure; workers should skip once an error is recorded", got, n-1)
+	}
+}
+
+func TestForEachAccumulates(t *testing.T) {
+	var mu sync.Mutex
+	sum := 0
+	if err := ForEach(4, 20, func(i int) error {
+		mu.Lock()
+		sum += i
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 190 {
+		t.Errorf("sum = %d, want 190", sum)
+	}
+}
+
+func TestDefaultJobsPositive(t *testing.T) {
+	if DefaultJobs() < 1 {
+		t.Errorf("DefaultJobs() = %d, want >= 1", DefaultJobs())
+	}
+}

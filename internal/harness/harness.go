@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/memory"
 	"repro/internal/metrics"
 	"repro/internal/sched"
@@ -158,9 +159,18 @@ func Specs(s Scale) []Spec {
 }
 
 // Options configures measurement runs.
+//
+// Zero values mean defaults: every zero (or nil) field selects the
+// documented default below, applied by fill at each entry point, so
+// Options{} is "the paper's configuration, measured serially". The flip
+// side of this contract is that Options cannot express a literal zero —
+// Seed: 0 is indistinguishable from the default Seed: 1, and a deliberate
+// 1-worker run must say P: 1, because P: 0 means 32. Callers wanting
+// anything other than the default must pass an explicit non-zero value.
+// TestOptionsZeroValuesMeanDefaults pins this contract.
 type Options struct {
-	Topology *topology.Topology // nil: the paper's 4x8 machine
-	P        int                // parallel worker count; 0 means 32
+	Topology *topology.Topology // nil means the paper's 4x8 machine (topology.XeonE5_4620)
+	P        int                // simulated worker count; 0 means 32
 	Seed     int64              // scheduler seed; 0 means 1
 	// Seeds averages each parallel measurement over this many scheduler
 	// seeds (Seed, Seed+1, ...), echoing the paper's "each data point is
@@ -170,6 +180,13 @@ type Options struct {
 	// RecordDAG captures the computation dag of parallel runs (see
 	// core.Config.RecordDAG).
 	RecordDAG bool
+	// Jobs bounds how many independent simulations Measure, MeasureAll
+	// and MeasureScalability execute concurrently on host goroutines
+	// (see internal/exec); it does not affect the simulated platform or
+	// any measured quantity — results are aggregated in canonical order
+	// and are identical for every Jobs value. 0 means 1 (serial);
+	// exec.DefaultJobs() is the whole-machine setting.
+	Jobs int
 }
 
 func (o Options) fill() Options {
@@ -182,14 +199,20 @@ func (o Options) fill() Options {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
-	if o.Seeds == 0 {
+	// Counts below one (including negatives, reachable from unvalidated
+	// flags) mean the default too: the job decomposition allocates one
+	// slot per seed, so a negative count must never get that far.
+	if o.Seeds < 1 {
 		o.Seeds = 1
+	}
+	if o.Jobs < 1 {
+		o.Jobs = 1
 	}
 	return o
 }
 
-// runtime builds a fresh platform.
-func runtime(top *topology.Topology, workers int, pol sched.Policy, seed int64, recordDAG bool) *core.Runtime {
+// newRuntime builds a fresh platform.
+func newRuntime(top *topology.Topology, workers int, pol sched.Policy, seed int64, recordDAG bool) *core.Runtime {
 	return core.NewRuntime(core.Config{
 		Sched: sched.Config{
 			Topology: top,
@@ -210,7 +233,7 @@ func RunOne(spec Spec, pol sched.Policy, opt Options) (*core.Report, error) {
 	opt = opt.fill()
 	aware := pol == sched.PolicyNUMAWS
 	w := spec.Make(aware)
-	rt := runtime(opt.Topology, opt.P, pol, opt.Seed, opt.RecordDAG)
+	rt := newRuntime(opt.Topology, opt.P, pol, opt.Seed, opt.RecordDAG)
 	w.Prepare(rt)
 	rep := rt.Run(w.Root())
 	if opt.Verify {
@@ -225,7 +248,7 @@ func RunOne(spec Spec, pol sched.Policy, opt Options) (*core.Report, error) {
 func RunSerial(spec Spec, opt Options) (*core.Report, error) {
 	opt = opt.fill()
 	w := spec.Make(false)
-	rt := runtime(opt.Topology, 1, sched.PolicyCilk, opt.Seed, false)
+	rt := newRuntime(opt.Topology, 1, sched.PolicyCilk, opt.Seed, false)
 	w.Prepare(rt)
 	rep := rt.RunSerial(w.Root())
 	if opt.Verify {
@@ -237,62 +260,34 @@ func RunSerial(spec Spec, opt Options) (*core.Report, error) {
 }
 
 // Measure runs the full Fig. 7/Fig. 8 protocol for one spec: TS, then T1
-// and TP on both platforms.
+// and TP on both platforms. With opt.Jobs > 1 the protocol's independent
+// runs execute concurrently; the row is identical either way.
 func Measure(spec Spec, opt Options) (metrics.Row, error) {
-	opt = opt.fill()
-	row := metrics.Row{Name: spec.Name, Input: spec.Input, P: opt.P}
-
-	ts, err := RunSerial(spec, opt)
+	rows, err := MeasureAll([]Spec{spec}, opt)
 	if err != nil {
-		return row, err
+		return metrics.Row{Name: spec.Name, Input: spec.Input, P: opt.fill().P}, err
 	}
-	row.TS = ts.Time
-
-	for _, pol := range []sched.Policy{sched.PolicyCilk, sched.PolicyNUMAWS} {
-		o1 := opt
-		o1.P = 1
-		r1, err := RunOne(spec, pol, o1)
-		if err != nil {
-			return row, err
-		}
-		var pr metrics.PlatformResult
-		pr.T1 = r1.Time
-		pr.W1 = r1.Sched.WorkTotal()
-		for s := 0; s < opt.Seeds; s++ {
-			o := opt
-			o.Seed = opt.Seed + int64(s)
-			rp, err := RunOne(spec, pol, o)
-			if err != nil {
-				return row, err
-			}
-			pr.TP += rp.Time
-			pr.WP += rp.Sched.WorkTotal()
-			pr.SP += rp.Sched.SchedTotal()
-			pr.IP += rp.Sched.IdleTotal()
-		}
-		n := int64(opt.Seeds)
-		pr.TP /= n
-		pr.WP /= n
-		pr.SP /= n
-		pr.IP /= n
-		if pol == sched.PolicyCilk {
-			row.Cilk = pr
-		} else {
-			row.NUMAWS = pr
-		}
-	}
-	return row, nil
+	return rows[0], nil
 }
 
-// MeasureAll measures every spec.
+// MeasureAll measures every spec. Every (spec, policy, P, seed) run across
+// all specs is an independent job executed on an opt.Jobs-worker pool (see
+// internal/exec); results are aggregated in spec/platform/seed order, so
+// the rows are identical for every Jobs value.
 func MeasureAll(specs []Spec, opt Options) ([]metrics.Row, error) {
-	rows := make([]metrics.Row, 0, len(specs))
-	for _, spec := range specs {
-		row, err := Measure(spec, opt)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
+	opt = opt.fill()
+	runs := make([]specRuns, len(specs))
+	pool := exec.NewPool(opt.Jobs)
+	idx := 0
+	for i := range specs {
+		runs[i].submit(pool, &idx, specs[i], opt)
+	}
+	if err := pool.Wait(); err != nil {
+		return nil, err
+	}
+	rows := make([]metrics.Row, len(specs))
+	for i := range specs {
+		rows[i] = runs[i].row(specs[i], opt)
 	}
 	return rows, nil
 }
@@ -301,33 +296,59 @@ func MeasureAll(specs []Spec, opt Options) ([]metrics.Row, error) {
 var Fig9Points = []int{1, 8, 16, 24, 32}
 
 // MeasureScalability produces the Fig. 9 series: NUMA-WS TP over the
-// worker counts, tight socket packing (the Pack default).
+// worker counts, tight socket packing (the Pack default). Like MeasureAll
+// it fans every (spec, point, seed) run out to an opt.Jobs-worker pool and
+// aggregates in canonical order.
 func MeasureScalability(specs []Spec, opt Options, points []int) ([]metrics.Series, error) {
 	opt = opt.fill()
 	if len(points) == 0 {
 		points = Fig9Points
 	}
-	var out []metrics.Series
+	var curve []Spec
 	for _, spec := range specs {
-		if spec.Fig9Name == "" {
-			continue
+		if spec.Fig9Name != "" {
+			curve = append(curve, spec)
 		}
-		s := metrics.Series{Name: spec.Fig9Name, P: points}
-		for _, p := range points {
-			var total int64
+	}
+	// times[i][j][k] is the time of curve[i] at points[j] with seed k.
+	times := make([][][]int64, len(curve))
+	pool := exec.NewPool(opt.Jobs)
+	idx := 0
+	for i, spec := range curve {
+		times[i] = make([][]int64, len(points))
+		for j, p := range points {
+			times[i][j] = make([]int64, opt.Seeds)
 			for sd := 0; sd < opt.Seeds; sd++ {
+				spec, slot := spec, &times[i][j][sd]
 				o := opt
 				o.P = p
 				o.Seed = opt.Seed + int64(sd)
-				rep, err := RunOne(spec, sched.PolicyNUMAWS, o)
-				if err != nil {
-					return nil, err
-				}
-				total += rep.Time
+				pool.Submit(idx, func() error {
+					rep, err := RunOne(spec, sched.PolicyNUMAWS, o)
+					if err != nil {
+						return err
+					}
+					*slot = rep.Time
+					return nil
+				})
+				idx++
+			}
+		}
+	}
+	if err := pool.Wait(); err != nil {
+		return nil, err
+	}
+	out := make([]metrics.Series, len(curve))
+	for i, spec := range curve {
+		s := metrics.Series{Name: spec.Fig9Name, P: points}
+		for j := range points {
+			var total int64
+			for _, t := range times[i][j] {
+				total += t
 			}
 			s.TP = append(s.TP, total/int64(opt.Seeds))
 		}
-		out = append(out, s)
+		out[i] = s
 	}
 	return out, nil
 }

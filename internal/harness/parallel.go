@@ -1,0 +1,97 @@
+package harness
+
+// This file decomposes the measurement protocols into independent jobs for
+// the internal/exec worker pool. Each job is one full simulation with its
+// own workload and runtime; jobs write raw reports into pre-allocated
+// slots, and the slots are folded into metrics rows in canonical
+// spec/platform/seed order after the pool drains, so the aggregate is
+// byte-identical to what the old serial loops produced.
+
+import (
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+)
+
+// platformRuns holds one platform's raw reports for one spec: the
+// one-worker run plus one P-worker run per scheduler seed.
+type platformRuns struct {
+	t1    *core.Report
+	seeds []*core.Report
+}
+
+// specRuns holds every raw report needed to assemble one metrics.Row.
+type specRuns struct {
+	ts     *core.Report
+	cilk   platformRuns
+	numaws platformRuns
+}
+
+// submit schedules the full Fig. 7/Fig. 8 protocol for one spec on the
+// pool: TS, then T1 and the per-seed TP runs on both platforms. idx
+// advances one slot per job submitted and orders errors across specs the
+// way the serial loops encountered them (TS first, then Cilk T1, Cilk
+// seeds, NUMA-WS T1, NUMA-WS seeds).
+func (r *specRuns) submit(pool *exec.Pool, idx *int, spec Spec, opt Options) {
+	submit := func(slot **core.Report, run func() (*core.Report, error)) {
+		pool.Submit(*idx, func() error {
+			rep, err := run()
+			if err != nil {
+				return err
+			}
+			*slot = rep
+			return nil
+		})
+		*idx++
+	}
+
+	submit(&r.ts, func() (*core.Report, error) { return RunSerial(spec, opt) })
+	for _, pol := range []sched.Policy{sched.PolicyCilk, sched.PolicyNUMAWS} {
+		pr := &r.cilk
+		if pol == sched.PolicyNUMAWS {
+			pr = &r.numaws
+		}
+		pr.seeds = make([]*core.Report, opt.Seeds)
+		pol := pol
+		o1 := opt
+		o1.P = 1
+		submit(&pr.t1, func() (*core.Report, error) { return RunOne(spec, pol, o1) })
+		for s := 0; s < opt.Seeds; s++ {
+			o := opt
+			o.Seed = opt.Seed + int64(s)
+			submit(&pr.seeds[s], func() (*core.Report, error) { return RunOne(spec, pol, o) })
+		}
+	}
+}
+
+// result folds one platform's reports into the averaged PlatformResult.
+func (p *platformRuns) result(seeds int) metrics.PlatformResult {
+	var pr metrics.PlatformResult
+	pr.T1 = p.t1.Time
+	pr.W1 = p.t1.Sched.WorkTotal()
+	for _, rp := range p.seeds {
+		pr.TP += rp.Time
+		pr.WP += rp.Sched.WorkTotal()
+		pr.SP += rp.Sched.SchedTotal()
+		pr.IP += rp.Sched.IdleTotal()
+	}
+	n := int64(seeds)
+	pr.TP /= n
+	pr.WP /= n
+	pr.SP /= n
+	pr.IP /= n
+	return pr
+}
+
+// row assembles the metrics row once every job has completed.
+func (r *specRuns) row(spec Spec, opt Options) metrics.Row {
+	return metrics.Row{
+		Name:   spec.Name,
+		Input:  spec.Input,
+		P:      opt.P,
+		TS:     r.ts.Time,
+		Cilk:   r.cilk.result(opt.Seeds),
+		NUMAWS: r.numaws.result(opt.Seeds),
+	}
+}

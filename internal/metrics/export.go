@@ -1,0 +1,159 @@
+// Machine-readable exports of the paper's measurements: the same rows and
+// series the tables render, as JSON (one document carrying raw cycle
+// counts plus the derived ratios) and CSV (one flat record per benchmark
+// row, one per series point), for BENCH_*.json-style perf tracking and
+// downstream tooling.
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// platformJSON is one platform's exported measurements.
+type platformJSON struct {
+	T1 int64 `json:"t1"`
+	TP int64 `json:"tp"`
+	WP int64 `json:"wp"`
+	SP int64 `json:"sp"`
+	IP int64 `json:"ip"`
+	// Derived ratios, as reported in the tables.
+	SpawnOverhead float64 `json:"spawn_overhead"` // T1/TS
+	Scalability   float64 `json:"scalability"`    // T1/TP
+	WorkInflation float64 `json:"work_inflation"` // WP/T1
+}
+
+func exportPlatform(r PlatformResult, ts int64) platformJSON {
+	return platformJSON{
+		T1: r.T1, TP: r.TP, WP: r.WP, SP: r.SP, IP: r.IP,
+		SpawnOverhead: r.SpawnOverhead(ts),
+		Scalability:   r.Scalability(),
+		WorkInflation: r.WorkInflation(),
+	}
+}
+
+// rowJSON is one benchmark's exported measurements across both platforms.
+type rowJSON struct {
+	Name   string       `json:"name"`
+	Input  string       `json:"input"`
+	P      int          `json:"p"`
+	TS     int64        `json:"ts"`
+	Cilk   platformJSON `json:"cilk"`
+	NUMAWS platformJSON `json:"numaws"`
+}
+
+// seriesPointJSON is one point of a scalability curve.
+type seriesPointJSON struct {
+	P       int     `json:"p"`
+	TP      int64   `json:"tp"`
+	Speedup float64 `json:"speedup"` // T1/TP
+}
+
+// seriesJSON is one exported scalability curve.
+type seriesJSON struct {
+	Name   string            `json:"name"`
+	Points []seriesPointJSON `json:"points"`
+}
+
+// document is the top-level JSON export.
+type document struct {
+	Rows   []rowJSON    `json:"rows,omitempty"`
+	Series []seriesJSON `json:"series,omitempty"`
+}
+
+// WriteJSON writes rows and/or series (either may be empty) as one
+// indented JSON document.
+func WriteJSON(w io.Writer, rows []Row, series []Series) error {
+	var doc document
+	for _, r := range rows {
+		doc.Rows = append(doc.Rows, rowJSON{
+			Name: r.Name, Input: r.Input, P: r.P, TS: r.TS,
+			Cilk:   exportPlatform(r.Cilk, r.TS),
+			NUMAWS: exportPlatform(r.NUMAWS, r.TS),
+		})
+	}
+	for _, s := range series {
+		sj := seriesJSON{Name: s.Name}
+		speedup := s.Speedup()
+		for i, p := range s.P {
+			sj.Points = append(sj.Points, seriesPointJSON{P: p, TP: s.TP[i], Speedup: speedup[i]})
+		}
+		doc.Series = append(doc.Series, sj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&doc)
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func writeCSVRecords(w io.Writer, records [][]string) error {
+	return csv.NewWriter(w).WriteAll(records)
+}
+
+// WriteRowsCSV writes one CSV record per benchmark row: identity, raw
+// cycle counts, and the derived ratios for both platforms.
+func WriteRowsCSV(w io.Writer, rows []Row) error {
+	records := [][]string{{
+		"name", "input", "p", "ts",
+		"cilk_t1", "cilk_tp", "cilk_wp", "cilk_sp", "cilk_ip",
+		"cilk_spawn_overhead", "cilk_scalability", "cilk_work_inflation",
+		"numaws_t1", "numaws_tp", "numaws_wp", "numaws_sp", "numaws_ip",
+		"numaws_spawn_overhead", "numaws_scalability", "numaws_work_inflation",
+	}}
+	for _, r := range rows {
+		plat := func(p PlatformResult) []string {
+			return []string{
+				strconv.FormatInt(p.T1, 10), strconv.FormatInt(p.TP, 10),
+				strconv.FormatInt(p.WP, 10), strconv.FormatInt(p.SP, 10),
+				strconv.FormatInt(p.IP, 10),
+				formatFloat(p.SpawnOverhead(r.TS)), formatFloat(p.Scalability()),
+				formatFloat(p.WorkInflation()),
+			}
+		}
+		rec := []string{r.Name, r.Input, strconv.Itoa(r.P), strconv.FormatInt(r.TS, 10)}
+		rec = append(rec, plat(r.Cilk)...)
+		rec = append(rec, plat(r.NUMAWS)...)
+		records = append(records, rec)
+	}
+	return writeCSVRecords(w, records)
+}
+
+// WriteSeriesCSV writes scalability curves in long form: one CSV record
+// per (series, point).
+func WriteSeriesCSV(w io.Writer, series []Series) error {
+	records := [][]string{{"name", "p", "tp", "speedup"}}
+	for _, s := range series {
+		speedup := s.Speedup()
+		for i, p := range s.P {
+			records = append(records, []string{
+				s.Name, strconv.Itoa(p), strconv.FormatInt(s.TP[i], 10), formatFloat(speedup[i]),
+			})
+		}
+	}
+	return writeCSVRecords(w, records)
+}
+
+// WriteCSV writes rows and/or series as CSV. When both are present the
+// two tables are separated by a blank line, each with its own header —
+// a stream for eyeballing, not for strict CSV parsers (the tables have
+// different widths); tooling that reads the output back should receive
+// one kind per writer (WriteRowsCSV / WriteSeriesCSV).
+func WriteCSV(w io.Writer, rows []Row, series []Series) error {
+	if len(rows) > 0 {
+		if err := WriteRowsCSV(w, rows); err != nil {
+			return err
+		}
+		if len(series) > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+	}
+	if len(series) > 0 {
+		return WriteSeriesCSV(w, series)
+	}
+	return nil
+}
