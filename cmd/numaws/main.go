@@ -15,12 +15,18 @@
 //	fig9    NUMA-WS scalability curves (Fig. 9)
 //	dag     measured work, span and parallelism per benchmark (Section IV)
 //	timeline <bench>  per-worker execution timeline under both schedulers
-//	all     everything above
+//	sweep [-bench LIST] [-topologies LIST] [-points LIST]
+//	        NUMA-WS speedup curves across a grid of machine topologies
+//	all     everything above except sweep
 //
 // Flags:
 //
 //	-scale   small|full (default full)
-//	-p       parallel worker count for the tables (default 32)
+//	-topology  machine the experiments simulate: a preset name
+//	         (paper-4x8, 2x16, 8x4, snc-2x2x8, uniform) or a generic
+//	         SOCKETSxCORES ring shape; unknown names are a usage error
+//	-p       parallel worker count for the tables (default: the whole
+//	         machine, capped at 32)
 //	-seed    scheduler seed (default 1)
 //	-seeds   seeds to average each parallel measurement over (default 1)
 //	-verify  verify every run's computed result (default true)
@@ -42,6 +48,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
@@ -55,7 +62,8 @@ import (
 
 func main() {
 	scale := flag.String("scale", "full", "input scale: small or full")
-	p := flag.Int("p", 32, "parallel worker count for tables")
+	topoSpec := flag.String("topology", "paper-4x8", "machine topology: a preset name or SOCKETSxCORES")
+	p := flag.Int("p", 0, "parallel worker count for tables (0: whole machine, capped at 32)")
 	seed := flag.Int64("seed", 1, "scheduler seed")
 	seeds := flag.Int("seeds", 1, "seeds to average each parallel measurement over")
 	verify := flag.Bool("verify", true, "verify every run's result")
@@ -72,7 +80,28 @@ func main() {
 	if *scale == "small" {
 		sc = harness.ScaleSmall
 	}
-	opt := harness.Options{P: *p, Seed: *seed, Seeds: *seeds, Verify: *verify, Jobs: *jobs}
+	// Unknown topology and preset names are a usage error, never a silent
+	// default: a sweep on the wrong machine looks plausible and wastes hours.
+	top, err := topology.Parse(*topoSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "numaws:", err)
+		os.Exit(1)
+	}
+	if *jobs < 1 {
+		fmt.Fprintf(os.Stderr, "numaws: -jobs %d clamped to 1 (need at least one host worker)\n", *jobs)
+		*jobs = 1
+	}
+	if *p == 0 {
+		*p = top.Cores()
+		if *p > 32 {
+			*p = 32
+		}
+	}
+	if *p < 1 || *p > top.Cores() {
+		fmt.Fprintf(os.Stderr, "numaws: -p %d out of range [1,%d] for topology %s\n", *p, top.Cores(), *topoSpec)
+		os.Exit(1)
+	}
+	opt := harness.Options{Topology: top, P: *p, Seed: *seed, Seeds: *seeds, Verify: *verify, Jobs: *jobs}
 	specs := harness.Specs(sc)
 
 	kind, known := subcommands[cmd]
@@ -82,10 +111,35 @@ func main() {
 	}
 	// Go's flag package stops at the first positional argument, so a flag
 	// placed after the subcommand would be silently ignored — reject it
-	// loudly instead of running a sweep with the wrong configuration.
+	// loudly instead of running a sweep with the wrong configuration. The
+	// sweep subcommand is the exception: it owns the arguments after its
+	// name (a dedicated FlagSet, like `go test -run`).
 	rest := flag.Args()
 	if len(rest) > 0 { // empty when cmd defaulted to "all"
 		rest = rest[1:]
+	}
+	var sw *sweepArgs
+	if cmd == "sweep" {
+		// An explicitly passed global -topology becomes the sweep's machine
+		// list; combining it with -topologies would leave one of them
+		// silently ignored, so that mix is rejected.
+		topoExplicit := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "topology" {
+				topoExplicit = true
+			}
+		})
+		globalTopo := ""
+		if topoExplicit {
+			globalTopo = *topoSpec
+		}
+		sw, err = parseSweepArgs(rest, *jsonPath, *csvPath, globalTopo, specs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "numaws:", err)
+			os.Exit(1)
+		}
+		*jsonPath, *csvPath = sw.json, sw.csv
+		rest = nil
 	}
 	if cmd == "timeline" && len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
 		rest = rest[1:] // the benchmark name operand
@@ -98,7 +152,7 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	if (*jsonPath != "" || *csvPath != "") && !kind.rows && !kind.series {
+	if (*jsonPath != "" || *csvPath != "") && !kind.rows && !kind.series && !kind.sweeps {
 		fmt.Fprintf(os.Stderr, "numaws: -json/-csv: subcommand %q produces no rows or series to export\n", cmd)
 		os.Exit(1)
 	}
@@ -111,7 +165,7 @@ func main() {
 		os.Exit(1)
 	}
 	var ex export
-	if err := run(cmd, specs, opt, &ex); err != nil {
+	if err := run(cmd, specs, opt, &ex, sw); err != nil {
 		out.discard()
 		fmt.Fprintln(os.Stderr, "numaws:", err)
 		os.Exit(1)
@@ -124,7 +178,7 @@ func main() {
 }
 
 // measures says which result kinds a subcommand produces.
-type measures struct{ rows, series bool }
+type measures struct{ rows, series, sweeps bool }
 
 // subcommands is the authoritative registry: every subcommand run()
 // handles, mapped to what it measures. Validity checks, the usage
@@ -138,7 +192,89 @@ var subcommands = map[string]measures{
 	"table8": {rows: true},
 	"tables": {rows: true},
 	"fig9":   {series: true},
+	"sweep":  {sweeps: true},
 	"all":    {rows: true, series: true},
+}
+
+// sweepArgs carries the sweep subcommand's parsed flags.
+type sweepArgs struct {
+	benches   []harness.Spec
+	topos     []string
+	points    []int
+	json, csv string
+}
+
+// parseSweepArgs parses the arguments after "sweep" with a dedicated
+// FlagSet. -json/-csv may be given either before the subcommand (the global
+// flags, passed in as defaults) or after it. globalTopo is the global
+// -topology value when the user passed that flag explicitly ("" otherwise);
+// it narrows the sweep to that one machine, and clashes with -topologies.
+func parseSweepArgs(args []string, jsonDefault, csvDefault, globalTopo string, specs []harness.Spec) (*sweepArgs, error) {
+	toposDefault := strings.Join(topology.Presets(), ",")
+	if globalTopo != "" {
+		toposDefault = globalTopo
+	}
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	bench := fs.String("bench", "", "comma-separated benchmark names (default: the Fig. 9 curve set)")
+	topos := fs.String("topologies", toposDefault,
+		"comma-separated topology presets or SOCKETSxCORES shapes")
+	points := fs.String("points", "", "comma-separated worker counts, clipped to each machine's core count (default: each machine's quarter points)")
+	jsonPath := fs.String("json", jsonDefault, "write the sweep as JSON to this file (\"-\" for stdout)")
+	csvPath := fs.String("csv", csvDefault, "write the sweep as CSV to this file (\"-\" for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("sweep: unexpected argument %q", fs.Arg(0))
+	}
+	if globalTopo != "" && *topos != toposDefault {
+		return nil, fmt.Errorf("sweep: -topology %s conflicts with sweep -topologies %s; pass only one", globalTopo, *topos)
+	}
+	sw := &sweepArgs{json: *jsonPath, csv: *csvPath, topos: splitList(*topos)}
+	if *points != "" {
+		for _, s := range splitList(*points) {
+			p, err := strconv.Atoi(s)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: bad -points entry %q", s)
+			}
+			sw.points = append(sw.points, p)
+		}
+	}
+	byName := make(map[string]harness.Spec, len(specs))
+	var names []string
+	for _, s := range specs {
+		byName[s.Name] = s
+		names = append(names, s.Name)
+	}
+	if *bench == "" {
+		// Default to the Fig. 9 curve set: the benchmarks the paper plots
+		// as scalability curves.
+		for _, s := range specs {
+			if s.Fig9Name != "" {
+				sw.benches = append(sw.benches, s)
+			}
+		}
+		return sw, nil
+	}
+	for _, n := range splitList(*bench) {
+		s, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("sweep: no benchmark named %q (want %s)", n, strings.Join(names, ", "))
+		}
+		sw.benches = append(sw.benches, s)
+	}
+	return sw, nil
+}
+
+// splitList splits a comma-separated flag value, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 // seriesCSVPath derives the sibling file the series table lands in when
@@ -164,6 +300,7 @@ func unknownSubcommand(cmd string) error {
 type export struct {
 	rows   []metrics.Row
 	series []metrics.Series
+	sweeps []metrics.Sweep
 }
 
 // sink is one pre-opened export destination. File sinks write to a
@@ -267,9 +404,16 @@ func openSinks(jsonPath, csvPath string, kind measures) (sinks, error) {
 
 func (e *export) write(s sinks) error {
 	if err := s.json.put(func(w io.Writer) error {
-		return metrics.WriteJSON(w, e.rows, e.series)
+		return metrics.WriteExport(w, metrics.Export{Rows: e.rows, Series: e.series, Sweeps: e.sweeps})
 	}); err != nil {
 		return err
+	}
+	if len(e.sweeps) > 0 {
+		// The sweep subcommand is the only producer of sweeps and measures
+		// nothing else, so its CSV carries exactly one table.
+		return s.csv.put(func(w io.Writer) error {
+			return metrics.WriteSweepsCSV(w, e.sweeps)
+		})
 	}
 	if s.csvSeries != nil {
 		if err := s.csv.put(func(w io.Writer) error {
@@ -287,11 +431,11 @@ func (e *export) write(s sinks) error {
 	})
 }
 
-func run(cmd string, specs []harness.Spec, opt harness.Options, ex *export) error {
+func run(cmd string, specs []harness.Spec, opt harness.Options, ex *export, sw *sweepArgs) error {
 	switch cmd {
 	case "fig1":
 		fmt.Println("Fig. 1: the evaluation machine")
-		fmt.Print(topology.XeonE5_4620().String())
+		fmt.Print(opt.Topology.String())
 	case "fig6":
 		fmt.Println("Fig. 6(a): Z-Morton layout (cell by cell)")
 		fmt.Print(layout.Grid(8, layout.Morton, 0))
@@ -330,6 +474,17 @@ func run(cmd string, specs []harness.Spec, opt harness.Options, ex *export) erro
 		}
 		ex.series = series
 		fmt.Print(metrics.Fig9(series))
+	case "sweep":
+		machines, err := harness.Machines(sw.topos)
+		if err != nil {
+			return err
+		}
+		sweeps, err := harness.MeasureTopologies(sw.benches, machines, opt, sw.points)
+		if err != nil {
+			return err
+		}
+		ex.sweeps = sweeps
+		fmt.Print(metrics.SweepTable(sweeps))
 	case "dag":
 		fmt.Println("Measured computation dags (strand cycles; parallelism = work/span)")
 		fmt.Printf("%-12s %14s %14s %14s\n", "benchmark", "work (T1)", "span (Tinf)", "parallelism")
@@ -372,7 +527,7 @@ func run(cmd string, specs []harness.Spec, opt harness.Options, ex *export) erro
 		}
 	case "all":
 		for _, sub := range []string{"fig1", "fig6", "fig3", "tables", "fig9", "dag"} {
-			if err := run(sub, specs, opt, ex); err != nil {
+			if err := run(sub, specs, opt, ex, nil); err != nil {
 				return err
 			}
 			fmt.Println()

@@ -264,11 +264,60 @@ func (c *setAssoc) flush() {
 	}
 }
 
+// bitset is a fixed-width bitmask over entity ids (cores or sockets), sized
+// once at hierarchy construction. It replaces the old uint64/uint32 masks so
+// the directory scales to machines of any shape instead of panicking past
+// 64 cores or 32 sockets.
+type bitset []uint64
+
+func (b bitset) get(i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+func (b bitset) set(i int)      { b[i>>6] |= 1 << uint(i&63) }
+func (b bitset) clear(i int)    { b[i>>6] &^= 1 << uint(i&63) }
+
+// any reports whether any bit is set.
+func (b bitset) any() bool {
+	for _, w := range b {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// anyExcept reports whether any bit other than i is set.
+func (b bitset) anyExcept(i int) bool {
+	for wi, w := range b {
+		if wi == i>>6 {
+			w &^= 1 << uint(i&63)
+		}
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// onlyKeep clears every bit except i (bit i keeps its current value).
+func (b bitset) onlyKeep(i int) {
+	keep := b[i>>6] & (1 << uint(i&63))
+	for wi := range b {
+		b[wi] = 0
+	}
+	b[i>>6] = keep
+}
+
+func bitsetWords(n int) int { return (n + 63) / 64 }
+
 // lineInfo is the coherence directory entry for one line: which private
-// caches and which LLCs currently hold it.
+// caches and which LLCs currently hold it. On machines up to 64 cores and
+// 64 sockets — every preset, and the paper's machine — the bitsets alias
+// the inline backing array, so an entry is still a single allocation with
+// no extra pointer chase; only bigger machines spill to a heap-allocated
+// word slice.
 type lineInfo struct {
-	priv uint64 // bitmask over cores (machine limit: 64 cores)
-	llc  uint32 // bitmask over sockets (machine limit: 32 sockets)
+	priv   bitset // over cores
+	llc    bitset // over sockets
+	inline [2]uint64
 }
 
 // Hierarchy is the full machine cache model.
@@ -297,15 +346,10 @@ const (
 	congestionRing = 64
 )
 
-// NewHierarchy builds the cache model for the given machine. It panics if
-// the machine exceeds the directory's 64-core or 32-socket bitmask limits.
+// NewHierarchy builds the cache model for the given machine; any socket and
+// core count is accepted (the coherence directory sizes its bitmasks to the
+// topology).
 func NewHierarchy(top *topology.Topology, geo Geometry, lat Latency) *Hierarchy {
-	if top.Cores() > 64 {
-		panic(fmt.Sprintf("cache: %d cores exceed the 64-core directory limit", top.Cores()))
-	}
-	if top.Sockets() > 32 {
-		panic(fmt.Sprintf("cache: %d sockets exceed the 32-socket directory limit", top.Sockets()))
-	}
 	h := &Hierarchy{
 		top:        top,
 		geo:        geo,
@@ -344,14 +388,26 @@ func (h *Hierarchy) TotalStats() Stats {
 func (h *Hierarchy) info(line int64) *lineInfo {
 	li := h.dir[line]
 	if li == nil {
+		// Directory entries are the simulator's dominant allocation count:
+		// use the inline backing when the machine fits, and carve both
+		// spilled bitsets out of one allocation when it does not.
+		pw, lw := bitsetWords(h.top.Cores()), bitsetWords(h.top.Sockets())
 		li = &lineInfo{}
+		if pw == 1 && lw == 1 {
+			li.priv = li.inline[:1]
+			li.llc = li.inline[1:2]
+		} else {
+			words := make([]uint64, pw+lw)
+			li.priv = words[:pw]
+			li.llc = words[pw:]
+		}
 		h.dir[line] = li
 	}
 	return li
 }
 
 func (h *Hierarchy) dropIfEmpty(line int64, li *lineInfo) {
-	if li.priv == 0 && li.llc == 0 {
+	if !li.priv.any() && !li.llc.any() {
 		delete(h.dir, line)
 	}
 }
@@ -362,7 +418,7 @@ func (h *Hierarchy) evictFromPrivate(core int, line int64) {
 		return
 	}
 	if li, ok := h.dir[line]; ok {
-		li.priv &^= 1 << uint(core)
+		li.priv.clear(core)
 		h.dropIfEmpty(line, li)
 	}
 }
@@ -374,7 +430,7 @@ func (h *Hierarchy) evictFromLLC(socket int, line int64) {
 		return
 	}
 	if li, ok := h.dir[line]; ok {
-		li.llc &^= 1 << uint(socket)
+		li.llc.clear(socket)
 		h.dropIfEmpty(line, li)
 	}
 }
@@ -387,10 +443,10 @@ func (h *Hierarchy) nearestHolder(from int, li *lineInfo) int {
 		if s == from {
 			continue
 		}
-		holds := li.llc&(1<<uint(s)) != 0
-		if !holds && li.priv != 0 {
+		holds := li.llc.get(s)
+		if !holds && li.priv.any() {
 			for _, c := range h.top.CoresOn(s) {
-				if li.priv&(1<<uint(c)) != 0 {
+				if li.priv.get(c) {
 					holds = true
 					break
 				}
@@ -414,25 +470,24 @@ func (h *Hierarchy) invalidateOthers(core int, line int64) bool {
 		return false
 	}
 	any := false
-	self := uint64(1) << uint(core)
-	if li.priv&^self != 0 {
+	if li.priv.anyExcept(core) {
 		for c := 0; c < h.top.Cores(); c++ {
-			if c != core && li.priv&(1<<uint(c)) != 0 {
+			if c != core && li.priv.get(c) {
 				h.priv[c].invalidate(line)
 				any = true
 			}
 		}
-		li.priv &= self
+		li.priv.onlyKeep(core)
 	}
-	mySock := uint32(1) << uint(h.top.SocketOf(core))
-	if li.llc&^mySock != 0 {
+	mySock := h.top.SocketOf(core)
+	if li.llc.anyExcept(mySock) {
 		for s := 0; s < h.top.Sockets(); s++ {
-			if li.llc&(1<<uint(s)) != 0 && uint32(1)<<uint(s) != mySock {
+			if s != mySock && li.llc.get(s) {
 				h.llc[s].invalidate(line)
 				any = true
 			}
 		}
-		li.llc &= mySock
+		li.llc.onlyKeep(mySock)
 	}
 	h.dropIfEmpty(line, li)
 	return any
@@ -542,7 +597,7 @@ func (h *Hierarchy) fill(core, socket int, line int64) {
 	if ev := h.llc[socket].insert(line); ev >= 0 {
 		h.evictFromLLC(socket, ev)
 	}
-	h.info(line).llc |= 1 << uint(socket)
+	h.info(line).llc.set(socket)
 	h.fillPrivate(core, line)
 }
 
@@ -550,7 +605,7 @@ func (h *Hierarchy) fillPrivate(core int, line int64) {
 	if ev := h.priv[core].insert(line); ev >= 0 {
 		h.evictFromPrivate(core, ev)
 	}
-	h.info(line).priv |= 1 << uint(core)
+	h.info(line).priv.set(core)
 }
 
 // AccessRange charges an access to the byte range [off, off+n) of region r

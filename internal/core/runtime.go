@@ -30,9 +30,16 @@ type Config struct {
 // DefaultConfig returns a platform on the paper's 4x8 machine with the given
 // worker count and policy.
 func DefaultConfig(workers int, policy sched.Policy) Config {
+	return DefaultConfigOn(topology.XeonE5_4620(), workers, policy)
+}
+
+// DefaultConfigOn is DefaultConfig on an arbitrary machine: default cache
+// geometry and latencies, bias weights derived from the topology's distance
+// matrix, seed 1.
+func DefaultConfigOn(top *topology.Topology, workers int, policy sched.Policy) Config {
 	return Config{
 		Sched: sched.Config{
-			Topology: topology.XeonE5_4620(),
+			Topology: top,
 			Workers:  workers,
 			Policy:   policy,
 			Seed:     1,

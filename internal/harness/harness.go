@@ -165,12 +165,13 @@ func Specs(s Scale) []Spec {
 // Options{} is "the paper's configuration, measured serially". The flip
 // side of this contract is that Options cannot express a literal zero —
 // Seed: 0 is indistinguishable from the default Seed: 1, and a deliberate
-// 1-worker run must say P: 1, because P: 0 means 32. Callers wanting
+// 1-worker run must say P: 1, because P: 0 means the whole machine (32 on
+// the paper's topology). Callers wanting
 // anything other than the default must pass an explicit non-zero value.
 // TestOptionsZeroValuesMeanDefaults pins this contract.
 type Options struct {
 	Topology *topology.Topology // nil means the paper's 4x8 machine (topology.XeonE5_4620)
-	P        int                // simulated worker count; 0 means 32
+	P        int                // simulated worker count; 0 means the whole machine, capped at the paper's 32
 	Seed     int64              // scheduler seed; 0 means 1
 	// Seeds averages each parallel measurement over this many scheduler
 	// seeds (Seed, Seed+1, ...), echoing the paper's "each data point is
@@ -194,7 +195,13 @@ func (o Options) fill() Options {
 		o.Topology = topology.XeonE5_4620()
 	}
 	if o.P == 0 {
-		o.P = 32
+		// The whole machine, capped at the paper's 32 — on the default
+		// topology exactly the documented "0 means 32"; on a smaller sweep
+		// machine a count the engine can actually place.
+		o.P = o.Topology.Cores()
+		if o.P > 32 {
+			o.P = 32
+		}
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
@@ -296,59 +303,27 @@ func MeasureAll(specs []Spec, opt Options) ([]metrics.Row, error) {
 var Fig9Points = []int{1, 8, 16, 24, 32}
 
 // MeasureScalability produces the Fig. 9 series: NUMA-WS TP over the
-// worker counts, tight socket packing (the Pack default). Like MeasureAll
-// it fans every (spec, point, seed) run out to an opt.Jobs-worker pool and
-// aggregates in canonical order.
+// worker counts, tight socket packing (the Pack default). It is the
+// single-machine case of MeasureTopologies, which fans every (spec, point,
+// seed) run out to an opt.Jobs-worker pool and aggregates in canonical
+// order. nil points derive the axis from the machine (SweepPoints), which
+// on the paper's topology is exactly Fig9Points.
 func MeasureScalability(specs []Spec, opt Options, points []int) ([]metrics.Series, error) {
 	opt = opt.fill()
-	if len(points) == 0 {
-		points = Fig9Points
-	}
 	var curve []Spec
 	for _, spec := range specs {
 		if spec.Fig9Name != "" {
 			curve = append(curve, spec)
 		}
 	}
-	// times[i][j][k] is the time of curve[i] at points[j] with seed k.
-	times := make([][][]int64, len(curve))
-	pool := exec.NewPool(opt.Jobs)
-	idx := 0
-	for i, spec := range curve {
-		times[i] = make([][]int64, len(points))
-		for j, p := range points {
-			times[i][j] = make([]int64, opt.Seeds)
-			for sd := 0; sd < opt.Seeds; sd++ {
-				spec, slot := spec, &times[i][j][sd]
-				o := opt
-				o.P = p
-				o.Seed = opt.Seed + int64(sd)
-				pool.Submit(idx, func() error {
-					rep, err := RunOne(spec, sched.PolicyNUMAWS, o)
-					if err != nil {
-						return err
-					}
-					*slot = rep.Time
-					return nil
-				})
-				idx++
-			}
-		}
-	}
-	if err := pool.Wait(); err != nil {
+	machine := Machine{Name: "machine", Top: opt.Topology}
+	sweeps, err := MeasureTopologies(curve, []Machine{machine}, opt, points)
+	if err != nil {
 		return nil, err
 	}
 	out := make([]metrics.Series, len(curve))
 	for i, spec := range curve {
-		s := metrics.Series{Name: spec.Fig9Name, P: points}
-		for j := range points {
-			var total int64
-			for _, t := range times[i][j] {
-				total += t
-			}
-			s.TP = append(s.TP, total/int64(opt.Seeds))
-		}
-		out[i] = s
+		out[i] = metrics.Series{Name: spec.Fig9Name, P: sweeps[i].P, TP: sweeps[i].TP}
 	}
 	return out, nil
 }

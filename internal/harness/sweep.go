@@ -1,0 +1,165 @@
+package harness
+
+// The topology-sweep experiment surface: the Fig. 9 scalability protocol
+// run across a grid of machine shapes instead of only the paper's 4x8
+// machine. Every (machine, spec, point, seed) run is an independent
+// simulation fanned out over the internal/exec pool, aggregated in
+// canonical order so output is byte-identical for every Jobs value.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/exec"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/topology"
+)
+
+// Machine names one topology of a sweep grid.
+type Machine struct {
+	Name string
+	Top  *topology.Topology
+}
+
+// Machines resolves topology specs (preset names or SxC shapes; see
+// topology.Parse) into sweep machines, rejecting unknown or duplicate names.
+func Machines(specs []string) ([]Machine, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("harness: no topologies given")
+	}
+	seen := make(map[string]bool, len(specs))
+	out := make([]Machine, 0, len(specs))
+	for _, spec := range specs {
+		if seen[spec] {
+			return nil, fmt.Errorf("harness: duplicate topology %q", spec)
+		}
+		seen[spec] = true
+		top, err := topology.Parse(spec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Machine{Name: spec, Top: top})
+	}
+	return out, nil
+}
+
+// SweepPoints derives a machine's worker-count axis the way Fig. 9 chose the
+// paper machine's {1, 8, 16, 24, 32}: one worker, then the quarter points of
+// the whole machine. Machines too small for distinct quarters degenerate
+// gracefully (duplicates collapse).
+func SweepPoints(top *topology.Topology) []int {
+	c := top.Cores()
+	pts := []int{1}
+	for _, q := range []int{c / 4, c / 2, 3 * c / 4, c} {
+		if q > pts[len(pts)-1] {
+			pts = append(pts, q)
+		}
+	}
+	return pts
+}
+
+// machinePoints fixes the point axis for one machine: the explicit points
+// clipped to the machine (deduplicated, ascending, 1 always present so
+// Speedup has its T1 base), or SweepPoints when none were given. Clipping
+// lets one -points list serve a mixed-size grid, but a machine none of the
+// requested points fit is an error, not a silent one-point curve.
+func machinePoints(name string, top *topology.Topology, points []int) ([]int, error) {
+	if len(points) == 0 {
+		return SweepPoints(top), nil
+	}
+	set := map[int]bool{1: true}
+	fit := false
+	for _, p := range points {
+		if p < 1 {
+			return nil, fmt.Errorf("harness: sweep point %d must be at least 1", p)
+		}
+		if p <= top.Cores() {
+			set[p] = true
+			fit = true
+		}
+	}
+	if !fit {
+		return nil, fmt.Errorf("harness: no sweep point in %v fits topology %s (%d cores)",
+			points, name, top.Cores())
+	}
+	out := make([]int, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// MeasureTopologies runs the NUMA-WS scalability protocol for every spec on
+// every machine: TP at each worker point, averaged over opt.Seeds scheduler
+// seeds. points nil derives each machine's axis with SweepPoints; explicit
+// points are clipped to each machine's core count. Results group by machine
+// in the given order, one sweep per (machine, spec).
+func MeasureTopologies(specs []Spec, machines []Machine, opt Options, points []int) ([]metrics.Sweep, error) {
+	opt = opt.fill()
+	if len(machines) == 0 {
+		return nil, fmt.Errorf("harness: no machines to sweep")
+	}
+	axes := make([][]int, len(machines))
+	for m, mach := range machines {
+		axis, err := machinePoints(mach.Name, mach.Top, points)
+		if err != nil {
+			return nil, err
+		}
+		axes[m] = axis
+	}
+	// times[m][i][j][k]: machine m, spec i, point j, seed k.
+	times := make([][][][]int64, len(machines))
+	pool := exec.NewPool(opt.Jobs)
+	idx := 0
+	for m, mach := range machines {
+		times[m] = make([][][]int64, len(specs))
+		for i, spec := range specs {
+			times[m][i] = make([][]int64, len(axes[m]))
+			for j, p := range axes[m] {
+				times[m][i][j] = make([]int64, opt.Seeds)
+				for sd := 0; sd < opt.Seeds; sd++ {
+					spec, slot := spec, &times[m][i][j][sd]
+					o := opt
+					o.Topology = mach.Top
+					o.P = p
+					o.Seed = opt.Seed + int64(sd)
+					pool.Submit(idx, func() error {
+						rep, err := RunOne(spec, sched.PolicyNUMAWS, o)
+						if err != nil {
+							return err
+						}
+						*slot = rep.Time
+						return nil
+					})
+					idx++
+				}
+			}
+		}
+	}
+	if err := pool.Wait(); err != nil {
+		return nil, err
+	}
+	out := make([]metrics.Sweep, 0, len(machines)*len(specs))
+	for m, mach := range machines {
+		for i, spec := range specs {
+			s := metrics.Sweep{
+				Bench:    spec.Name,
+				Topology: mach.Name,
+				Sockets:  mach.Top.Sockets(),
+				Cores:    mach.Top.Cores(),
+				P:        axes[m],
+			}
+			for j := range axes[m] {
+				var total int64
+				for _, t := range times[m][i][j] {
+					total += t
+				}
+				s.TP = append(s.TP, total/int64(opt.Seeds))
+			}
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}

@@ -94,6 +94,19 @@ func (b BindBlocks) String() string {
 	return fmt.Sprintf("bind-blocks(%d over %v)", b.Blocks, b.Sockets)
 }
 
+// Partition is the placement the NUMA-aware workloads use for banded data,
+// generalized to any machine: the region splits into `places` contiguous
+// blocks and the i'th block lands on socket i — Fig. 4's mmap+mbind pattern
+// with the place count taken from the runtime instead of hard-wired to the
+// paper's four sockets.
+func Partition(places int) Policy {
+	sockets := make([]int, places)
+	for i := range sockets {
+		sockets[i] = i
+	}
+	return BindBlocks{Blocks: places, Sockets: sockets}
+}
+
 // Region is a contiguous simulated allocation. Offsets into the region are
 // bytes; the cache model converts them to global line and page addresses.
 type Region struct {

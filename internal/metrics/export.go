@@ -57,15 +57,40 @@ type seriesJSON struct {
 	Points []seriesPointJSON `json:"points"`
 }
 
+// sweepJSON is one exported topology-sweep curve.
+type sweepJSON struct {
+	Bench    string            `json:"bench"`
+	Topology string            `json:"topology"`
+	Sockets  int               `json:"sockets"`
+	Cores    int               `json:"cores"`
+	Points   []seriesPointJSON `json:"points"`
+}
+
 // document is the top-level JSON export.
 type document struct {
 	Rows   []rowJSON    `json:"rows,omitempty"`
 	Series []seriesJSON `json:"series,omitempty"`
+	Sweeps []sweepJSON  `json:"sweeps,omitempty"`
+}
+
+// Export bundles every measurement kind a command can produce, for the
+// machine-readable writers.
+type Export struct {
+	Rows   []Row
+	Series []Series
+	Sweeps []Sweep
 }
 
 // WriteJSON writes rows and/or series (either may be empty) as one
 // indented JSON document.
 func WriteJSON(w io.Writer, rows []Row, series []Series) error {
+	return WriteExport(w, Export{Rows: rows, Series: series})
+}
+
+// WriteExport writes every measurement kind in e (any may be empty) as one
+// indented JSON document.
+func WriteExport(w io.Writer, e Export) error {
+	rows, series := e.Rows, e.Series
 	var doc document
 	for _, r := range rows {
 		doc.Rows = append(doc.Rows, rowJSON{
@@ -81,6 +106,14 @@ func WriteJSON(w io.Writer, rows []Row, series []Series) error {
 			sj.Points = append(sj.Points, seriesPointJSON{P: p, TP: s.TP[i], Speedup: speedup[i]})
 		}
 		doc.Series = append(doc.Series, sj)
+	}
+	for _, s := range e.Sweeps {
+		sj := sweepJSON{Bench: s.Bench, Topology: s.Topology, Sockets: s.Sockets, Cores: s.Cores}
+		speedup := s.Speedup()
+		for i, p := range s.P {
+			sj.Points = append(sj.Points, seriesPointJSON{P: p, TP: s.TP[i], Speedup: speedup[i]})
+		}
+		doc.Sweeps = append(doc.Sweeps, sj)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -130,6 +163,22 @@ func WriteSeriesCSV(w io.Writer, series []Series) error {
 		for i, p := range s.P {
 			records = append(records, []string{
 				s.Name, strconv.Itoa(p), strconv.FormatInt(s.TP[i], 10), formatFloat(speedup[i]),
+			})
+		}
+	}
+	return writeCSVRecords(w, records)
+}
+
+// WriteSweepsCSV writes topology-sweep curves in long form: one CSV record
+// per (bench, topology, point).
+func WriteSweepsCSV(w io.Writer, sweeps []Sweep) error {
+	records := [][]string{{"bench", "topology", "sockets", "cores", "p", "tp", "speedup"}}
+	for _, s := range sweeps {
+		speedup := s.Speedup()
+		for i, p := range s.P {
+			records = append(records, []string{
+				s.Bench, s.Topology, strconv.Itoa(s.Sockets), strconv.Itoa(s.Cores),
+				strconv.Itoa(p), strconv.FormatInt(s.TP[i], 10), formatFloat(speedup[i]),
 			})
 		}
 	}

@@ -1,0 +1,71 @@
+package sched
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// TestDefaultBiasWeights pins the derivation of the steal bias from the
+// distance matrix: weight 2^(maxDistance-h) per hop class. On the paper's
+// machine this must reproduce its hard-coded {4, 2, 1} distribution exactly;
+// on deeper and flatter machines the same rule extends and degenerates.
+func TestDefaultBiasWeights(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		top  *topology.Topology
+		want []float64
+	}{
+		{"paper-4x8", topology.XeonE5_4620(), []float64{4, 2, 1}},
+		{"two-socket", topology.TwoSocket(16), []float64{2, 1}},
+		{"uniform", topology.SingleSocket(32), []float64{1}},
+		{"8-ring", topology.Ring(8, 4), []float64{16, 8, 4, 2, 1}},
+	} {
+		if got := DefaultBiasWeights(tc.top); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: DefaultBiasWeights = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestDefaultBiasWeightsDeepRingStaysFinite guards the exponent cap: on a
+// very deep machine every weight and any realistic weight sum must stay
+// finite and positive, or proportional victim selection silently breaks.
+func TestDefaultBiasWeightsDeepRingStaysFinite(t *testing.T) {
+	w := DefaultBiasWeights(topology.Ring(2100, 1))
+	var sum float64
+	for h, v := range w {
+		if v <= 0 || math.IsInf(v, 0) {
+			t.Fatalf("weight[%d] = %v, want finite positive", h, v)
+		}
+		sum += v
+	}
+	// Even a million victims of the heaviest class must not overflow.
+	if s := sum * 1e6; math.IsInf(s, 0) || math.IsNaN(s) {
+		t.Fatalf("weight sum %v overflows under scaling", sum)
+	}
+	if w[len(w)-1] != 1 {
+		t.Errorf("farthest weight = %v, want 1", w[len(w)-1])
+	}
+}
+
+// TestDefaultBiasWeightsAllPresets checks every preset yields positive
+// weights covering its hop range — the positivity Lemma 1 requires.
+func TestDefaultBiasWeightsAllPresets(t *testing.T) {
+	for _, name := range topology.Presets() {
+		top, ok := topology.Preset(name)
+		if !ok {
+			t.Fatalf("preset %q missing", name)
+		}
+		w := DefaultBiasWeights(top)
+		if len(w) != top.MaxDistance()+1 {
+			t.Errorf("%s: %d weights for max distance %d", name, len(w), top.MaxDistance())
+		}
+		for h, v := range w {
+			if v <= 0 {
+				t.Errorf("%s: weight[%d] = %v, want positive", name, h, v)
+			}
+		}
+	}
+}

@@ -13,6 +13,7 @@ package sched
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/deque"
 	"repro/internal/sim"
@@ -142,7 +143,7 @@ func (c *Config) withDefaults() Config {
 		out.PushThreshold = 0
 	}
 	if out.BiasWeights == nil {
-		out.BiasWeights = defaultBiasWeights(out.Topology.MaxDistance())
+		out.BiasWeights = DefaultBiasWeights(out.Topology)
 	}
 	if out.MailboxCapacity <= 0 {
 		out.MailboxCapacity = 1
@@ -153,17 +154,27 @@ func (c *Config) withDefaults() Config {
 	return out
 }
 
-func defaultBiasWeights(maxHop int) []float64 {
+// DefaultBiasWeights derives the steal-bias weights from the machine's
+// distance matrix: the weight halves with every hop, normalized so the
+// farthest victim has weight 1 — w[h] = 2^(maxDistance-h). On the paper's
+// two-hop machine this is exactly its {4, 2, 1} distribution; on a deeper
+// machine (e.g. an 8-socket ring with 4-hop diameters) the same rule keeps
+// every victim's weight positive, which Lemma 1 requires, while preserving
+// the 2:1 preference between adjacent hop classes. The exponent is capped
+// at 512 so that on a pathologically deep machine (a 1000+-hop ring) the
+// nearest hop classes degrade to equal weights instead of a weight *sum*
+// that overflows to +Inf and breaks proportional victim selection: even
+// with millions of workers, a sum of 2^512-bounded weights stays far below
+// float64's 2^1024 ceiling.
+func DefaultBiasWeights(top *topology.Topology) []float64 {
+	maxHop := top.MaxDistance()
 	w := make([]float64, maxHop+1)
 	for h := range w {
-		switch h {
-		case 0:
-			w[h] = 4
-		case 1:
-			w[h] = 2
-		default:
-			w[h] = 1
+		exp := maxHop - h
+		if exp > 512 {
+			exp = 512
 		}
+		w[h] = math.Ldexp(1, exp)
 	}
 	return w
 }

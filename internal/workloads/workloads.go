@@ -61,11 +61,7 @@ func (c Config) bandPolicy(places int) memory.Policy {
 	if !c.Aware {
 		return c.basePolicy()
 	}
-	sockets := make([]int, places)
-	for i := range sockets {
-		sockets[i] = i
-	}
-	return memory.BindBlocks{Blocks: places, Sockets: sockets}
+	return memory.Partition(places)
 }
 
 // scratchPolicy is the policy for arrays that are never initialized before
