@@ -54,6 +54,7 @@ func BenchmarkFig3(b *testing.B) {
 	for _, name := range []string{"cilksort", "heat", "strassen", "hull1", "hull2", "cg", "matmul"} {
 		spec := specByName(b, name)
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			ts, err := harness.RunSerial(spec, harness.Options{})
 			if err != nil {
 				b.Fatal(err)
@@ -80,6 +81,7 @@ func BenchmarkTable7(b *testing.B) {
 		spec := specByName(b, name)
 		for _, pol := range []sched.Policy{sched.PolicyCilk, sched.PolicyNUMAWS} {
 			b.Run(fmt.Sprintf("%s/%v", name, pol), func(b *testing.B) {
+				b.ReportAllocs()
 				ts, err := harness.RunSerial(spec, harness.Options{})
 				if err != nil {
 					b.Fatal(err)
@@ -110,6 +112,7 @@ func BenchmarkTable8(b *testing.B) {
 		spec := specByName(b, name)
 		for _, pol := range []sched.Policy{sched.PolicyCilk, sched.PolicyNUMAWS} {
 			b.Run(fmt.Sprintf("%s/%v", name, pol), func(b *testing.B) {
+				b.ReportAllocs()
 				t1, err := harness.RunOne(spec, pol, harness.Options{P: 1})
 				if err != nil {
 					b.Fatal(err)
@@ -137,6 +140,7 @@ func BenchmarkFig9(b *testing.B) {
 		t1 := map[string]int64{}
 		for _, p := range harness.Fig9Points {
 			b.Run(fmt.Sprintf("%s/P=%d", name, p), func(b *testing.B) {
+				b.ReportAllocs()
 				var rep *core.Report
 				var err error
 				for i := 0; i < b.N; i++ {
@@ -168,6 +172,7 @@ func BenchmarkFig6(b *testing.B) {
 	}{{layout.RowMajor, 0}, {layout.Morton, 0}, {layout.BlockedMorton, 32}} {
 		m := layout.NewMatrix(a, tc.kind.String(), 256, tc.kind, tc.block, memory.Interleave{})
 		b.Run(tc.kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			s := 0
 			for i := 0; i < b.N; i++ {
 				s += m.Index(i%256, (i*7)%256)
@@ -204,6 +209,7 @@ func BenchmarkAblationNoCoinFlip(b *testing.B) {
 			name = "mailbox-first"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var rep *core.Report
 			for i := 0; i < b.N; i++ {
 				cfg := ablationConfig()
@@ -221,6 +227,7 @@ func BenchmarkAblationNoCoinFlip(b *testing.B) {
 func BenchmarkAblationPushThreshold(b *testing.B) {
 	for _, th := range []int{-1, 1, 4, 16, 256} {
 		b.Run(fmt.Sprintf("threshold=%d", th), func(b *testing.B) {
+			b.ReportAllocs()
 			var rep *core.Report
 			for i := 0; i < b.N; i++ {
 				cfg := ablationConfig()
@@ -238,6 +245,7 @@ func BenchmarkAblationPushThreshold(b *testing.B) {
 func BenchmarkAblationMailboxSize(b *testing.B) {
 	for _, size := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("entries=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
 			var rep *core.Report
 			for i := 0; i < b.N; i++ {
 				cfg := ablationConfig()
@@ -259,6 +267,7 @@ func BenchmarkAblationUniformSteal(b *testing.B) {
 			name = "uniform"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var rep *core.Report
 			for i := 0; i < b.N; i++ {
 				cfg := ablationConfig()
@@ -281,6 +290,7 @@ func BenchmarkAblationEagerPush(b *testing.B) {
 			name = "eager"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var rep *core.Report
 			for i := 0; i < b.N; i++ {
 				cfg := ablationConfig()
@@ -306,6 +316,7 @@ func BenchmarkMeasureAllJobs(b *testing.B) {
 	}
 	for _, jobs := range counts {
 		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := harness.MeasureAll(specs, harness.Options{Jobs: jobs}); err != nil {
 					b.Fatal(err)
@@ -318,6 +329,7 @@ func BenchmarkMeasureAllJobs(b *testing.B) {
 // --- Microbenchmarks of the substrates ---
 
 func BenchmarkDequePushPop(b *testing.B) {
+	b.ReportAllocs()
 	d := deque.New[int](1 << 12)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -327,6 +339,7 @@ func BenchmarkDequePushPop(b *testing.B) {
 }
 
 func BenchmarkDequeSteal(b *testing.B) {
+	b.ReportAllocs()
 	d := deque.New[int](1 << 20)
 	for i := 0; i < 1<<20; i++ {
 		d.PushTail(i)
@@ -344,6 +357,7 @@ func BenchmarkDequeSteal(b *testing.B) {
 }
 
 func BenchmarkCacheAccess(b *testing.B) {
+	b.ReportAllocs()
 	top := topology.XeonE5_4620()
 	h := cache.NewHierarchy(top, cache.DefaultGeometry(), cache.DefaultLatency())
 	b.ResetTimer()
@@ -353,6 +367,7 @@ func BenchmarkCacheAccess(b *testing.B) {
 }
 
 func BenchmarkMortonIndex(b *testing.B) {
+	b.ReportAllocs()
 	var s int64
 	for i := 0; i < b.N; i++ {
 		s += layout.MortonIndex(i&0xFFFF, (i*3)&0xFFFF)
@@ -361,11 +376,77 @@ func BenchmarkMortonIndex(b *testing.B) {
 }
 
 func BenchmarkRNGPick(b *testing.B) {
+	b.ReportAllocs()
 	g := sim.NewRNG(1)
 	w := []float64{4, 2, 1, 2, 4, 8, 1, 1}
 	for i := 0; i < b.N; i++ {
 		g.Pick(w)
 	}
+}
+
+// BenchmarkPickerPick is the victim-selection hot path after the rework:
+// the weights are validated and prefix-summed once, each draw is one
+// Float64 plus a binary search. Compare against BenchmarkRNGPick (the
+// linear validate-and-scan it replaced); both draw the identical index
+// stream. The 32-weight case is the paper machine's per-thief vector.
+func BenchmarkPickerPick(b *testing.B) {
+	for _, n := range []int{8, 32, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			w := make([]float64, n)
+			for i := range w {
+				w[i] = float64(int(1) << (i % 3)) // hop-class-like 4/2/1 values
+			}
+			p := sim.NewPicker(w)
+			g := sim.NewRNG(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Pick(g)
+			}
+		})
+	}
+}
+
+// BenchmarkSimQueue is the event loop's heartbeat: every simulated event
+// pops the earliest worker and pushes its next wakeup. The 4-ary heap does
+// this with zero allocations; the old container/heap boxed one item per
+// push and one per pop.
+func BenchmarkSimQueue(b *testing.B) {
+	for _, p := range []int{32, 1024} {
+		b.Run(fmt.Sprintf("workers=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			var q sim.Queue
+			for id := 0; id < p; id++ {
+				q.Push(int64(id)%7, id)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				at, id := q.Pop()
+				q.Push(at+int64(i%101), id)
+			}
+		})
+	}
+}
+
+// BenchmarkDagSpan measures the longest-path pass over a recorded
+// computation dag (CSR form: one flat edge array, two transient
+// allocations per call).
+func BenchmarkDagSpan(b *testing.B) {
+	b.ReportAllocs()
+	w := workloads.NewHeat(128, 128, 8, 16, workloads.Config{Aware: true, Seed: 5})
+	cfg := core.DefaultConfig(32, sched.PolicyNUMAWS)
+	cfg.RecordDAG = true
+	rt := core.NewRuntime(cfg)
+	w.Prepare(rt)
+	rep := rt.Run(w.Root())
+	g := rep.DAG
+	b.ResetTimer()
+	var span int64
+	for i := 0; i < b.N; i++ {
+		span = g.Span()
+	}
+	b.ReportMetric(float64(g.Nodes()), "nodes")
+	b.ReportMetric(float64(span), "span-cycles")
 }
 
 // BenchmarkAblationBandwidth toggles the DRAM bandwidth model. With
@@ -376,6 +457,7 @@ func BenchmarkAblationBandwidth(b *testing.B) {
 	for _, occ := range []int64{0, 6, 48} {
 		for _, pol := range []sched.Policy{sched.PolicyCilk, sched.PolicyNUMAWS} {
 			b.Run(fmt.Sprintf("occupancy=%d/%v", occ, pol), func(b *testing.B) {
+				b.ReportAllocs()
 				var rep *core.Report
 				for i := 0; i < b.N; i++ {
 					cfg := core.DefaultConfig(32, pol)

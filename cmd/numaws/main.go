@@ -39,6 +39,11 @@
 //	         ("-" for stdout) in addition to the printed tables; when a
 //	         subcommand measures both rows and series, the series table
 //	         goes to a sibling *.series.csv file
+//	-cpuprofile  write a pprof CPU profile of the measurement runs to
+//	         this file (the sweep subcommand also accepts it after its
+//	         name), so perf investigation of the simulator is self-serve
+//	-memprofile  write a pprof heap profile taken after the measurement
+//	         runs to this file
 package main
 
 import (
@@ -47,6 +52,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -70,6 +77,8 @@ func main() {
 	jobs := flag.Int("jobs", exec.DefaultJobs(), "concurrent simulations on the host (wall-clock only; results are identical)")
 	jsonPath := flag.String("json", "", "write measured rows/series as JSON to this file (\"-\" for stdout)")
 	csvPath := flag.String("csv", "", "write measured rows/series as CSV to this file (\"-\" for stdout)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the runs to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile after the runs to this file")
 	flag.Parse()
 
 	cmd := flag.Arg(0)
@@ -133,12 +142,13 @@ func main() {
 		if topoExplicit {
 			globalTopo = *topoSpec
 		}
-		sw, err = parseSweepArgs(rest, *jsonPath, *csvPath, globalTopo, specs)
+		sw, err = parseSweepArgs(rest, *jsonPath, *csvPath, *cpuProfile, *memProfile, globalTopo, specs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "numaws:", err)
 			os.Exit(1)
 		}
 		*jsonPath, *csvPath = sw.json, sw.csv
+		*cpuProfile, *memProfile = sw.cpu, sw.mem
 		rest = nil
 	}
 	if cmd == "timeline" && len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
@@ -164,17 +174,82 @@ func main() {
 		fmt.Fprintln(os.Stderr, "numaws:", err)
 		os.Exit(1)
 	}
-	var ex export
-	if err := run(cmd, specs, opt, &ex, sw); err != nil {
+	// Profiling brackets the measurement runs only, so the profile is the
+	// simulator, not flag parsing or export encoding.
+	stopProf, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
 		out.discard()
 		fmt.Fprintln(os.Stderr, "numaws:", err)
 		os.Exit(1)
 	}
+	var ex export
+	if err := run(cmd, specs, opt, &ex, sw); err != nil {
+		stopProf()
+		out.discard()
+		fmt.Fprintln(os.Stderr, "numaws:", err)
+		os.Exit(1)
+	}
+	// The profiles are a side channel: a failure writing them must not
+	// discard the completed measurements, so export first and only then
+	// report the profile error (loudly, with the exports safely on disk).
+	profErr := stopProf()
 	if err := ex.write(out); err != nil {
 		out.discard() // sinks not yet written keep their temp files
 		fmt.Fprintln(os.Stderr, "numaws:", err)
 		os.Exit(1)
 	}
+	if profErr != nil {
+		fmt.Fprintln(os.Stderr, "numaws: profile (measurements and exports are intact):", profErr)
+		os.Exit(1)
+	}
+}
+
+// startProfiles starts a CPU profile and arranges a heap profile, either
+// optional ("" disables it). The returned stop function is idempotent; it
+// ends the CPU profile and snapshots the heap after a final GC, so the
+// profile reflects live simulator state rather than collectable garbage.
+func startProfiles(cpu, mem string) (func() error, error) {
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuF = f
+	}
+	stopped := false
+	return func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		var err error
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			err = cpuF.Close()
+		}
+		if mem != "" {
+			f, ferr := os.Create(mem)
+			if ferr != nil {
+				if err == nil {
+					err = ferr
+				}
+				return err
+			}
+			runtime.GC()
+			if werr := pprof.WriteHeapProfile(f); werr != nil && err == nil {
+				err = werr
+			}
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		return err
+	}, nil
 }
 
 // measures says which result kinds a subcommand produces.
@@ -202,6 +277,7 @@ type sweepArgs struct {
 	topos     []string
 	points    []int
 	json, csv string
+	cpu, mem  string
 }
 
 // parseSweepArgs parses the arguments after "sweep" with a dedicated
@@ -209,7 +285,7 @@ type sweepArgs struct {
 // flags, passed in as defaults) or after it. globalTopo is the global
 // -topology value when the user passed that flag explicitly ("" otherwise);
 // it narrows the sweep to that one machine, and clashes with -topologies.
-func parseSweepArgs(args []string, jsonDefault, csvDefault, globalTopo string, specs []harness.Spec) (*sweepArgs, error) {
+func parseSweepArgs(args []string, jsonDefault, csvDefault, cpuDefault, memDefault, globalTopo string, specs []harness.Spec) (*sweepArgs, error) {
 	toposDefault := strings.Join(topology.Presets(), ",")
 	if globalTopo != "" {
 		toposDefault = globalTopo
@@ -221,6 +297,8 @@ func parseSweepArgs(args []string, jsonDefault, csvDefault, globalTopo string, s
 	points := fs.String("points", "", "comma-separated worker counts, clipped to each machine's core count (default: each machine's quarter points)")
 	jsonPath := fs.String("json", jsonDefault, "write the sweep as JSON to this file (\"-\" for stdout)")
 	csvPath := fs.String("csv", csvDefault, "write the sweep as CSV to this file (\"-\" for stdout)")
+	cpuProfile := fs.String("cpuprofile", cpuDefault, "write a pprof CPU profile of the sweep to this file")
+	memProfile := fs.String("memprofile", memDefault, "write a pprof heap profile after the sweep to this file")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -230,7 +308,7 @@ func parseSweepArgs(args []string, jsonDefault, csvDefault, globalTopo string, s
 	if globalTopo != "" && *topos != toposDefault {
 		return nil, fmt.Errorf("sweep: -topology %s conflicts with sweep -topologies %s; pass only one", globalTopo, *topos)
 	}
-	sw := &sweepArgs{json: *jsonPath, csv: *csvPath, topos: splitList(*topos)}
+	sw := &sweepArgs{json: *jsonPath, csv: *csvPath, cpu: *cpuProfile, mem: *memProfile, topos: splitList(*topos)}
 	if *points != "" {
 		for _, s := range splitList(*points) {
 			p, err := strconv.Atoi(s)

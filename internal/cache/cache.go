@@ -328,6 +328,10 @@ type Hierarchy struct {
 	priv []*setAssoc // indexed by core
 	llc  []*setAssoc // indexed by socket
 	dir  map[int64]*lineInfo
+	// slab carves directory entries out of block allocations: entries are
+	// the simulator's dominant allocation count, and handing them out from
+	// a block turns ~256 allocations into one.
+	slab []lineInfo
 	// perCore statistics, indexed by core.
 	perCore []Stats
 	// Congestion tracking: per socket, line-fill counts per virtual-time
@@ -388,11 +392,15 @@ func (h *Hierarchy) TotalStats() Stats {
 func (h *Hierarchy) info(line int64) *lineInfo {
 	li := h.dir[line]
 	if li == nil {
-		// Directory entries are the simulator's dominant allocation count:
-		// use the inline backing when the machine fits, and carve both
-		// spilled bitsets out of one allocation when it does not.
+		// Entries come from the slab; use the inline backing when the
+		// machine fits, and carve both spilled bitsets out of one
+		// allocation when it does not.
+		if len(h.slab) == 0 {
+			h.slab = make([]lineInfo, 256)
+		}
+		li = &h.slab[0]
+		h.slab = h.slab[1:]
 		pw, lw := bitsetWords(h.top.Cores()), bitsetWords(h.top.Sockets())
-		li = &lineInfo{}
 		if pw == 1 && lw == 1 {
 			li.priv = li.inline[:1]
 			li.llc = li.inline[1:2]
@@ -445,7 +453,8 @@ func (h *Hierarchy) nearestHolder(from int, li *lineInfo) int {
 		}
 		holds := li.llc.get(s)
 		if !holds && li.priv.any() {
-			for _, c := range h.top.CoresOn(s) {
+			lo, hi := h.top.CoreRange(s)
+			for c := lo; c < hi; c++ {
 				if li.priv.get(c) {
 					holds = true
 					break

@@ -25,7 +25,24 @@ type Config struct {
 	// work and span available in Report.DAG (at some memory cost per
 	// strand).
 	RecordDAG bool
+	// Arena, if non-nil, supplies reusable run-scoped storage (the
+	// scheduler's worker set, deques, victim pickers and frame pool, and
+	// the execution layer's task pool). A nil Arena gets a private one.
+	// Reuse never changes results; it only removes per-run allocation.
+	// An Arena must back at most one live Runtime at a time.
+	Arena *Arena
 }
+
+// Arena carries the allocation-heavy state a Runtime can reuse from a
+// previous run on the same machine shape. See sched.Arena for the
+// scheduler half; the core half pools the per-frame task records.
+type Arena struct {
+	sched *sched.Arena
+	tasks []*simTask
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{sched: sched.NewArena()} }
 
 // DefaultConfig returns a platform on the paper's 4x8 machine with the given
 // worker count and policy.
@@ -70,6 +87,14 @@ type Runtime struct {
 	alloc  *memory.Allocator
 	caches *cache.Hierarchy
 	engine *sched.Engine
+	arena  *Arena
+
+	// Task-goroutine pool for this run: strand execution hands off between
+	// the engine goroutine and one goroutine per live frame; finished
+	// frames' goroutines (and their channels) are reused for later frames
+	// instead of being respawned.
+	units     []*unit
+	freeUnits []*unit
 
 	used bool
 }
@@ -85,10 +110,14 @@ func NewRuntime(cfg Config) *Runtime {
 	if cfg.Latency == (cache.Latency{}) {
 		cfg.Latency = cache.DefaultLatency()
 	}
+	if cfg.Arena == nil {
+		cfg.Arena = NewArena()
+	}
 	rt := &Runtime{
 		cfg:    cfg,
 		alloc:  memory.NewAllocator(cfg.Sched.Topology.Sockets()),
 		caches: cache.NewHierarchy(cfg.Sched.Topology, cfg.Geometry, cfg.Latency),
+		arena:  cfg.Arena,
 	}
 	return rt
 }
@@ -128,8 +157,11 @@ func (rt *Runtime) Run(root Task) *Report {
 		rec = dag.Wrap(runner)
 		runner = rec
 	}
-	rt.engine = sched.NewEngine(rt.cfg.Sched, runner)
-	rootFrame := sched.NewRootFrame(PlaceAny)
+	// Release the task-goroutine pool even if the run panics, so parked
+	// goroutines never outlive the Runtime.
+	defer rt.closeUnits()
+	rt.engine = sched.NewEngineIn(rt.arena.sched, rt.cfg.Sched, runner)
+	rootFrame := rt.engine.NewRootFrame(PlaceAny)
 	rootFrame.Data = newSimTask(rt, rootFrame, root)
 	stats := rt.engine.Run(rootFrame)
 	rep := &Report{
@@ -209,43 +241,112 @@ type simRunner Runtime
 // Resume implements sched.Runner by handing control to the frame's task
 // goroutine until its next scheduling event. Exactly one task goroutine runs
 // at a time (strict handoff), which keeps the simulation deterministic.
+// When the task returns, its goroutine and task record go back to the pools
+// for the next frame — the steady-state loop spawns no goroutines and
+// allocates no task state.
 func (r *simRunner) Resume(w int, f *sched.Frame) sched.Yield {
+	rt := (*Runtime)(r)
 	t := f.Data.(*simTask)
 	t.ctx.worker = w
-	t.ctx.core = (*Runtime)(r).engine.CoreOf(w)
-	t.ctx.start = (*Runtime)(r).engine.ClockOf(w)
+	t.ctx.core = rt.engine.CoreOf(w)
+	t.ctx.start = rt.engine.ClockOf(w)
 	if !t.started {
 		t.started = true
-		go t.main()
+		t.u = rt.getUnit()
+		t.u.start <- t
 	} else {
-		t.resume <- struct{}{}
+		t.u.resume <- struct{}{}
 	}
-	y := <-t.yield
+	u := t.u
+	y := <-u.yield
 	if t.err != nil {
 		panic(fmt.Sprintf("core: task panicked: %v", t.err))
+	}
+	if y.Kind == sched.YieldReturn {
+		// The task is done: its final yield has been received and its
+		// goroutine is parked back at the unit loop. Nothing references
+		// either anymore (the engine recycles the frame when it applies
+		// this yield), so both are safe to hand to the next frame.
+		rt.freeUnits = append(rt.freeUnits, u)
+		rt.putTask(t)
 	}
 	return y
 }
 
-// simTask is the continuation state of one frame: a goroutine that runs the
-// user's Task and parks at every spawn/sync/return.
+// unit is one pooled task goroutine with its handoff channels. The
+// goroutine runs tasks assigned over start until the channel closes at the
+// end of the run.
+type unit struct {
+	start  chan *simTask
+	resume chan struct{}
+	yield  chan sched.Yield
+}
+
+func (u *unit) loop() {
+	for t := range u.start {
+		t.main()
+	}
+}
+
+func (rt *Runtime) getUnit() *unit {
+	if n := len(rt.freeUnits); n > 0 {
+		u := rt.freeUnits[n-1]
+		rt.freeUnits = rt.freeUnits[:n-1]
+		return u
+	}
+	u := &unit{
+		start:  make(chan *simTask),
+		resume: make(chan struct{}),
+		yield:  make(chan sched.Yield),
+	}
+	rt.units = append(rt.units, u)
+	go u.loop()
+	return u
+}
+
+// closeUnits retires the run's pooled goroutines. Units parked in the free
+// pool exit their loop; a unit still blocked inside a task (possible only
+// when the run panicked) is left to the old fate of orphaned task
+// goroutines — closing its start channel makes it exit if it ever unblocks.
+func (rt *Runtime) closeUnits() {
+	for _, u := range rt.units {
+		close(u.start)
+	}
+	rt.units, rt.freeUnits = nil, nil
+}
+
+// simTask is the continuation state of one frame: a pooled goroutine unit
+// that runs the user's Task and parks at every spawn/sync/return.
 type simTask struct {
 	fn      Task
-	ctx     *simCtx
-	resume  chan struct{}
-	yield   chan sched.Yield
+	ctx     simCtx
+	u       *unit
 	started bool
 	err     any
 }
 
 func newSimTask(rt *Runtime, f *sched.Frame, fn Task) *simTask {
-	t := &simTask{
-		fn:     fn,
-		resume: make(chan struct{}),
-		yield:  make(chan sched.Yield),
-	}
-	t.ctx = &simCtx{rt: rt, frame: f, task: t}
+	t := rt.getTask()
+	t.fn = fn
+	t.ctx = simCtx{rt: rt, frame: f, task: t}
 	return t
+}
+
+func (rt *Runtime) getTask() *simTask {
+	a := rt.arena
+	if n := len(a.tasks); n > 0 {
+		t := a.tasks[n-1]
+		a.tasks = a.tasks[:n-1]
+		return t
+	}
+	return &simTask{}
+}
+
+// putTask clears a finished task record — dropping its frame and closure
+// references for the collector — and pools it for the next frame.
+func (rt *Runtime) putTask(t *simTask) {
+	*t = simTask{}
+	rt.arena.tasks = append(rt.arena.tasks, t)
 }
 
 // main is the task goroutine body: run the user function, then an implicit
@@ -254,14 +355,14 @@ func (t *simTask) main() {
 	defer func() {
 		if p := recover(); p != nil {
 			t.err = p
-			t.yield <- sched.Yield{Kind: sched.YieldReturn, Cost: t.ctx.cost}
+			t.u.yield <- sched.Yield{Kind: sched.YieldReturn, Cost: t.ctx.cost}
 		}
 	}()
-	t.fn(t.ctx)
+	t.fn(&t.ctx)
 	if t.ctx.spawned {
 		t.ctx.Sync()
 	}
-	t.yield <- sched.Yield{Kind: sched.YieldReturn, Cost: t.ctx.cost}
+	t.u.yield <- sched.Yield{Kind: sched.YieldReturn, Cost: t.ctx.cost}
 }
 
 // simCtx implements Context on the simulated platform.
@@ -293,30 +394,30 @@ func (c *simCtx) checkPlace(p int) int {
 }
 
 func (c *simCtx) spawnAt(place int, fn Task) {
-	child := sched.NewFrame(c.frame, place)
+	child := c.rt.engine.NewFrame(c.frame, place)
 	child.Data = newSimTask(c.rt, child, fn)
 	c.spawned = true
-	c.task.yield <- sched.Yield{Kind: sched.YieldSpawn, Cost: c.cost, Child: child}
+	c.task.u.yield <- sched.Yield{Kind: sched.YieldSpawn, Cost: c.cost, Child: child}
 	c.cost = 0
-	<-c.task.resume
+	<-c.task.u.resume
 }
 
 func (c *simCtx) Sync() {
 	c.spawned = false
-	c.task.yield <- sched.Yield{Kind: sched.YieldSync, Cost: c.cost}
+	c.task.u.yield <- sched.Yield{Kind: sched.YieldSync, Cost: c.cost}
 	c.cost = 0
-	<-c.task.resume
+	<-c.task.u.resume
 }
 
 // Call runs t as a plain (non-spawn) Cilk function call: same worker, no
 // stealable continuation, but its own frame — so a cilk_sync inside t waits
 // only for t's own spawned children, never the caller's.
 func (c *simCtx) Call(t Task) {
-	child := sched.NewCalledFrame(c.frame, c.frame.Place)
+	child := c.rt.engine.NewCalledFrame(c.frame, c.frame.Place)
 	child.Data = newSimTask(c.rt, child, t)
-	c.task.yield <- sched.Yield{Kind: sched.YieldCall, Cost: c.cost, Child: child}
+	c.task.u.yield <- sched.Yield{Kind: sched.YieldCall, Cost: c.cost, Child: child}
 	c.cost = 0
-	<-c.task.resume
+	<-c.task.u.resume
 }
 
 func (c *simCtx) Compute(n int64) { c.cost += n }

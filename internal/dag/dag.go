@@ -9,6 +9,12 @@
 // the *program*, not the schedule, recording the same computation at
 // different worker counts or under different schedulers must produce
 // identical work and span — a strong invariant the tests exploit.
+//
+// The graph is stored in CSR (compressed sparse row) form: one flat int32
+// edge array plus per-node offsets, appended to as nodes are recorded. A
+// million-strand run costs three growing slices instead of a [][]int32 with
+// one slice header and one backing array per node, and Span traverses the
+// flat arrays with exactly two transient allocations.
 package dag
 
 import (
@@ -17,18 +23,25 @@ import (
 	"repro/internal/sched"
 )
 
-// Graph is a recorded computation dag.
+// Graph is a recorded computation dag in predecessor-CSR form: node v's
+// predecessors are preds[predOff[v]:predOff[v+1]].
 type Graph struct {
-	cost  []int64
-	preds [][]int32
-	edges int
+	cost    []int64
+	predOff []int32
+	preds   []int32
 }
 
 // Nodes reports the number of strands recorded.
 func (g *Graph) Nodes() int { return len(g.cost) }
 
 // Edges reports the number of dependence edges.
-func (g *Graph) Edges() int { return g.edges }
+func (g *Graph) Edges() int { return len(g.preds) }
+
+// Preds returns node v's predecessor ids (aliasing the graph's storage).
+func (g *Graph) Preds(v int) []int32 { return g.preds[g.predOff[v]:g.predOff[v+1]] }
+
+// Cost reports node v's strand cost in cycles.
+func (g *Graph) Cost(v int) int64 { return g.cost[v] }
 
 // Work is the total strand cost — T1 of the dag (excluding scheduler
 // bookkeeping).
@@ -42,44 +55,75 @@ func (g *Graph) Work() int64 {
 
 // Span is the cost of the longest path — T∞ of the dag. Computed by a
 // topological pass (Kahn), since suspension can create nodes out of
-// dependence order.
+// dependence order. The successor CSR, the Kahn queue and the in-degrees
+// are carved out of one int32 buffer and the distances out of one int64
+// buffer: two allocations total, no per-node slices.
 func (g *Graph) Span() int64 {
 	n := len(g.cost)
 	if n == 0 {
 		return 0
 	}
-	indeg := make([]int32, n)
-	succs := make([][]int32, n)
-	for v, ps := range g.preds {
-		for _, u := range ps {
-			succs[u] = append(succs[u], int32(v))
+	e := len(g.preds)
+	// buf layout: succOff (n+1) | succs (e) | queue (n) | indeg (n).
+	buf := make([]int32, (n+1)+e+n+n)
+	succOff := buf[: n+1 : n+1]
+	succs := buf[n+1 : n+1+e]
+	queue := buf[n+1+e : n+1+e+n]
+	indeg := buf[n+1+e+n:]
+	dist := make([]int64, n)
+
+	// Pass 1: out-degree counts (shifted by one so the prefix sum leaves
+	// succOff[u] pointing at u's first slot) and in-degrees.
+	for v := 0; v < n; v++ {
+		for _, u := range g.Preds(v) {
+			succOff[u+1]++
 			indeg[v]++
 		}
 	}
-	dist := make([]int64, n)
-	queue := make([]int32, 0, n)
+	for u := 0; u < n; u++ {
+		succOff[u+1] += succOff[u]
+	}
+	// Pass 2: scatter successors; succOff[u] advances to its final value
+	// (u's end == u+1's start, restoring the offsets invariant shifted
+	// back by one: after this loop succOff[u] is the end of u's slots).
+	for v := 0; v < n; v++ {
+		for _, u := range g.Preds(v) {
+			succs[succOff[u]] = int32(v)
+			succOff[u]++
+		}
+	}
+
+	var best int64
+	qlen := 0
 	for v := 0; v < n; v++ {
 		if indeg[v] == 0 {
-			queue = append(queue, int32(v))
+			queue[qlen] = int32(v)
+			qlen++
 			dist[v] = g.cost[v]
 		}
 	}
-	var best int64
 	processed := 0
-	for len(queue) > 0 {
-		u := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
+	for qlen > 0 {
+		qlen--
+		u := queue[qlen]
 		processed++
 		if dist[u] > best {
 			best = dist[u]
 		}
-		for _, v := range succs[u] {
+		// u's successor slots end at succOff[u]; they start where u-1's
+		// end (0 for the first node).
+		start := int32(0)
+		if u > 0 {
+			start = succOff[u-1]
+		}
+		for _, v := range succs[start:succOff[u]] {
 			if d := dist[u] + g.cost[v]; d > dist[v] {
 				dist[v] = d
 			}
 			indeg[v]--
 			if indeg[v] == 0 {
-				queue = append(queue, v)
+				queue[qlen] = v
+				qlen++
 			}
 		}
 	}
@@ -112,6 +156,9 @@ type Recorder struct {
 	inner  sched.Runner
 	g      *Graph
 	frames map[*sched.Frame]*frameState
+	// spare recycles frameStates of returned frames (with their children
+	// backing arrays) for newly spawned ones.
+	spare []*frameState
 }
 
 // Wrap returns a Recorder around inner; pass the Recorder itself as the
@@ -119,7 +166,7 @@ type Recorder struct {
 func Wrap(inner sched.Runner) *Recorder {
 	return &Recorder{
 		inner:  inner,
-		g:      &Graph{},
+		g:      &Graph{predOff: []int32{0}},
 		frames: make(map[*sched.Frame]*frameState),
 	}
 }
@@ -127,24 +174,29 @@ func Wrap(inner sched.Runner) *Recorder {
 // Graph returns the recorded dag (valid after the run completes).
 func (r *Recorder) Graph() *Graph { return r.g }
 
-func (r *Recorder) node(cost int64, preds ...int32) int32 {
+// node appends a strand node whose predecessors are first (if >= 0) and
+// rest, writing the edges straight into the CSR arrays.
+func (r *Recorder) node(cost int64, first int32, rest []int32) int32 {
 	id := int32(len(r.g.cost))
 	r.g.cost = append(r.g.cost, cost)
-	ps := make([]int32, 0, len(preds))
-	for _, p := range preds {
-		if p >= 0 {
-			ps = append(ps, p)
-			r.g.edges++
-		}
+	if first >= 0 {
+		r.g.preds = append(r.g.preds, first)
 	}
-	r.g.preds = append(r.g.preds, ps)
+	r.g.preds = append(r.g.preds, rest...)
+	r.g.predOff = append(r.g.predOff, int32(len(r.g.preds)))
 	return id
 }
 
 func (r *Recorder) state(f *sched.Frame) *frameState {
 	st := r.frames[f]
 	if st == nil {
-		st = &frameState{last: -1}
+		if n := len(r.spare); n > 0 {
+			st = r.spare[n-1]
+			r.spare = r.spare[:n-1]
+			st.last, st.children, st.pending = -1, st.children[:0], false
+		} else {
+			st = &frameState{last: -1}
+		}
 		r.frames[f] = st
 	}
 	return st
@@ -159,15 +211,14 @@ func (r *Recorder) Resume(w int, f *sched.Frame) sched.Yield {
 	// Materialize the join node now, when all child end nodes exist.
 	if st.pending {
 		st.pending = false
-		preds := append([]int32{st.last}, st.children...)
-		st.last = r.node(0, preds...)
+		st.last = r.node(0, st.last, st.children)
 		st.children = st.children[:0]
 	}
 
 	y := r.inner.Resume(w, f)
 	// The strand just executed: a node depending on the frame's previous
 	// strand (or join node).
-	n := r.node(y.Cost, st.last)
+	n := r.node(y.Cost, st.last, nil)
 	st.last = n
 
 	switch y.Kind {
@@ -188,6 +239,7 @@ func (r *Recorder) Resume(w int, f *sched.Frame) sched.Yield {
 			}
 		}
 		delete(r.frames, f)
+		r.spare = append(r.spare, st)
 	}
 	return y
 }

@@ -162,3 +162,44 @@ func TestEdgesCounted(t *testing.T) {
 		t.Errorf("graph with %d nodes has only %d edges; must be connected", g.Nodes(), g.Edges())
 	}
 }
+
+// TestCSRPredsConsistent checks the CSR storage invariants: offsets are
+// monotone, cover exactly the edge array, and every predecessor id precedes
+// nothing impossible (a valid node id other than the node's own).
+func TestCSRPredsConsistent(t *testing.T) {
+	g, _ := record(t, 4, sched.PolicyNUMAWS, 3, &scriptRunner{fanout: 3, depth: 3, leafCost: 10, innerCost: 1})
+	total := 0
+	for v := 0; v < g.Nodes(); v++ {
+		ps := g.Preds(v)
+		total += len(ps)
+		for _, u := range ps {
+			if int(u) < 0 || int(u) >= g.Nodes() {
+				t.Fatalf("node %d has out-of-range predecessor %d", v, u)
+			}
+			if int(u) == v {
+				t.Fatalf("node %d is its own predecessor", v)
+			}
+		}
+		if g.Cost(v) < 0 {
+			t.Fatalf("node %d has negative cost %d", v, g.Cost(v))
+		}
+	}
+	if total != g.Edges() {
+		t.Errorf("per-node predecessor lists cover %d edges, Edges() = %d", total, g.Edges())
+	}
+}
+
+// TestSpanAllocations pins the Span rework's point: one int32 buffer and
+// one int64 buffer per call, regardless of graph size.
+func TestSpanAllocations(t *testing.T) {
+	g, _ := record(t, 4, sched.PolicyCilk, 1, &scriptRunner{fanout: 3, depth: 4, leafCost: 10, innerCost: 1})
+	want := g.Span()
+	allocs := testing.AllocsPerRun(10, func() {
+		if got := g.Span(); got != want {
+			t.Errorf("Span = %d, want %d", got, want)
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("Span allocated %v times per call, want at most 2", allocs)
+	}
+}

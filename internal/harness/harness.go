@@ -12,6 +12,7 @@ package harness
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -23,6 +24,15 @@ import (
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
+
+// arenas pools run-scoped simulator storage (worker deques, victim
+// pickers, frame and task pools — see core.Arena) across the measurement
+// grid. Each simulation borrows one arena for the duration of the run, so
+// with opt.Jobs host workers at most Jobs arenas exist and the thousands
+// of (spec, policy, P, seed) runs of a sweep stop re-allocating engine
+// state. Reuse never changes measured results (core.Arena's contract,
+// pinned by TestPaperPresetByteIdentical and the sched arena tests).
+var arenas = sync.Pool{New: func() any { return core.NewArena() }}
 
 // Spec describes one benchmark configuration (one row of the paper's
 // tables).
@@ -218,8 +228,9 @@ func (o Options) fill() Options {
 	return o
 }
 
-// newRuntime builds a fresh platform.
-func newRuntime(top *topology.Topology, workers int, pol sched.Policy, seed int64, recordDAG bool) *core.Runtime {
+// newRuntime builds a fresh platform. arena may be nil (serial runs never
+// touch the parallel engine's storage).
+func newRuntime(top *topology.Topology, workers int, pol sched.Policy, seed int64, recordDAG bool, arena *core.Arena) *core.Runtime {
 	return core.NewRuntime(core.Config{
 		Sched: sched.Config{
 			Topology: top,
@@ -230,6 +241,7 @@ func newRuntime(top *topology.Topology, workers int, pol sched.Policy, seed int6
 		Geometry:  cache.DefaultGeometry(),
 		Latency:   cache.DefaultLatency(),
 		RecordDAG: recordDAG,
+		Arena:     arena,
 	})
 }
 
@@ -240,9 +252,13 @@ func RunOne(spec Spec, pol sched.Policy, opt Options) (*core.Report, error) {
 	opt = opt.fill()
 	aware := pol == sched.PolicyNUMAWS
 	w := spec.Make(aware)
-	rt := newRuntime(opt.Topology, opt.P, pol, opt.Seed, opt.RecordDAG)
+	arena := arenas.Get().(*core.Arena)
+	rt := newRuntime(opt.Topology, opt.P, pol, opt.Seed, opt.RecordDAG, arena)
 	w.Prepare(rt)
 	rep := rt.Run(w.Root())
+	// A panicking run never returns its arena (its state is suspect); a
+	// completed run does, even if result verification then fails.
+	arenas.Put(arena)
 	if opt.Verify {
 		if err := w.Verify(); err != nil {
 			return nil, fmt.Errorf("harness: %s on %v at P=%d: %w", spec.Name, pol, opt.P, err)
@@ -255,7 +271,7 @@ func RunOne(spec Spec, pol sched.Policy, opt Options) (*core.Report, error) {
 func RunSerial(spec Spec, opt Options) (*core.Report, error) {
 	opt = opt.fill()
 	w := spec.Make(false)
-	rt := newRuntime(opt.Topology, 1, sched.PolicyCilk, opt.Seed, false)
+	rt := newRuntime(opt.Topology, 1, sched.PolicyCilk, opt.Seed, false, nil)
 	w.Prepare(rt)
 	rep := rt.RunSerial(w.Root())
 	if opt.Verify {
@@ -335,6 +351,7 @@ func RunTraced(spec Spec, pol sched.Policy, opt Options) (*core.Report, *trace.T
 	tl := trace.New(opt.P)
 	aware := pol == sched.PolicyNUMAWS
 	w := spec.Make(aware)
+	arena := arenas.Get().(*core.Arena)
 	rt := core.NewRuntime(core.Config{
 		Sched: sched.Config{
 			Topology: opt.Topology,
@@ -345,9 +362,11 @@ func RunTraced(spec Spec, pol sched.Policy, opt Options) (*core.Report, *trace.T
 		},
 		Geometry: cache.DefaultGeometry(),
 		Latency:  cache.DefaultLatency(),
+		Arena:    arena,
 	})
 	w.Prepare(rt)
 	rep := rt.Run(w.Root())
+	arenas.Put(arena)
 	if opt.Verify {
 		if err := w.Verify(); err != nil {
 			return nil, nil, fmt.Errorf("harness: %s traced on %v: %w", spec.Name, pol, err)

@@ -1,0 +1,90 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestArenaReuseMatchesFreshEngines pins the arena's compatibility
+// contract: a sequence of runs through one reused arena — alternating
+// policies, worker counts and seeds, so both the shape-match and the
+// rebuild paths are exercised — produces exactly the statistics fresh
+// engines produce.
+func TestArenaReuseMatchesFreshEngines(t *testing.T) {
+	type shape struct {
+		p    int
+		pol  Policy
+		seed int64
+	}
+	shapes := []shape{
+		{32, PolicyNUMAWS, 1},
+		{32, PolicyNUMAWS, 2}, // same shape, new seed: the reuse path
+		{32, PolicyCilk, 2},   // bias dropped: rebuild
+		{8, PolicyNUMAWS, 1},  // smaller worker set: rebuild
+		{32, PolicyNUMAWS, 1}, // back to the first shape
+	}
+	newRunner := func() *treeRunner {
+		return &treeRunner{fanout: 3, depth: 5, leafCost: 700, innerCost: 5,
+			placeOf: func(i int) int { return i % 3 }}
+	}
+	arena := NewArena()
+	for i, s := range shapes {
+		cfg := testConfig(s.p, s.pol)
+		cfg.Seed = s.seed
+
+		fresh := NewEngine(cfg, newRunner())
+		want := *fresh.Run(fresh.NewRootFrame(PlaceAny))
+
+		reused := NewEngineIn(arena, cfg, newRunner())
+		got := *reused.Run(reused.NewRootFrame(PlaceAny))
+
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("run %d (%+v): arena-reused stats differ from fresh engine\ngot:  %+v\nwant: %+v",
+				i, s, got, want)
+		}
+	}
+}
+
+// TestArenaFrameRecycling checks the frame pool reaches steady state: after
+// a completed run every pooled frame is back on the free list, so a second
+// identical run allocates no new frame blocks.
+func TestArenaFrameRecycling(t *testing.T) {
+	arena := NewArena()
+	run := func() {
+		r := &treeRunner{fanout: 4, depth: 5, leafCost: 100, innerCost: 2}
+		e := NewEngineIn(arena, testConfig(16, PolicyNUMAWS), r)
+		e.Run(e.NewRootFrame(PlaceAny))
+	}
+	run()
+	blocks, free := len(arena.blocks), len(arena.free)
+	if blocks == 0 {
+		t.Fatal("engine-built frames did not come from the arena")
+	}
+	if free != 256*blocks {
+		t.Errorf("after a completed run %d of %d pooled frames are free; some frame never returned",
+			free, 256*blocks)
+	}
+	run()
+	if len(arena.blocks) != blocks {
+		t.Errorf("second identical run grew the arena from %d to %d blocks", blocks, len(arena.blocks))
+	}
+}
+
+// TestEngineFrameConstructorsMatchPackageOnes checks the pooled
+// constructors produce frames indistinguishable from the package-level ones
+// apart from pooling.
+func TestEngineFrameConstructorsMatchPackageOnes(t *testing.T) {
+	e := NewEngine(testConfig(2, PolicyCilk), &treeRunner{fanout: 1, depth: 1, leafCost: 1, innerCost: 1})
+	parent := e.NewRootFrame(3)
+	if !parent.Root || !parent.Full() || parent.Place != 3 || !parent.pooled {
+		t.Errorf("NewRootFrame: %+v", parent)
+	}
+	f := e.NewFrame(parent, 1)
+	if f.Parent != parent || f.Place != 1 || f.Called() || f.Full() || !f.pooled {
+		t.Errorf("NewFrame: %+v", f)
+	}
+	c := e.NewCalledFrame(parent, 2)
+	if c.Parent != parent || c.Place != 2 || !c.Called() || !c.pooled {
+		t.Errorf("NewCalledFrame: %+v", c)
+	}
+}

@@ -251,33 +251,61 @@ type worker struct {
 	// for the ablation study.
 	mailbox []*Frame
 
-	clock    int64
-	run      *Frame // frame to execute at the next event, if any
-	pending  *Yield // a finished strand's event, to apply at its end time
-	next     nextAction
-	check    *Frame // parent to CHECKPARENT, if next == actionCheckParent
-	stats    WorkerStats
-	weights  []float64 // per-victim steal weights (biased policy)
-	uweights []float64 // uniform weights
+	clock   int64
+	run     *Frame // frame to execute at the next event, if any
+	pending *Yield // a finished strand's event, to apply at its end time
+	next    nextAction
+	check   *Frame // parent to CHECKPARENT, if next == actionCheckParent
+	stats   WorkerStats
+	// picker draws this thief's victim under the biased policy; built once
+	// at construction from the per-hop-class weight table (nil when the
+	// run's policy never draws biased victims). Uniform victims need no
+	// state at all — see sim.RNG.PickUniformExcept.
+	picker *sim.Picker
 }
 
 func (w *worker) mailboxFull() bool  { return len(w.mailbox) == cap(w.mailbox) }
 func (w *worker) mailboxEmpty() bool { return len(w.mailbox) == 0 }
 
-// Engine runs one computation under one scheduler configuration.
-type Engine struct {
-	cfg     Config
-	runner  Runner
-	rng     *sim.RNG
-	q       sim.Queue
-	workers []*worker
-	stats   Stats
-	done    bool
-	finish  int64
+// reset returns a pooled worker to its pre-run state. The deque is already
+// empty: a completed run drains every deque and mailbox (the root cannot
+// return while any frame is still parked).
+func (w *worker) reset() {
+	w.mailbox = w.mailbox[:0]
+	w.clock = 0
+	w.run = nil
+	w.pending = nil
+	w.next = actionSteal
+	w.check = nil
+	w.stats = WorkerStats{}
 }
 
-// NewEngine builds an engine. The configuration is validated and defaulted.
+// Engine runs one computation under one scheduler configuration.
+type Engine struct {
+	cfg      Config
+	runner   Runner
+	rng      *sim.RNG
+	arena    *Arena
+	q        *sim.Queue
+	workers  []*worker
+	onSocket [][]int // per-socket push-candidate worker ids
+	stats    Stats
+	done     bool
+	finish   int64
+}
+
+// NewEngine builds an engine with a private arena. The configuration is
+// validated and defaulted. Callers that run many simulations on the same
+// machine shape should reuse an Arena via NewEngineIn instead.
 func NewEngine(cfg Config, r Runner) *Engine {
+	return NewEngineIn(NewArena(), cfg, r)
+}
+
+// NewEngineIn builds an engine inside an arena, reusing the arena's worker
+// set, victim pickers, push-candidate lists, event queue and frame pool
+// when the machine shape matches the arena's previous engine. The arena
+// must not back another live engine.
+func NewEngineIn(a *Arena, cfg Config, r Runner) *Engine {
 	if cfg.Topology == nil {
 		panic("sched: Config.Topology is required")
 	}
@@ -285,32 +313,44 @@ func NewEngine(cfg Config, r Runner) *Engine {
 		panic(fmt.Sprintf("sched: %d workers invalid for a %d-core machine", cfg.Workers, cfg.Topology.Cores()))
 	}
 	c := cfg.withDefaults()
-	e := &Engine{cfg: c, runner: r, rng: sim.NewRNG(c.Seed)}
-	e.workers = make([]*worker, c.Workers)
-	for i := range e.workers {
-		w := &worker{
-			id:      i,
-			core:    c.Placement.Core[i],
-			socket:  c.Placement.Socket[i],
-			deque:   deque.New[*Frame](0),
-			mailbox: make([]*Frame, 0, c.MailboxCapacity),
-		}
-		e.workers[i] = w
-	}
-	// Precompute steal weights per thief: weights[v] over victims v != thief.
-	for _, w := range e.workers {
-		w.weights = make([]float64, c.Workers)
-		w.uweights = make([]float64, c.Workers)
-		for v := range e.workers {
-			if v == w.id {
-				continue // self weight stays 0: a worker never steals from itself
-			}
-			hop := c.Topology.Distance(w.socket, e.workers[v].socket)
-			w.weights[v] = c.BiasWeights[hop]
-			w.uweights[v] = 1
-		}
-	}
+	needBias := c.Policy == PolicyNUMAWS && !c.DisableBias && c.Workers > 1
+	e := &Engine{cfg: c, runner: r, rng: sim.NewRNG(c.Seed), arena: a, q: &a.q}
+	e.q.Reset()
+	e.workers = a.workersFor(&c, needBias)
+	e.onSocket = a.onSocket
 	return e
+}
+
+// NewFrame is Frame's pooled constructor: like the package-level NewFrame,
+// but drawing storage from the engine's arena. The engine recycles the
+// frame when it returns, so a steady-state run allocates no frames at all.
+func (e *Engine) NewFrame(parent *Frame, place int) *Frame {
+	f := e.arena.newFrame()
+	f.Place, f.Parent = place, parent
+	return f
+}
+
+// NewCalledFrame is NewFrame for a plain (non-spawn) call frame.
+func (e *Engine) NewCalledFrame(parent *Frame, place int) *Frame {
+	f := e.NewFrame(parent, place)
+	f.called = true
+	return f
+}
+
+// NewRootFrame is the pooled constructor for the computation's root frame.
+func (e *Engine) NewRootFrame(place int) *Frame {
+	f := e.arena.newFrame()
+	f.Place, f.Root, f.full = place, true, true
+	return f
+}
+
+// recycle returns a finished frame to the arena; frames the caller built
+// with the package-level constructors are left alone (tests inspect them
+// after the run).
+func (e *Engine) recycle(f *Frame) {
+	if f.pooled {
+		e.arena.release(f)
+	}
 }
 
 // CoreOf reports the machine core that worker w is pinned to; the execution
@@ -470,7 +510,10 @@ func (e *Engine) onSpawn(w *worker, parent, child *Frame) {
 	w.run = child
 }
 
-// onReturn implements "G returns to its spawning parent F".
+// onReturn implements "G returns to its spawning parent F". The returning
+// frame is dead afterwards — nothing references it — so pooled frames are
+// recycled into the arena here, which is what keeps the steady-state loop
+// allocation-free.
 func (e *Engine) onReturn(w *worker, f *Frame) {
 	w.clock += e.cfg.ReturnCost
 	w.stats.Work += e.cfg.ReturnCost
@@ -478,6 +521,7 @@ func (e *Engine) onReturn(w *worker, f *Frame) {
 		e.done = true
 		e.finish = w.clock
 		w.run = nil
+		e.recycle(f)
 		return
 	}
 	if f.called {
@@ -485,10 +529,12 @@ func (e *Engine) onReturn(w *worker, f *Frame) {
 		// continuation was never stealable, and whichever worker finishes
 		// the callee carries the caller forward).
 		w.run = f.Parent
+		e.recycle(f)
 		return
 	}
 	parent := f.Parent
 	parent.children--
+	e.recycle(f)
 	if popped, ok := w.deque.PopTail(); ok {
 		if popped != parent {
 			panic("sched: deque tail is not the returning child's parent")
@@ -563,7 +609,13 @@ func (e *Engine) pushHomeIfForeign(w *worker, f *Frame) bool {
 // threshold the push gives up (the caller resumes F itself). Returns the
 // total cycle cost of the attempts and whether F was deposited.
 func (e *Engine) tryPush(f *Frame) (int64, bool) {
-	candidates := e.cfg.Placement.WorkersOn(f.Place)
+	// A place outside the machine simply has no candidates, like the old
+	// Placement.WorkersOn scan (the socket then counts as hosting no
+	// workers and the push overflows below).
+	var candidates []int
+	if f.Place >= 0 && f.Place < len(e.onSocket) {
+		candidates = e.onSocket[f.Place]
+	}
 	var cost int64
 	if len(candidates) == 0 {
 		// The designated socket hosts no workers in this run (fewer sockets
@@ -689,11 +741,15 @@ func (e *Engine) steal(w *worker) *Frame {
 	}
 	e.stats.StealAttempts++
 
-	weights := w.uweights
-	if e.cfg.Policy == PolicyNUMAWS && !e.cfg.DisableBias {
-		weights = w.weights
+	// Victim selection: one Float64 draw either way, consumed exactly as
+	// the linear weighted scan would (the cross-check tests in internal/sim
+	// pin this), so the event stream is byte-identical to the old code.
+	var victim *worker
+	if w.picker != nil {
+		victim = e.workers[w.picker.Pick(e.rng)]
+	} else {
+		victim = e.workers[e.rng.PickUniformExcept(e.cfg.Workers, w.id)]
 	}
-	victim := e.workers[e.rng.Pick(weights)]
 	attemptCost := e.cfg.StealAttemptCost +
 		int64(e.cfg.Topology.Distance(w.socket, victim.socket))*e.cfg.StealHopCost
 	w.clock += attemptCost

@@ -32,6 +32,7 @@ type Frame struct {
 	stolen    bool // stolen and has not completed a cilk_sync since
 	suspended bool // parked at a nontrivial sync awaiting children
 	called    bool // invoked by a plain call, not a spawn
+	pooled    bool // allocated from an engine arena; recycled on return
 	children  int  // outstanding spawned children
 	pushCount int  // PUSHBACK retries; compared against the pushing threshold
 }

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// refHeap is the container/heap implementation the 4-ary Queue replaced,
+// kept here as the executable specification for the ordering cross-check.
+type refHeap []item
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].id < h[j].id
+}
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// TestQueueMatchesContainerHeap drives the 4-ary queue and the boxed
+// container/heap reference through identical interleaved push/pop streams —
+// including duplicate times and duplicate (time, id) pairs — and requires
+// identical pop sequences. (time, id) is a total order over distinct
+// entries, so the pop order is fully determined and heap arity cannot show
+// through; this test pins that.
+func TestQueueMatchesContainerHeap(t *testing.T) {
+	gen := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var q Queue
+		var r refHeap
+		for op := 0; op < 400; op++ {
+			if q.Len() != r.Len() {
+				t.Fatalf("trial %d: Len %d != reference %d", trial, q.Len(), r.Len())
+			}
+			if q.Len() > 0 && gen.Intn(3) == 0 {
+				at, id := q.Pop()
+				ref := heap.Pop(&r).(item)
+				if at != ref.at || id != ref.id {
+					t.Fatalf("trial %d op %d: Pop = (%d,%d), reference = (%d,%d)",
+						trial, op, at, id, ref.at, ref.id)
+				}
+				continue
+			}
+			// Small value ranges force collisions on time and on (time, id).
+			it := item{at: Time(gen.Intn(16)), id: gen.Intn(8)}
+			q.Push(it.at, it.id)
+			heap.Push(&r, it)
+		}
+		for q.Len() > 0 {
+			at, id := q.Pop()
+			ref := heap.Pop(&r).(item)
+			if at != ref.at || id != ref.id {
+				t.Fatalf("trial %d drain: Pop = (%d,%d), reference = (%d,%d)",
+					trial, at, id, ref.at, ref.id)
+			}
+		}
+		if r.Len() != 0 {
+			t.Fatalf("trial %d: reference has %d leftovers", trial, r.Len())
+		}
+	}
+}
+
+// TestQueuePopsInSortedOrderProperty is the fuzz/property form: whatever the
+// insertion order, a min-heap pops its multiset in sorted (time, id) order.
+func TestQueuePopsInSortedOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var q Queue
+		want := make([]item, len(raw))
+		for i, r := range raw {
+			it := item{at: Time(r % 512), id: i % 16}
+			q.Push(it.at, it.id)
+			want[i] = it
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i].less(want[j]) })
+		for _, w := range want {
+			at, id := q.Pop()
+			if at != w.at || id != w.id {
+				return false
+			}
+		}
+		return q.Len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQueueReset pins the reuse contract: Reset empties the queue but a
+// reused queue orders entries exactly like a fresh one.
+func TestQueueReset(t *testing.T) {
+	var q Queue
+	q.Push(3, 0)
+	q.Push(1, 1)
+	q.Reset()
+	if q.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", q.Len())
+	}
+	q.Push(5, 2)
+	q.Push(4, 7)
+	if at, id := q.Pop(); at != 4 || id != 7 {
+		t.Errorf("first pop after reuse = (%d,%d), want (4,7)", at, id)
+	}
+	if at, id := q.Pop(); at != 5 || id != 2 {
+		t.Errorf("second pop after reuse = (%d,%d), want (5,2)", at, id)
+	}
+}

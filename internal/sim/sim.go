@@ -6,10 +6,16 @@
 // flip, receiver choice in work pushing) flows through one RNG, so a run is
 // a pure function of (program, configuration, seed). Ties in virtual time
 // are broken by worker id, which keeps the event order total.
+//
+// Both primitives are built for the engine's hot loop: the queue is an
+// index-based 4-ary min-heap of (time, id) pairs — no interface boxing, no
+// per-push allocation, amortized O(1) push into a reused backing array —
+// and victim selection goes through a Picker whose weights are validated
+// and prefix-summed once at construction, so each draw is a single Float64
+// plus an O(log n) binary search instead of an O(n) validate-and-scan.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -23,59 +29,118 @@ type item struct {
 	id int
 }
 
+// less orders entries by (time, id) — the simulation's total event order.
+func (a item) less(b item) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.id < b.id
+}
+
 // Queue is a min-heap of worker wakeups ordered by (time, id). The zero
 // value is ready to use.
+//
+// The heap is 4-ary: with one entry per simulated worker the tree is at
+// most a couple of levels deep, sift-down touches one cache line of
+// children per level, and — unlike container/heap — Push and Pop move
+// concrete 16-byte items with no interface conversions and no allocation
+// beyond the amortized growth of the backing array, which a reused Queue
+// never pays again.
 type Queue struct {
-	h itemHeap
+	h []item
 }
 
-type itemHeap []item
+// validated entry points: every panic the queue can raise is funneled
+// through these two checks, so the messages stay consistent and the
+// hot-path methods below stay branch-light.
 
-func (h itemHeap) Len() int { return len(h) }
-func (h itemHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// checkTime guards Push against negative virtual time.
+func checkTime(at Time) {
+	if at < 0 {
+		panic(fmt.Sprintf("sim: negative time %d", at))
 	}
-	return h[i].id < h[j].id
 }
-func (h itemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *itemHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
-func (h *itemHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+// checkNonEmpty guards Pop and Peek; op names the failing operation.
+func (q *Queue) checkNonEmpty(op string) {
+	if len(q.h) == 0 {
+		panic("sim: " + op + " empty queue")
+	}
 }
 
 // Push schedules worker id to act at virtual time at.
 func (q *Queue) Push(at Time, id int) {
-	if at < 0 {
-		panic(fmt.Sprintf("sim: negative time %d", at))
-	}
-	heap.Push(&q.h, item{at: at, id: id})
+	checkTime(at)
+	q.h = append(q.h, item{at: at, id: id})
+	q.siftUp(len(q.h) - 1)
 }
 
 // Pop removes and returns the earliest (time, id) entry. It panics on an
 // empty queue; callers gate on Len.
 func (q *Queue) Pop() (Time, int) {
-	if len(q.h) == 0 {
-		panic("sim: pop from empty queue")
+	q.checkNonEmpty("pop from")
+	top := q.h[0]
+	n := len(q.h) - 1
+	q.h[0] = q.h[n]
+	q.h = q.h[:n]
+	if n > 1 {
+		q.siftDown(0)
 	}
-	it := heap.Pop(&q.h).(item)
-	return it.at, it.id
+	return top.at, top.id
 }
 
 // Peek reports the earliest entry without removing it.
 func (q *Queue) Peek() (Time, int) {
-	if len(q.h) == 0 {
-		panic("sim: peek at empty queue")
-	}
+	q.checkNonEmpty("peek at")
 	return q.h[0].at, q.h[0].id
 }
 
 // Len reports the number of queued entries.
 func (q *Queue) Len() int { return len(q.h) }
+
+// Reset empties the queue, keeping the backing array for reuse.
+func (q *Queue) Reset() { q.h = q.h[:0] }
+
+func (q *Queue) siftUp(i int) {
+	x := q.h[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !x.less(q.h[p]) {
+			break
+		}
+		q.h[i] = q.h[p]
+		i = p
+	}
+	q.h[i] = x
+}
+
+func (q *Queue) siftDown(i int) {
+	n := len(q.h)
+	x := q.h[i]
+	for {
+		c := 4*i + 1 // first child
+		if c >= n {
+			break
+		}
+		// Find the smallest of the up-to-four children.
+		min := c
+		last := c + 4
+		if last > n {
+			last = n
+		}
+		for j := c + 1; j < last; j++ {
+			if q.h[j].less(q.h[min]) {
+				min = j
+			}
+		}
+		if !q.h[min].less(x) {
+			break
+		}
+		q.h[i] = q.h[min]
+		i = min
+	}
+	q.h[i] = x
+}
 
 // RNG is the seeded source of all scheduler randomness.
 type RNG struct {
@@ -103,6 +168,12 @@ func (g *RNG) Coin() bool { return g.r.Intn(2) == 0 }
 // Pick returns an index in [0, len(weights)) chosen with probability
 // proportional to weights[i]. Weights must be non-negative with a positive
 // sum. This implements the locality-biased victim distribution.
+//
+// Pick re-validates and re-scans the weights on every call; hot paths that
+// draw from a fixed distribution should build a Picker once instead. Picker
+// reproduces Pick draw-for-draw (TestPickerMatchesLinearPick pins that), so
+// this linear form is kept as the executable specification and for one-off
+// draws.
 func (g *RNG) Pick(weights []float64) int {
 	var sum float64
 	for i, w := range weights {
@@ -122,6 +193,84 @@ func (g *RNG) Pick(weights []float64) int {
 		}
 	}
 	return len(weights) - 1 // floating-point slack
+}
+
+// Picker draws indices from a fixed weight distribution. The weights are
+// validated once and folded into left-to-right prefix sums at construction,
+// so each Pick costs one Float64 draw plus a binary search — O(log n)
+// instead of Pick's O(n) validate-and-scan — and consumes exactly the same
+// single Float64 the linear Pick would, returning the same index.
+type Picker struct {
+	// prefix[i] is weights[0] + ... + weights[i-1], accumulated left to
+	// right in the same order Pick's subtraction scan consumes them.
+	prefix []float64
+}
+
+// NewPicker validates weights (non-negative, positive sum — the same panics
+// Pick raises per call, paid once here) and returns a Picker over them.
+// The weights slice is not retained.
+func NewPicker(weights []float64) *Picker {
+	p := &Picker{prefix: make([]float64, len(weights)+1)}
+	for i, w := range weights {
+		if w < 0 {
+			panic(fmt.Sprintf("sim: negative weight %f at %d", w, i))
+		}
+		p.prefix[i+1] = p.prefix[i] + w
+	}
+	if p.prefix[len(weights)] <= 0 {
+		panic("sim: weights sum to zero")
+	}
+	return p
+}
+
+// Len reports the number of weights.
+func (p *Picker) Len() int { return len(p.prefix) - 1 }
+
+// Pick draws one index with probability proportional to its weight, using
+// g the exact same way the linear RNG.Pick does (one Float64 per draw).
+func (p *Picker) Pick(g *RNG) int {
+	n := len(p.prefix) - 1
+	x := g.r.Float64() * p.prefix[n]
+	// The linear scan returns the first i whose cumulative weight strictly
+	// exceeds x; binary-search the prefix sums for it. An index with zero
+	// weight can never be first (its prefix entry equals its
+	// predecessor's), matching the scan's skip of zero weights.
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if p.prefix[mid+1] > x {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == n {
+		lo = n - 1 // floating-point slack, as in the linear scan
+	}
+	return lo
+}
+
+// PickUniformExcept draws a uniform index in [0, n) excluding self,
+// consuming g exactly as Pick would over a weight vector of n ones with a
+// zero at self (the engine's uniform victim distribution): one Float64
+// draw, same resulting index, but O(1) and with no weights array at all.
+func (g *RNG) PickUniformExcept(n, self int) int {
+	if n < 2 || self < 0 || self >= n {
+		panic(fmt.Sprintf("sim: uniform pick over %d entries excluding %d", n, self))
+	}
+	// Pick would compute sum = n-1 (exact: a left-to-right sum of ones)
+	// and scan x = Float64()*(n-1) through the ones, landing on the
+	// floor(x)-th non-self index; the fallthrough on floating-point slack
+	// returns the last index, exactly as the scan's `return len-1` does.
+	x := g.r.Float64() * float64(n-1)
+	k := int(x)
+	if k >= n-1 {
+		return n - 1
+	}
+	if k >= self {
+		k++
+	}
+	return k
 }
 
 // Shuffle permutes the ints in place.

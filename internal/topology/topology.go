@@ -109,14 +109,22 @@ func (t *Topology) SocketOf(core int) int {
 
 // CoresOn returns the core ids on the given socket, in increasing order.
 func (t *Topology) CoresOn(socket int) []int {
+	lo, hi := t.CoreRange(socket)
+	cores := make([]int, hi-lo)
+	for i := range cores {
+		cores[i] = lo + i
+	}
+	return cores
+}
+
+// CoreRange reports the socket's cores as the half-open id range [lo, hi):
+// core numbering is socket-major, so a socket's cores are contiguous. Hot
+// paths iterate this range instead of allocating the CoresOn slice.
+func (t *Topology) CoreRange(socket int) (lo, hi int) {
 	if socket < 0 || socket >= t.sockets {
 		panic(fmt.Sprintf("topology: socket %d out of range [0,%d)", socket, t.sockets))
 	}
-	cores := make([]int, t.perSock)
-	for i := range cores {
-		cores[i] = socket*t.perSock + i
-	}
-	return cores
+	return socket * t.perSock, (socket + 1) * t.perSock
 }
 
 // Distance reports the hop distance between two sockets (0 for the same
