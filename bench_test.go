@@ -11,6 +11,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -55,13 +56,13 @@ func BenchmarkFig3(b *testing.B) {
 		spec := specByName(b, name)
 		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
-			ts, err := harness.RunSerial(spec, harness.Options{})
+			ts, err := harness.RunSerial(context.Background(), spec, harness.Options{})
 			if err != nil {
 				b.Fatal(err)
 			}
 			var rep *core.Report
 			for i := 0; i < b.N; i++ {
-				rep, err = harness.RunOne(spec, sched.PolicyCilk, harness.Options{Verify: true})
+				rep, err = harness.RunOne(context.Background(), spec, sched.Cilk, harness.Options{Verify: true})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -79,20 +80,20 @@ func BenchmarkFig3(b *testing.B) {
 func BenchmarkTable7(b *testing.B) {
 	for _, name := range allNames {
 		spec := specByName(b, name)
-		for _, pol := range []sched.Policy{sched.PolicyCilk, sched.PolicyNUMAWS} {
+		for _, pol := range []sched.Policy{sched.Cilk, sched.NUMAWS} {
 			b.Run(fmt.Sprintf("%s/%v", name, pol), func(b *testing.B) {
 				b.ReportAllocs()
-				ts, err := harness.RunSerial(spec, harness.Options{})
+				ts, err := harness.RunSerial(context.Background(), spec, harness.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
-				t1, err := harness.RunOne(spec, pol, harness.Options{P: 1})
+				t1, err := harness.RunOne(context.Background(), spec, pol, harness.Options{P: 1})
 				if err != nil {
 					b.Fatal(err)
 				}
 				var tp *core.Report
 				for i := 0; i < b.N; i++ {
-					tp, err = harness.RunOne(spec, pol, harness.Options{Verify: true})
+					tp, err = harness.RunOne(context.Background(), spec, pol, harness.Options{Verify: true})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -110,16 +111,16 @@ func BenchmarkTable7(b *testing.B) {
 func BenchmarkTable8(b *testing.B) {
 	for _, name := range allNames {
 		spec := specByName(b, name)
-		for _, pol := range []sched.Policy{sched.PolicyCilk, sched.PolicyNUMAWS} {
+		for _, pol := range []sched.Policy{sched.Cilk, sched.NUMAWS} {
 			b.Run(fmt.Sprintf("%s/%v", name, pol), func(b *testing.B) {
 				b.ReportAllocs()
-				t1, err := harness.RunOne(spec, pol, harness.Options{P: 1})
+				t1, err := harness.RunOne(context.Background(), spec, pol, harness.Options{P: 1})
 				if err != nil {
 					b.Fatal(err)
 				}
 				var tp *core.Report
 				for i := 0; i < b.N; i++ {
-					tp, err = harness.RunOne(spec, pol, harness.Options{Verify: true})
+					tp, err = harness.RunOne(context.Background(), spec, pol, harness.Options{Verify: true})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -144,7 +145,7 @@ func BenchmarkFig9(b *testing.B) {
 				var rep *core.Report
 				var err error
 				for i := 0; i < b.N; i++ {
-					rep, err = harness.RunOne(spec, sched.PolicyNUMAWS, harness.Options{P: p})
+					rep, err = harness.RunOne(context.Background(), spec, sched.NUMAWS, harness.Options{P: p})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -196,7 +197,7 @@ func heatAblation(cfg core.Config, b *testing.B) *core.Report {
 }
 
 func ablationConfig() core.Config {
-	return core.DefaultConfig(32, sched.PolicyNUMAWS)
+	return core.DefaultConfig(32, sched.NUMAWS)
 }
 
 // BenchmarkAblationNoCoinFlip disables the thief's deque-vs-mailbox coin
@@ -318,7 +319,7 @@ func BenchmarkMeasureAllJobs(b *testing.B) {
 		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := harness.MeasureAll(specs, harness.Options{Jobs: jobs}); err != nil {
+				if _, err := harness.MeasureAll(context.Background(), specs, harness.Options{Jobs: jobs}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -434,7 +435,7 @@ func BenchmarkSimQueue(b *testing.B) {
 func BenchmarkDagSpan(b *testing.B) {
 	b.ReportAllocs()
 	w := workloads.NewHeat(128, 128, 8, 16, workloads.Config{Aware: true, Seed: 5})
-	cfg := core.DefaultConfig(32, sched.PolicyNUMAWS)
+	cfg := core.DefaultConfig(32, sched.NUMAWS)
 	cfg.RecordDAG = true
 	rt := core.NewRuntime(cfg)
 	w.Prepare(rt)
@@ -455,7 +456,7 @@ func BenchmarkDagSpan(b *testing.B) {
 // NUMA-WS placement removes most of it.
 func BenchmarkAblationBandwidth(b *testing.B) {
 	for _, occ := range []int64{0, 6, 48} {
-		for _, pol := range []sched.Policy{sched.PolicyCilk, sched.PolicyNUMAWS} {
+		for _, pol := range []sched.Policy{sched.Cilk, sched.NUMAWS} {
 			b.Run(fmt.Sprintf("occupancy=%d/%v", occ, pol), func(b *testing.B) {
 				b.ReportAllocs()
 				var rep *core.Report
@@ -464,7 +465,7 @@ func BenchmarkAblationBandwidth(b *testing.B) {
 					cfg.Latency = cache.DefaultLatency()
 					cfg.Latency.DRAMOccupancy = occ
 					w := workloads.NewHeat(256, 256, 10, 64,
-						workloads.Config{Aware: pol == sched.PolicyNUMAWS, Seed: 5})
+						workloads.Config{Aware: pol == sched.NUMAWS, Seed: 5})
 					rt := core.NewRuntime(cfg)
 					w.Prepare(rt)
 					rep = rt.Run(w.Root())

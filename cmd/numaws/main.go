@@ -1,5 +1,7 @@
 // Command numaws regenerates the paper's figures and tables on the
-// simulated NUMA platform.
+// simulated NUMA platform. It is a thin shell over the public simulator
+// library (repro/pkg/numaws) — everything it can do, an embedding program
+// can do too.
 //
 // Usage:
 //
@@ -12,11 +14,11 @@
 //	fig6    Z-Morton and blocked Z-Morton index grids (Fig. 6)
 //	table7  TS / T1 / TP execution times on both platforms (Fig. 7)
 //	table8  work / scheduling / idle breakdown and inflation (Fig. 8)
-//	fig9    NUMA-WS scalability curves (Fig. 9)
+//	fig9    scalability curves (Fig. 9)
 //	dag     measured work, span and parallelism per benchmark (Section IV)
 //	timeline <bench>  per-worker execution timeline under both schedulers
 //	sweep [-bench LIST] [-topologies LIST] [-points LIST]
-//	        NUMA-WS speedup curves across a grid of machine topologies
+//	        speedup curves across a grid of machine topologies
 //	all     everything above except sweep
 //
 // Flags:
@@ -25,8 +27,11 @@
 //	-topology  machine the experiments simulate: a preset name
 //	         (paper-4x8, 2x16, 8x4, snc-2x2x8, uniform) or a generic
 //	         SOCKETSxCORES ring shape; unknown names are a usage error
+//	-policy  scheduling policy of the NUMA-aware platform and the sweeps:
+//	         a registered policy name (default numaws); unknown names are
+//	         a usage error listing the registered policies
 //	-p       parallel worker count for the tables (default: the whole
-//	         machine, capped at 32)
+//	         machine — every core of the selected topology)
 //	-seed    scheduler seed (default 1)
 //	-seeds   seeds to average each parallel measurement over (default 1)
 //	-verify  verify every run's computed result (default true)
@@ -44,13 +49,20 @@
 //	         name), so perf investigation of the simulator is self-serve
 //	-memprofile  write a pprof heap profile taken after the measurement
 //	         runs to this file
+//
+// Interrupting a run (Ctrl-C) cancels the measurement context: simulations
+// not yet started are skipped, in-flight ones finish, and the command
+// exits with an error instead of leaving hours of sweep unaccounted for.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
@@ -58,72 +70,94 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/exec"
-	"repro/internal/harness"
-	"repro/internal/layout"
-	"repro/internal/metrics"
-	"repro/internal/sched"
-	"repro/internal/topology"
+	"repro/pkg/numaws"
 )
 
 func main() {
-	scale := flag.String("scale", "full", "input scale: small or full")
-	topoSpec := flag.String("topology", "paper-4x8", "machine topology: a preset name or SOCKETSxCORES")
-	p := flag.Int("p", 0, "parallel worker count for tables (0: whole machine, capped at 32)")
-	seed := flag.Int64("seed", 1, "scheduler seed")
-	seeds := flag.Int("seeds", 1, "seeds to average each parallel measurement over")
-	verify := flag.Bool("verify", true, "verify every run's result")
-	jobs := flag.Int("jobs", exec.DefaultJobs(), "concurrent simulations on the host (wall-clock only; results are identical)")
-	jsonPath := flag.String("json", "", "write measured rows/series as JSON to this file (\"-\" for stdout)")
-	csvPath := flag.String("csv", "", "write measured rows/series as CSV to this file (\"-\" for stdout)")
-	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the runs to this file")
-	memProfile := flag.String("memprofile", "", "write a pprof heap profile after the runs to this file")
-	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(realMain(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	cmd := flag.Arg(0)
+// realMain is main with its environment injected, so the golden tests can
+// run full command lines in-process and capture the output.
+func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fail := func(err error) int {
+		// Library errors already carry the "numaws:" namespace; don't
+		// stutter it.
+		fmt.Fprintln(stderr, "numaws:", strings.TrimPrefix(err.Error(), "numaws: "))
+		return 1
+	}
+	fs := flag.NewFlagSet("numaws", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.String("scale", "full", "input scale: small or full")
+	topoSpec := fs.String("topology", "paper-4x8", "machine topology: a preset name or SOCKETSxCORES")
+	policy := fs.String("policy", "numaws", "scheduling policy of the NUMA-aware platform and the sweeps")
+	p := fs.Int("p", 0, "parallel worker count for tables (0: whole machine)")
+	seed := fs.Int64("seed", 1, "scheduler seed")
+	seeds := fs.Int("seeds", 1, "seeds to average each parallel measurement over")
+	verify := fs.Bool("verify", true, "verify every run's result")
+	jobs := fs.Int("jobs", runtime.NumCPU(), "concurrent simulations on the host (wall-clock only; results are identical)")
+	jsonPath := fs.String("json", "", "write measured rows/series as JSON to this file (\"-\" for stdout)")
+	csvPath := fs.String("csv", "", "write measured rows/series as CSV to this file (\"-\" for stdout)")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the runs to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile after the runs to this file")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0 // -h/-help: usage printed, healthy exit
+		}
+		return 1
+	}
+
+	cmd := fs.Arg(0)
 	if cmd == "" {
 		cmd = "all"
 	}
-	sc := harness.ScaleFull
+	sc := numaws.ScaleFull
 	if *scale == "small" {
-		sc = harness.ScaleSmall
-	}
-	// Unknown topology and preset names are a usage error, never a silent
-	// default: a sweep on the wrong machine looks plausible and wastes hours.
-	top, err := topology.Parse(*topoSpec)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "numaws:", err)
-		os.Exit(1)
+		sc = numaws.ScaleSmall
 	}
 	if *jobs < 1 {
-		fmt.Fprintf(os.Stderr, "numaws: -jobs %d clamped to 1 (need at least one host worker)\n", *jobs)
+		fmt.Fprintf(stderr, "numaws: -jobs %d clamped to 1 (need at least one host worker)\n", *jobs)
 		*jobs = 1
 	}
-	if *p == 0 {
-		*p = top.Cores()
-		if *p > 32 {
-			*p = 32
-		}
+	if *p < 0 {
+		return fail(fmt.Errorf("-p %d must be positive (or 0 for the whole machine)", *p))
 	}
-	if *p < 1 || *p > top.Cores() {
-		fmt.Fprintf(os.Stderr, "numaws: -p %d out of range [1,%d] for topology %s\n", *p, top.Cores(), *topoSpec)
-		os.Exit(1)
+	// Session construction is the validation point: unknown -topology and
+	// -policy names and out-of-range -p are usage errors here, never a
+	// silent default — a sweep on the wrong machine or scheduler looks
+	// plausible and wastes hours.
+	session, err := numaws.New(
+		numaws.WithTopology(*topoSpec),
+		numaws.WithPolicy(*policy),
+		numaws.WithScale(sc),
+		numaws.WithWorkers(*p),
+		numaws.WithSeed(*seed),
+		numaws.WithSeeds(*seeds),
+		numaws.WithVerify(*verify),
+		numaws.WithJobs(*jobs),
+	)
+	if err != nil {
+		return fail(err)
 	}
-	opt := harness.Options{Topology: top, P: *p, Seed: *seed, Seeds: *seeds, Verify: *verify, Jobs: *jobs}
-	specs := harness.Specs(sc)
+	if *policy != "numaws" {
+		// The tables' column headers and export field names say NWS/numaws
+		// regardless of -policy (schema stability); flag the substitution
+		// where results would otherwise be misread as the paper's scheduler.
+		fmt.Fprintf(stderr, "numaws: note: the NWS/numaws columns carry policy %q for this run\n", *policy)
+	}
 
 	kind, known := subcommands[cmd]
 	if !known {
-		fmt.Fprintln(os.Stderr, "numaws:", unknownSubcommand(cmd))
-		os.Exit(1)
+		return fail(unknownSubcommand(cmd))
 	}
 	// Go's flag package stops at the first positional argument, so a flag
 	// placed after the subcommand would be silently ignored — reject it
 	// loudly instead of running a sweep with the wrong configuration. The
 	// sweep subcommand is the exception: it owns the arguments after its
 	// name (a dedicated FlagSet, like `go test -run`).
-	rest := flag.Args()
+	rest := fs.Args()
 	if len(rest) > 0 { // empty when cmd defaulted to "all"
 		rest = rest[1:]
 	}
@@ -133,7 +167,7 @@ func main() {
 		// list; combining it with -topologies would leave one of them
 		// silently ignored, so that mix is rejected.
 		topoExplicit := false
-		flag.Visit(func(f *flag.Flag) {
+		fs.Visit(func(f *flag.Flag) {
 			if f.Name == "topology" {
 				topoExplicit = true
 			}
@@ -142,10 +176,12 @@ func main() {
 		if topoExplicit {
 			globalTopo = *topoSpec
 		}
-		sw, err = parseSweepArgs(rest, *jsonPath, *csvPath, *cpuProfile, *memProfile, globalTopo, specs)
+		sw, err = parseSweepArgs(rest, *jsonPath, *csvPath, *cpuProfile, *memProfile, globalTopo, session)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "numaws:", err)
-			os.Exit(1)
+			if errors.Is(err, flag.ErrHelp) {
+				return 0
+			}
+			return fail(err)
 		}
 		*jsonPath, *csvPath = sw.json, sw.csv
 		*cpuProfile, *memProfile = sw.cpu, sw.mem
@@ -156,52 +192,48 @@ func main() {
 	}
 	if len(rest) > 0 {
 		if strings.HasPrefix(rest[0], "-") {
-			fmt.Fprintf(os.Stderr, "numaws: flag %s must precede the subcommand: numaws [flags] %s\n", rest[0], cmd)
+			fmt.Fprintf(stderr, "numaws: flag %s must precede the subcommand: numaws [flags] %s\n", rest[0], cmd)
 		} else {
-			fmt.Fprintf(os.Stderr, "numaws: unexpected argument %q after %q\n", rest[0], cmd)
+			fmt.Fprintf(stderr, "numaws: unexpected argument %q after %q\n", rest[0], cmd)
 		}
-		os.Exit(1)
+		return 1
 	}
 	if (*jsonPath != "" || *csvPath != "") && !kind.rows && !kind.series && !kind.sweeps {
-		fmt.Fprintf(os.Stderr, "numaws: -json/-csv: subcommand %q produces no rows or series to export\n", cmd)
-		os.Exit(1)
+		return fail(fmt.Errorf("-json/-csv: subcommand %q produces no rows or series to export", cmd))
 	}
 	// Open the export files before the sweep: an unwritable path should
 	// fail here, not after hours of simulation.
-	out, err := openSinks(*jsonPath, *csvPath, kind)
+	out, err := openSinks(*jsonPath, *csvPath, kind, stdout)
 	if err != nil {
 		out.discard() // drop any sink opened before the failing one
-		fmt.Fprintln(os.Stderr, "numaws:", err)
-		os.Exit(1)
+		return fail(err)
 	}
 	// Profiling brackets the measurement runs only, so the profile is the
 	// simulator, not flag parsing or export encoding.
 	stopProf, err := startProfiles(*cpuProfile, *memProfile)
 	if err != nil {
 		out.discard()
-		fmt.Fprintln(os.Stderr, "numaws:", err)
-		os.Exit(1)
+		return fail(err)
 	}
-	var ex export
-	if err := run(cmd, specs, opt, &ex, sw); err != nil {
+	app := &app{session: session, w: stdout, args: fs.Args()}
+	if err := app.run(ctx, cmd, sw); err != nil {
 		stopProf()
 		out.discard()
-		fmt.Fprintln(os.Stderr, "numaws:", err)
-		os.Exit(1)
+		return fail(err)
 	}
 	// The profiles are a side channel: a failure writing them must not
 	// discard the completed measurements, so export first and only then
 	// report the profile error (loudly, with the exports safely on disk).
 	profErr := stopProf()
-	if err := ex.write(out); err != nil {
+	if err := app.ex.write(out, stderr); err != nil {
 		out.discard() // sinks not yet written keep their temp files
-		fmt.Fprintln(os.Stderr, "numaws:", err)
-		os.Exit(1)
+		return fail(err)
 	}
 	if profErr != nil {
-		fmt.Fprintln(os.Stderr, "numaws: profile (measurements and exports are intact):", profErr)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "numaws: profile (measurements and exports are intact):", profErr)
+		return 1
 	}
+	return 0
 }
 
 // startProfiles starts a CPU profile and arranges a heap profile, either
@@ -273,7 +305,7 @@ var subcommands = map[string]measures{
 
 // sweepArgs carries the sweep subcommand's parsed flags.
 type sweepArgs struct {
-	benches   []harness.Spec
+	benches   []string
 	topos     []string
 	points    []int
 	json, csv string
@@ -285,8 +317,8 @@ type sweepArgs struct {
 // flags, passed in as defaults) or after it. globalTopo is the global
 // -topology value when the user passed that flag explicitly ("" otherwise);
 // it narrows the sweep to that one machine, and clashes with -topologies.
-func parseSweepArgs(args []string, jsonDefault, csvDefault, cpuDefault, memDefault, globalTopo string, specs []harness.Spec) (*sweepArgs, error) {
-	toposDefault := strings.Join(topology.Presets(), ",")
+func parseSweepArgs(args []string, jsonDefault, csvDefault, cpuDefault, memDefault, globalTopo string, session *numaws.Session) (*sweepArgs, error) {
+	toposDefault := strings.Join(numaws.Topologies(), ",")
 	if globalTopo != "" {
 		toposDefault = globalTopo
 	}
@@ -318,29 +350,19 @@ func parseSweepArgs(args []string, jsonDefault, csvDefault, cpuDefault, memDefau
 			sw.points = append(sw.points, p)
 		}
 	}
-	byName := make(map[string]harness.Spec, len(specs))
-	var names []string
-	for _, s := range specs {
-		byName[s.Name] = s
-		names = append(names, s.Name)
-	}
 	if *bench == "" {
 		// Default to the Fig. 9 curve set: the benchmarks the paper plots
 		// as scalability curves.
-		for _, s := range specs {
-			if s.Fig9Name != "" {
-				sw.benches = append(sw.benches, s)
+		for _, b := range session.Benchmarks() {
+			if b.Curve != "" {
+				sw.benches = append(sw.benches, b.Name)
 			}
 		}
 		return sw, nil
 	}
-	for _, n := range splitList(*bench) {
-		s, ok := byName[n]
-		if !ok {
-			return nil, fmt.Errorf("sweep: no benchmark named %q (want %s)", n, strings.Join(names, ", "))
-		}
-		sw.benches = append(sw.benches, s)
-	}
+	// Name validation belongs to the library: Session.Sweep rejects
+	// unknown and duplicate names before any simulation runs.
+	sw.benches = splitList(*bench)
 	return sw, nil
 }
 
@@ -376,9 +398,9 @@ func unknownSubcommand(cmd string) error {
 // measurement set produced ("all" measures the full table rows after
 // fig3's subset, so the export carries the full set).
 type export struct {
-	rows   []metrics.Row
-	series []metrics.Series
-	sweeps []metrics.Sweep
+	rows   []numaws.Row
+	series []numaws.Series
+	sweeps []numaws.SweepCurve
 }
 
 // sink is one pre-opened export destination. File sinks write to a
@@ -391,12 +413,12 @@ type sink struct {
 	path string   // final destination
 }
 
-func openSink(path string) (*sink, error) {
+func openSink(path string, stdout io.Writer) (*sink, error) {
 	if path == "" {
 		return nil, nil
 	}
 	if path == "-" {
-		return &sink{w: os.Stdout, path: path}, nil
+		return &sink{w: stdout, path: path}, nil
 	}
 	// The temp file only proves the parent directory is writable; also
 	// make sure the destination itself can be renamed into, so a bad
@@ -463,26 +485,26 @@ func (s sinks) discard() {
 // series have different column sets, so a file -csv carrying both kinds
 // splits the series table into a sibling *.series.csv; stdout keeps the
 // blank-line-separated two-table stream for eyeballing.
-func openSinks(jsonPath, csvPath string, kind measures) (sinks, error) {
+func openSinks(jsonPath, csvPath string, kind measures, stdout io.Writer) (sinks, error) {
 	var s sinks
 	var err error
-	if s.json, err = openSink(jsonPath); err != nil {
+	if s.json, err = openSink(jsonPath, stdout); err != nil {
 		return s, err
 	}
-	if s.csv, err = openSink(csvPath); err != nil {
+	if s.csv, err = openSink(csvPath, stdout); err != nil {
 		return s, err
 	}
 	if csvPath != "" && csvPath != "-" && kind.rows && kind.series {
-		if s.csvSeries, err = openSink(seriesCSVPath(csvPath)); err != nil {
+		if s.csvSeries, err = openSink(seriesCSVPath(csvPath), stdout); err != nil {
 			return s, err
 		}
 	}
 	return s, nil
 }
 
-func (e *export) write(s sinks) error {
+func (e *export) write(s sinks, stderr io.Writer) error {
 	if err := s.json.put(func(w io.Writer) error {
-		return metrics.WriteExport(w, metrics.Export{Rows: e.rows, Series: e.series, Sweeps: e.sweeps})
+		return numaws.WriteExport(w, numaws.Export{Rows: e.rows, Series: e.series, Sweeps: e.sweeps})
 	}); err != nil {
 		return err
 	}
@@ -490,125 +512,119 @@ func (e *export) write(s sinks) error {
 		// The sweep subcommand is the only producer of sweeps and measures
 		// nothing else, so its CSV carries exactly one table.
 		return s.csv.put(func(w io.Writer) error {
-			return metrics.WriteSweepsCSV(w, e.sweeps)
+			return numaws.WriteSweepsCSV(w, e.sweeps)
 		})
 	}
 	if s.csvSeries != nil {
 		if err := s.csv.put(func(w io.Writer) error {
-			return metrics.WriteRowsCSV(w, e.rows)
+			return numaws.WriteRowsCSV(w, e.rows)
 		}); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "numaws: rows CSV in %s, series CSV in %s\n", s.csv.path, s.csvSeries.path)
+		fmt.Fprintf(stderr, "numaws: rows CSV in %s, series CSV in %s\n", s.csv.path, s.csvSeries.path)
 		return s.csvSeries.put(func(w io.Writer) error {
-			return metrics.WriteSeriesCSV(w, e.series)
+			return numaws.WriteSeriesCSV(w, e.series)
 		})
 	}
 	return s.csv.put(func(w io.Writer) error {
-		return metrics.WriteCSV(w, e.rows, e.series)
+		return numaws.WriteCSV(w, e.rows, e.series)
 	})
 }
 
-func run(cmd string, specs []harness.Spec, opt harness.Options, ex *export, sw *sweepArgs) error {
+// app executes subcommands against the session, printing to w and
+// accumulating exports.
+type app struct {
+	session *numaws.Session
+	w       io.Writer
+	args    []string // positional args after flag parsing (cmd, operands)
+	ex      export
+}
+
+func (a *app) run(ctx context.Context, cmd string, sw *sweepArgs) error {
+	s := a.session
+	w := a.w
 	switch cmd {
 	case "fig1":
-		fmt.Println("Fig. 1: the evaluation machine")
-		fmt.Print(opt.Topology.String())
+		fmt.Fprintln(w, "Fig. 1: the evaluation machine")
+		fmt.Fprint(w, s.Machine().Description)
 	case "fig6":
-		fmt.Println("Fig. 6(a): Z-Morton layout (cell by cell)")
-		fmt.Print(layout.Grid(8, layout.Morton, 0))
-		fmt.Println("\nFig. 6(b): blocked Z-Morton layout (4x4 blocks, row-major inside)")
-		fmt.Print(layout.Grid(8, layout.BlockedMorton, 4))
+		fmt.Fprintln(w, "Fig. 6(a): Z-Morton layout (cell by cell)")
+		fmt.Fprint(w, numaws.MortonGrid(8))
+		fmt.Fprintln(w, "\nFig. 6(b): blocked Z-Morton layout (4x4 blocks, row-major inside)")
+		fmt.Fprint(w, numaws.BlockedMortonGrid(8, 4))
 	case "fig3":
-		var fig3 []harness.Spec
-		for _, spec := range specs {
-			if spec.InFig3 {
-				fig3 = append(fig3, spec)
+		var fig3 []string
+		for _, b := range s.Benchmarks() {
+			if b.Fig3 {
+				fig3 = append(fig3, b.Name)
 			}
 		}
-		rows, err := harness.MeasureAll(fig3, opt)
+		rows, err := s.MeasureAll(ctx, fig3...)
 		if err != nil {
 			return err
 		}
-		ex.rows = rows
-		fmt.Print(metrics.Fig3(rows))
+		a.ex.rows = rows
+		fmt.Fprint(w, numaws.Fig3(rows))
 	case "table7", "table8", "tables":
-		rows, err := harness.MeasureAll(specs, opt)
+		rows, err := s.MeasureAll(ctx)
 		if err != nil {
 			return err
 		}
-		ex.rows = rows
+		a.ex.rows = rows
 		if cmd != "table8" {
-			fmt.Print(metrics.Table7(rows))
+			fmt.Fprint(w, numaws.Table7(rows))
 		}
 		if cmd != "table7" {
-			fmt.Println()
-			fmt.Print(metrics.Table8(rows))
+			fmt.Fprintln(w)
+			fmt.Fprint(w, numaws.Table8(rows))
 		}
 	case "fig9":
-		series, err := harness.MeasureScalability(specs, opt, nil)
+		series, err := s.Scalability(ctx, nil)
 		if err != nil {
 			return err
 		}
-		ex.series = series
-		fmt.Print(metrics.Fig9(series))
+		a.ex.series = series
+		fmt.Fprint(w, numaws.Fig9(series))
 	case "sweep":
-		machines, err := harness.Machines(sw.topos)
+		sweeps, err := s.Sweep(ctx, sw.topos, sw.points, sw.benches...)
 		if err != nil {
 			return err
 		}
-		sweeps, err := harness.MeasureTopologies(sw.benches, machines, opt, sw.points)
-		if err != nil {
-			return err
-		}
-		ex.sweeps = sweeps
-		fmt.Print(metrics.SweepTable(sweeps))
+		a.ex.sweeps = sweeps
+		fmt.Fprint(w, numaws.SweepTable(sweeps))
 	case "dag":
-		fmt.Println("Measured computation dags (strand cycles; parallelism = work/span)")
-		fmt.Printf("%-12s %14s %14s %14s\n", "benchmark", "work (T1)", "span (Tinf)", "parallelism")
-		o := opt
-		o.RecordDAG = true
-		reps := make([]*core.Report, len(specs))
-		if err := exec.ForEach(o.Jobs, len(specs), func(i int) error {
-			rep, err := harness.RunOne(specs[i], sched.PolicyNUMAWS, o)
-			reps[i] = rep
-			return err
-		}); err != nil {
+		fmt.Fprintln(w, "Measured computation dags (strand cycles; parallelism = work/span)")
+		fmt.Fprintf(w, "%-12s %14s %14s %14s\n", "benchmark", "work (T1)", "span (Tinf)", "parallelism")
+		dags, err := s.DAGs(ctx)
+		if err != nil {
 			return err
 		}
-		for i, spec := range specs {
-			fmt.Printf("%-12s %14d %14d %14.1f\n",
-				spec.Name, reps[i].DAG.Work(), reps[i].DAG.Span(), reps[i].DAG.Parallelism())
+		for _, d := range dags {
+			fmt.Fprintf(w, "%-12s %14d %14d %14.1f\n", d.Bench, d.Work, d.Span, d.Parallelism)
 		}
 	case "timeline":
-		name := flag.Arg(1)
+		name := ""
+		if len(a.args) > 1 {
+			name = a.args[1]
+		}
 		if name == "" {
 			name = "heat"
 		}
-		var spec *harness.Spec
-		for i := range specs {
-			if specs[i].Name == name {
-				spec = &specs[i]
-			}
+		tls, err := s.Timeline(ctx, name, 100)
+		if err != nil {
+			return err
 		}
-		if spec == nil {
-			return fmt.Errorf("no benchmark named %q", name)
-		}
-		for _, pol := range []sched.Policy{sched.PolicyCilk, sched.PolicyNUMAWS} {
-			rep, tl, err := harness.RunTraced(*spec, pol, opt)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("%s on %v: T%d = %d cycles\n", name, pol, opt.P, rep.Time)
-			fmt.Print(tl.Render(100))
-			fmt.Println()
+		for _, tl := range tls {
+			fmt.Fprintf(w, "%s on %s: T%d = %d cycles\n", name, tl.Policy, tl.P, tl.Time)
+			fmt.Fprint(w, tl.Chart)
+			fmt.Fprintln(w)
 		}
 	case "all":
 		for _, sub := range []string{"fig1", "fig6", "fig3", "tables", "fig9", "dag"} {
-			if err := run(sub, specs, opt, ex, nil); err != nil {
+			if err := a.run(ctx, sub, nil); err != nil {
 				return err
 			}
-			fmt.Println()
+			fmt.Fprintln(w)
 		}
 	default:
 		return unknownSubcommand(cmd)

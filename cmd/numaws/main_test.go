@@ -1,0 +1,127 @@
+package main
+
+// CLI-level tests. testdata/all-small.golden was captured from the
+// pre-redesign binary (the closed-enum, pre-facade implementation) running
+// `numaws -scale small -topology paper-4x8 all`; the golden test is the
+// acceptance gate that the public facade, the pluggable policy registry
+// and the context-aware harness reproduce the paper pipeline byte for
+// byte under both registered policies (the tables carry the cilk baseline
+// and the numaws columns of every benchmark).
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"strings"
+	"testing"
+)
+
+// runCLI executes a full command line in-process.
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = realMain(t.Context(), args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestAllSmallMatchesPinnedOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full small-scale pipeline skipped in -short mode")
+	}
+	want, err := os.ReadFile("testdata/all-small.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, out, errb := runCLI(t, "-scale", "small", "-topology", "paper-4x8", "all")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb)
+	}
+	if out != string(want) {
+		t.Errorf("`numaws -scale small -topology paper-4x8 all` diverged from the pinned pre-redesign oracle.\nIf the change is intentional, regenerate testdata/all-small.golden.\n--- got\n%s\n--- want\n%s", out, want)
+	}
+}
+
+func TestUnknownPolicyIsUsageErrorListingNames(t *testing.T) {
+	code, _, errb := runCLI(t, "-policy", "bogus", "fig1")
+	if code == 0 {
+		t.Fatal("unknown -policy exited 0")
+	}
+	for _, want := range []string{`"bogus"`, "cilk", "numaws"} {
+		if !strings.Contains(errb, want) {
+			t.Errorf("unknown -policy stderr missing %q:\n%s", want, errb)
+		}
+	}
+}
+
+func TestUnknownTopologyIsUsageError(t *testing.T) {
+	code, _, errb := runCLI(t, "-topology", "bogus", "fig1")
+	if code == 0 {
+		t.Fatal("unknown -topology exited 0")
+	}
+	if !strings.Contains(errb, "unknown topology") || !strings.Contains(errb, "paper-4x8") {
+		t.Errorf("unknown -topology stderr unhelpful:\n%s", errb)
+	}
+}
+
+// TestWorkerCountFollowsTheMachine pins the -p bugfix: the default worker
+// count is the machine's core count — not the stale 32-worker cap of the
+// fixed-4x8 era — and out-of-range counts are usage errors naming the
+// machine's range.
+func TestWorkerCountFollowsTheMachine(t *testing.T) {
+	// -p beyond the machine: usage error carrying the real core count.
+	code, _, errb := runCLI(t, "-topology", "2x4", "-p", "9", "fig1")
+	if code == 0 {
+		t.Fatal("-p 9 on an 8-core machine exited 0")
+	}
+	if !strings.Contains(errb, "[1,8]") {
+		t.Errorf("-p range error does not name the machine's range:\n%s", errb)
+	}
+	// -p at the machine's size is accepted (fig1 runs no simulation).
+	if code, _, errb := runCLI(t, "-topology", "2x4", "-p", "8", "fig1"); code != 0 {
+		t.Errorf("-p 8 on an 8-core machine rejected: %s", errb)
+	}
+	// A >32-core machine is fully usable: 128 workers on 8x16 is in
+	// range, and 129 is the first count rejected. Under the old cap,
+	// -p 128 would have been unreachable.
+	if code, _, errb := runCLI(t, "-topology", "8x16", "-p", "128", "fig1"); code != 0 {
+		t.Errorf("-p 128 on a 128-core machine rejected (stale 32-cap?): %s", errb)
+	}
+	if code, _, _ := runCLI(t, "-topology", "8x16", "-p", "129", "fig1"); code == 0 {
+		t.Error("-p 129 on a 128-core machine accepted")
+	}
+	if code, _, _ := runCLI(t, "-p", "-3", "fig1"); code == 0 {
+		t.Error("negative -p accepted")
+	}
+}
+
+func TestPreCancelledContextAbortsMeasurement(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errb bytes.Buffer
+	code := realMain(ctx, []string{"-scale", "small", "tables"}, &out, &errb)
+	if code == 0 {
+		t.Fatal("cancelled measurement exited 0")
+	}
+	if !strings.Contains(errb.String(), "context canceled") {
+		t.Errorf("stderr does not surface the cancellation:\n%s", errb.String())
+	}
+}
+
+func TestFlagAfterSubcommandRejected(t *testing.T) {
+	code, _, errb := runCLI(t, "fig1", "-p", "8")
+	if code == 0 {
+		t.Fatal("flag after subcommand exited 0")
+	}
+	if !strings.Contains(errb, "must precede the subcommand") {
+		t.Errorf("stderr: %s", errb)
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	if code, _, _ := runCLI(t, "-h"); code != 0 {
+		t.Errorf("numaws -h exited %d, want 0", code)
+	}
+	if code, _, _ := runCLI(t, "sweep", "-h"); code != 0 {
+		t.Errorf("numaws sweep -h exited %d, want 0", code)
+	}
+}

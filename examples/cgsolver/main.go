@@ -1,60 +1,68 @@
-// Cgsolver runs the conjugate-gradient benchmark end to end: it solves the
-// same banded sparse system on the native goroutine executor (real
-// parallelism, wall-clock time) and on the simulated NUMA platform (virtual
-// time under both schedulers), verifying the solution each time. It also
-// demonstrates the processor-oblivious model: one program, many worker
-// counts.
+// Cgsolver runs the conjugate-gradient benchmark end to end through the
+// public library, demonstrating the processor-oblivious model: one
+// program, many worker counts. It traces the cg scalability curve under
+// classic work stealing and under NUMA-WS on the paper's machine, then
+// sweeps the same benchmark across different machine shapes.
 package main
 
 import (
+	"context"
 	"fmt"
-	"time"
 
-	"repro/internal/core"
-	"repro/internal/native"
-	"repro/internal/sched"
-	"repro/internal/workloads"
+	"repro/pkg/numaws"
 )
 
-func main() {
-	mk := func(aware bool) *workloads.CG {
-		return workloads.NewCG(4096, 24, 6, 32, workloads.Config{Aware: aware, Seed: 3})
-	}
-
-	// Native executor: real goroutines, wall-clock timing.
-	w := mk(false)
-	rt := core.NewRuntime(core.DefaultConfig(1, sched.PolicyCilk)) // allocation host
-	w.Prepare(rt)
-	start := time.Now()
-	native.NewPool(0, 1).Run(w.Root())
-	if err := w.Verify(); err != nil {
+func curve(ctx context.Context, policy string, points []int) numaws.Series {
+	s, err := numaws.New(
+		numaws.WithScale(numaws.ScaleSmall),
+		numaws.WithPolicy(policy),
+		numaws.WithBenchmarks("cg"),
+	)
+	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("native executor: solved 4096x4096 sparse system in %v (verified)\n\n", time.Since(start))
-
-	// Simulated platform: the processor-oblivious sweep of Fig. 9 for this
-	// one benchmark.
-	fmt.Println("simulated NUMA machine, virtual cycles:")
-	fmt.Printf("%8s %14s %14s %10s\n", "P", "Cilk T_P", "NUMA-WS T_P", "NWS gain")
-	var t1cilk, t1nws, tpCilk, tpNWS int64
-	for _, p := range []int{1, 8, 16, 24, 32} {
-		times := map[sched.Policy]int64{}
-		for _, pol := range []sched.Policy{sched.PolicyCilk, sched.PolicyNUMAWS} {
-			w := mk(pol == sched.PolicyNUMAWS)
-			rt := core.NewRuntime(core.DefaultConfig(p, pol))
-			w.Prepare(rt)
-			times[pol] = rt.Run(w.Root()).Time
-			if err := w.Verify(); err != nil {
-				panic(err)
-			}
-		}
-		tpCilk, tpNWS = times[sched.PolicyCilk], times[sched.PolicyNUMAWS]
-		if p == 1 {
-			t1cilk, t1nws = tpCilk, tpNWS
-		}
-		fmt.Printf("%8d %14d %14d %9.2f%%\n", p, tpCilk, tpNWS,
-			100*(1-float64(tpNWS)/float64(tpCilk)))
+	series, err := s.Scalability(ctx, points)
+	if err != nil {
+		panic(err)
 	}
-	fmt.Printf("\nscalability at P=32: Cilk %.2fx, NUMA-WS %.2fx\n",
-		float64(t1cilk)/float64(tpCilk), float64(t1nws)/float64(tpNWS))
+	return series[0]
+}
+
+func main() {
+	ctx := context.Background()
+	points := []int{1, 8, 16, 24, 32}
+
+	// The processor-oblivious sweep of Fig. 9 for this one benchmark,
+	// under both schedulers.
+	cilk := curve(ctx, "cilk", points)
+	nws := curve(ctx, "numaws", points)
+	fmt.Println("cg on the simulated 4x8 NUMA machine, virtual cycles:")
+	fmt.Printf("%8s %14s %14s %10s\n", "P", "Cilk T_P", "NUMA-WS T_P", "NWS gain")
+	for i, p := range points {
+		fmt.Printf("%8d %14d %14d %9.2f%%\n", p, cilk.TP[i], nws.TP[i],
+			100*(1-float64(nws.TP[i])/float64(cilk.TP[i])))
+	}
+	cs, ns := cilk.Speedup(), nws.Speedup()
+	fmt.Printf("\nscalability at P=%d: Cilk %.2fx, NUMA-WS %.2fx\n\n",
+		points[len(points)-1], cs[len(cs)-1], ns[len(ns)-1])
+
+	// The same program, different machines: a topology sweep over two
+	// shapes with the same core budget.
+	s, err := numaws.New(numaws.WithScale(numaws.ScaleSmall), numaws.WithBenchmarks("cg"))
+	if err != nil {
+		panic(err)
+	}
+	sweeps, err := s.Sweep(ctx, []string{"2x16", "8x4"}, []int{1, 16, 32})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("machine-shape sensitivity (NUMA-WS speedup at each P):")
+	for _, sw := range sweeps {
+		sp := sw.Speedup()
+		fmt.Printf("  %-6s (%d sockets x %2d cores):", sw.Topology, sw.Sockets, sw.Cores/sw.Sockets)
+		for i, p := range sw.P {
+			fmt.Printf("  P=%-3d %5.2fx", p, sp[i])
+		}
+		fmt.Println()
+	}
 }

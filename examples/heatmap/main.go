@@ -1,55 +1,60 @@
 // Heatmap runs the paper's heat benchmark (Jacobi diffusion over time
-// steps) on the simulated NUMA machine and prints, per platform, the
-// Fig. 8-style breakdown: work, scheduling, and idle time, plus the work
-// inflation and where memory accesses were serviced. It is the clearest
+// steps) through the public library and prints, per platform, the
+// Fig. 8-style breakdown: work, scheduling and idle time, the work
+// inflation, and where memory accesses were serviced. It is the clearest
 // demonstration of work inflation: a stencil whose rows live on one socket
 // inflates badly under random stealing, and recovers once rows are banded
 // and band tasks are earmarked for their sockets.
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/cache"
-	"repro/internal/core"
-	"repro/internal/sched"
-	"repro/internal/workloads"
+	"repro/pkg/numaws"
 )
 
 func main() {
-	const p = 32
-	fmt.Printf("heat 256x256, 10 steps, %d workers on 4 sockets\n\n", p)
+	ctx := context.Background()
+
+	// One Measure call produces both platforms' T1/TP and the
+	// work/scheduling/idle breakdown.
+	s, err := numaws.New(numaws.WithScale(numaws.ScaleSmall))
+	if err != nil {
+		panic(err)
+	}
+	row, err := s.Measure(ctx, "heat")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("heat (%s), %d workers on %d sockets\n\n", row.Input, row.P, s.Machine().Sockets)
 	for _, tc := range []struct {
-		label string
-		pol   sched.Policy
-		aware bool
+		label  string
+		policy string
+		pr     numaws.PlatformResult
 	}{
-		{"Cilk Plus (first-touch, no hints)", sched.PolicyCilk, false},
-		{"NUMA-WS (banded rows + @place hints)", sched.PolicyNUMAWS, true},
+		{"Cilk Plus (first-touch, no hints)", "cilk", row.Cilk},
+		{"NUMA-WS (banded rows + @place hints)", "numaws", row.NUMAWS},
 	} {
-		w := workloads.NewHeat(256, 256, 10, 32, workloads.Config{Aware: tc.aware, Seed: 11})
-		rt := core.NewRuntime(core.DefaultConfig(p, tc.pol))
-		w.Prepare(rt)
-		rep := rt.Run(w.Root())
-		if err := w.Verify(); err != nil {
+		fmt.Println(tc.label)
+		fmt.Printf("  T1  = %12d cycles\n", tc.pr.T1)
+		fmt.Printf("  T%d = %12d cycles  (speedup %.2fx)\n", row.P, tc.pr.TP, tc.pr.Scalability())
+		fmt.Printf("  work %d  sched %d  idle %d  -> inflation W%d/T1 = %.2fx\n",
+			tc.pr.WP, tc.pr.SP, tc.pr.IP, row.P, tc.pr.WorkInflation())
+
+		// A single run under the same policy shows the memory-access mix
+		// behind the inflation numbers.
+		ps, err := numaws.New(numaws.WithScale(numaws.ScaleSmall), numaws.WithPolicy(tc.policy))
+		if err != nil {
 			panic(err)
 		}
-		st := rep.Sched
-		t1rt := core.NewRuntime(core.DefaultConfig(1, tc.pol))
-		w1 := workloads.NewHeat(256, 256, 10, 32, workloads.Config{Aware: tc.aware, Seed: 11})
-		w1.Prepare(t1rt)
-		t1 := t1rt.Run(w1.Root()).Time
-
-		fmt.Println(tc.label)
-		fmt.Printf("  T1  = %12d cycles\n", t1)
-		fmt.Printf("  T%d = %12d cycles  (speedup %.2fx)\n", p, rep.Time, float64(t1)/float64(rep.Time))
-		fmt.Printf("  work %d  sched %d  idle %d  -> inflation W%d/T1 = %.2fx\n",
-			st.WorkTotal(), st.SchedTotal(), st.IdleTotal(), p, float64(st.WorkTotal())/float64(t1))
-		fmt.Printf("  steals=%d  pushes=%d  mailbox hits=%d\n",
-			st.Steals, st.Pushes, st.MailboxSteals+st.MailboxSelf)
-		c := rep.Cache
-		fmt.Printf("  accesses: private %d, local LLC %d, remote cache %d, local DRAM %d, remote DRAM %d\n\n",
-			c.Count[cache.KindPrivateHit], c.Count[cache.KindLocalLLC],
-			c.Count[cache.KindRemoteCache], c.Count[cache.KindLocalDRAM], c.Count[cache.KindRemoteDRAM])
+		rep, err := ps.Run(ctx, "heat")
+		if err != nil {
+			panic(err)
+		}
+		a := rep.Accesses
+		fmt.Printf("  steals=%d  pushes=%d  mailbox hits=%d\n", rep.Steals, rep.Pushes, rep.MailboxHits)
+		fmt.Printf("  accesses: private %d, local LLC %d, remote cache %d, local DRAM %d, remote DRAM %d (remote total %d)\n\n",
+			a.PrivateHit, a.LocalLLC, a.RemoteCache, a.LocalDRAM, a.RemoteDRAM, a.Remote())
 	}
 }

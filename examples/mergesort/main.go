@@ -1,48 +1,58 @@
-// Mergesort reproduces the paper's Fig. 4 walkthrough: a four-way parallel
-// mergesort whose quarters carry locality hints (@p0..@p3) and whose arrays
-// are bound quarter-by-quarter to the matching sockets. It then contrasts
-// work inflation under classic work stealing and under NUMA-WS.
+// Mergesort revisits the paper's Fig. 4 walkthrough through the public
+// library: cilksort — a parallel mergesort whose quarters carry locality
+// hints and whose arrays are bound quarter-by-quarter to the matching
+// sockets — run under classic work stealing and under NUMA-WS, contrasting
+// the work inflation and mailbox activity of the two schedulers, then
+// measured under the paper's full protocol.
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/core"
-	"repro/internal/harness"
-	"repro/internal/sched"
-	"repro/internal/workloads"
+	"repro/pkg/numaws"
 )
 
-func run(pol sched.Policy, aware bool) {
-	w := workloads.NewCilksort(1<<18, 2048, workloads.Config{Aware: aware, Seed: 7})
-	rt := core.NewRuntime(core.DefaultConfig(32, pol))
-	w.Prepare(rt)
-	rep := rt.Run(w.Root())
-	if err := w.Verify(); err != nil {
-		panic(err)
-	}
-	st := rep.Sched
-	fmt.Printf("%-8s aware=%-5v  T32=%-10d W32=%-10d sched=%-8d idle=%-10d steals=%-5d pushes=%d\n",
-		pol, aware, rep.Time, st.WorkTotal(), st.SchedTotal(), st.IdleTotal(), st.Steals, st.Pushes)
-}
-
-func main() {
-	fmt.Println("cilksort (Fig. 4), 2^18 keys, 32 workers on a 4-socket machine")
-	// Classic work stealing: no hints, serial-first-touch placement.
-	run(sched.PolicyCilk, false)
-	// NUMA-WS: quarters bound to sockets, @p# hints, biased steals +
-	// lazy work pushing.
-	run(sched.PolicyNUMAWS, true)
-
-	// The same comparison via the paper's measurement harness, including
-	// T1 and TS (small scale so this runs in seconds).
-	spec := harness.Specs(harness.ScaleSmall)[1] // cilksort
-	row, err := harness.Measure(spec, harness.Options{Verify: true})
+func run(ctx context.Context, policy string) numaws.RunReport {
+	s, err := numaws.New(
+		numaws.WithScale(numaws.ScaleSmall),
+		numaws.WithPolicy(policy),
+		numaws.WithBenchmarks("cilksort"),
+	)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("\nTS=%d\nCilk:    T1=%d (%.2fx)  T32=%d  inflation=%.2fx\nNUMA-WS: T1=%d (%.2fx)  T32=%d  inflation=%.2fx\n",
+	rep, err := s.Run(ctx, "cilksort")
+	if err != nil {
+		panic(err)
+	}
+	return rep
+}
+
+func main() {
+	ctx := context.Background()
+	fmt.Println("cilksort (Fig. 4) on the paper's 4-socket machine, whole-machine workers")
+	// Classic work stealing: no hints, serial-first-touch placement; then
+	// NUMA-WS: quarters bound to sockets, @p# hints, biased steals + lazy
+	// work pushing. The policy decides the workload configuration.
+	for _, policy := range []string{"cilk", "numaws"} {
+		rep := run(ctx, policy)
+		fmt.Printf("%-8s T%d=%-10d work=%-10d sched=%-8d idle=%-10d steals=%-5d pushes=%d\n",
+			rep.Policy, rep.Workers, rep.Time, rep.Work, rep.Sched, rep.Idle, rep.Steals, rep.Pushes)
+	}
+
+	// The same comparison via the paper's measurement protocol, including
+	// T1 and TS (small scale so this runs in seconds).
+	s, err := numaws.New(numaws.WithScale(numaws.ScaleSmall))
+	if err != nil {
+		panic(err)
+	}
+	row, err := s.Measure(ctx, "cilksort")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nTS=%d\nCilk:    T1=%d (%.2fx)  T%d=%d  inflation=%.2fx\nNUMA-WS: T1=%d (%.2fx)  T%d=%d  inflation=%.2fx\n",
 		row.TS,
-		row.Cilk.T1, row.Cilk.SpawnOverhead(row.TS), row.Cilk.TP, row.Cilk.WorkInflation(),
-		row.NUMAWS.T1, row.NUMAWS.SpawnOverhead(row.TS), row.NUMAWS.TP, row.NUMAWS.WorkInflation())
+		row.Cilk.T1, row.Cilk.SpawnOverhead(row.TS), row.P, row.Cilk.TP, row.Cilk.WorkInflation(),
+		row.NUMAWS.T1, row.NUMAWS.SpawnOverhead(row.TS), row.P, row.NUMAWS.TP, row.NUMAWS.WorkInflation())
 }

@@ -1,63 +1,63 @@
-// Oblivious demonstrates the two extensions built on top of the paper:
-// socket-oblivious placement (core.AutoPlace derives hints from where the
-// data's pages actually live, the direction the paper's conclusion asks
-// for) and measured-dag introspection (core.Config.RecordDAG reports the
-// run's real work, span and parallelism — the quantities the paper's
+// Oblivious demonstrates the library's two run-introspection surfaces:
+// streaming measurement (Session.Each emits every completed simulation as
+// it finishes — the interface long sweeps and dashboards build on, and the
+// one that keeps working under context cancellation) and measured-dag
+// introspection (work, span and parallelism, the quantities the paper's
 // Section IV bounds are stated in).
 package main
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 
-	"repro/internal/core"
-	"repro/internal/memory"
-	"repro/internal/sched"
+	"repro/pkg/numaws"
 )
 
 func main() {
-	const bands = 64
-	run := func(auto bool) {
-		cfg := core.DefaultConfig(32, sched.PolicyNUMAWS)
-		cfg.RecordDAG = true
-		rt := core.NewRuntime(cfg)
-		// The program never names a socket: it just asks for banded pages.
-		data := rt.Alloc("data", bands*8*memory.PageSize,
-			memory.BindBlocks{Blocks: 4, Sockets: []int{0, 1, 2, 3}})
-		bandBytes := data.Size() / bands
-
-		var sweep func(c core.Context, lo, hi int)
-		sweep = func(c core.Context, lo, hi int) {
-			for hi-lo > 1 {
-				mid := (lo + hi) / 2
-				l, h := lo, mid
-				hint := core.PlaceAny
-				if auto {
-					hint = core.AutoPlace(c, data, int64(l)*bandBytes, int64(h-l)*bandBytes)
-				}
-				c.SpawnAt(hint, func(cc core.Context) { sweep(cc, l, h) })
-				lo = mid
-			}
-			c.Read(data, int64(lo)*bandBytes, bandBytes)
-			c.Compute(20_000)
-		}
-		rep := rt.Run(func(ctx core.Context) {
-			for pass := 0; pass < 5; pass++ {
-				sweep(ctx, 0, bands)
-				ctx.Sync()
-			}
-		})
-		label := "unhinted    "
-		if auto {
-			label = "auto-placed "
-		}
-		fmt.Printf("%s T32=%-9d remote accesses=%-7d steals=%-4d pushes=%d\n",
-			label, rep.Time, rep.Cache.Remote(), rep.Sched.Steals, rep.Sched.Pushes)
-		if auto {
-			fmt.Printf("\nmeasured dag: work=%d cycles, span=%d cycles, parallelism=%.1f\n",
-				rep.DAG.Work(), rep.DAG.Span(), rep.DAG.Parallelism())
-		}
+	ctx := context.Background()
+	s, err := numaws.New(
+		numaws.WithScale(numaws.ScaleSmall),
+		numaws.WithBenchmarks("cilksort", "heat", "cg"),
+		numaws.WithSeeds(2),
+	)
+	if err != nil {
+		panic(err)
 	}
-	fmt.Println("banded sweep over 4-socket data, 32 workers, NUMA-WS scheduler")
-	run(false)
-	run(true)
+
+	// Streaming: every (benchmark, policy, P, seed) simulation reports as
+	// it completes, long before the aggregated rows exist.
+	var done atomic.Int64
+	fmt.Println("streaming the measurement grid (completion order):")
+	rows, err := s.Each(ctx, func(r numaws.Run) {
+		fmt.Printf("  [%2d] %-8s %-7s P=%-2d seed=%d  T=%d cycles\n",
+			done.Add(1), r.Bench, r.Policy, r.P, r.Seed, r.Time)
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("aggregated rows after the stream: %d benchmarks\n\n", len(rows))
+
+	// Dag introspection: the measured work/span/parallelism behind each
+	// benchmark's scalability.
+	dags, err := s.DAGs(ctx)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("measured computation dags (parallelism = work/span):")
+	for _, d := range dags {
+		fmt.Printf("  %-10s work=%-12d span=%-10d parallelism=%.1f\n",
+			d.Bench, d.Work, d.Span, d.Parallelism)
+	}
+
+	// The same streaming call under a cancellable context: embedders can
+	// abort a multi-hour sweep and keep the rows streamed so far.
+	cctx, cancel := context.WithCancel(ctx)
+	var kept atomic.Int64
+	_, err = s.Each(cctx, func(r numaws.Run) {
+		if kept.Add(1) == 4 {
+			cancel() // stop after a handful of rows
+		}
+	})
+	fmt.Printf("\ncancelled mid-sweep after %d rows: err = %v\n", kept.Load(), err)
 }

@@ -1,21 +1,21 @@
-// Quickstart: express a fork-join computation once, then run it three ways —
-// serial elision (TS), the simulated NUMA machine under both schedulers
-// (T1, TP with full time breakdown), and the native goroutine executor.
+// Quickstart for the public simulator library (repro/pkg/numaws): measure a
+// paper benchmark in three lines, then express a custom fork-join
+// computation once and run it three ways — serial elision (TS) and the
+// simulated NUMA machine under both registered schedulers.
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/core"
-	"repro/internal/native"
-	"repro/internal/sched"
+	"repro/pkg/numaws"
 )
 
 // sumTree computes the sum of squares of [lo, hi) by binary spawning,
 // charging one compute cycle per element so the simulated times are
 // meaningful.
-func sumTree(lo, hi int, out *int64) core.Task {
-	return func(ctx core.Context) {
+func sumTree(lo, hi int, out *int64) numaws.Task {
+	return func(ctx numaws.Context) {
 		if hi-lo <= 1024 {
 			var s int64
 			for i := lo; i < hi; i++ {
@@ -36,27 +36,42 @@ func sumTree(lo, hi int, out *int64) core.Task {
 }
 
 func main() {
+	ctx := context.Background()
+
+	// 1. The three-line library quickstart: measure one benchmark under
+	// the paper's full protocol (TS, T1, TP on both platforms).
+	s, err := numaws.New(numaws.WithScale(numaws.ScaleSmall))
+	if err != nil {
+		panic(err)
+	}
+	row, err := s.Measure(ctx, "cilksort")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cilksort: TS=%d  Cilk T%d=%d (%.2fx)  NUMA-WS T%d=%d (%.2fx)\n\n",
+		row.TS, row.P, row.Cilk.TP, row.Cilk.Scalability(),
+		row.P, row.NUMAWS.TP, row.NUMAWS.Scalability())
+
+	// 2. A custom computation through the same library: serial elision
+	// first, then the whole paper machine under each registered policy.
 	const n = 1 << 20
 	var result int64
-	task := sumTree(0, n, &result)
-
-	// 1. Serial elision: spawn degenerates to call, sync to no-op.
-	rt := core.NewRuntime(core.DefaultConfig(1, sched.PolicyCilk))
-	ts := rt.RunSerial(task)
-	fmt.Printf("serial elision: sum=%d  TS=%d cycles\n", result, ts.Time)
-
-	// 2. Simulated platform, both schedulers, P=32 on the paper's 4x8
-	// NUMA machine.
-	for _, pol := range []sched.Policy{sched.PolicyCilk, sched.PolicyNUMAWS} {
-		result = 0
-		rt := core.NewRuntime(core.DefaultConfig(32, pol))
-		rep := rt.Run(task)
-		fmt.Printf("%-8s P=32: sum=%d  T32=%d cycles  speedup=%.1fx  steals=%d\n",
-			pol, result, rep.Time, float64(ts.Time)/float64(rep.Time), rep.Sched.Steals)
+	ts, err := s.RunTaskSerial(ctx, sumTree(0, n, &result))
+	if err != nil {
+		panic(err)
 	}
-
-	// 3. Native goroutine executor: real parallelism, no cost model.
-	result = 0
-	native.NewPool(0, 1).Run(task)
-	fmt.Printf("native:        sum=%d (real goroutines)\n", result)
+	fmt.Printf("serial elision: sum=%d  TS=%d cycles\n", result, ts.Time)
+	for _, policy := range numaws.Policies() {
+		ps, err := numaws.New(numaws.WithPolicy(policy))
+		if err != nil {
+			panic(err)
+		}
+		result = 0
+		rep, err := ps.RunTask(ctx, sumTree(0, n, &result))
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-8s P=%d: sum=%d  TP=%d cycles  speedup=%.1fx  steals=%d\n",
+			policy, rep.Workers, result, rep.Time, float64(ts.Time)/float64(rep.Time), rep.Steals)
+	}
 }

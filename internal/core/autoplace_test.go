@@ -9,7 +9,7 @@ import (
 
 func autoPlaceProbe(t *testing.T, p int, prep func(rt *Runtime) *memory.Region, off, n int64) int {
 	t.Helper()
-	rt := newRT(p, sched.PolicyNUMAWS, 1)
+	rt := newRT(p, sched.NUMAWS, 1)
 	r := prep(rt)
 	got := -99
 	rt.Run(func(ctx Context) {
@@ -92,7 +92,7 @@ func TestAutoPlaceZeroLength(t *testing.T) {
 // same locality benefit as explicit hints.
 func TestAutoPlaceEndToEnd(t *testing.T) {
 	run := func(auto bool) int64 {
-		rt := newRT(32, sched.PolicyNUMAWS, 1)
+		rt := newRT(32, sched.NUMAWS, 1)
 		const bands = 64
 		arr := rt.Alloc("data", bands*4*memory.PageSize,
 			memory.BindBlocks{Blocks: 4, Sockets: []int{0, 1, 2, 3}})

@@ -27,7 +27,7 @@ func TestRecordedDagOnRealProgram(t *testing.T) {
 		return rec(6)
 	}
 	run := func(p int) *Report {
-		cfg := DefaultConfig(p, sched.PolicyNUMAWS)
+		cfg := DefaultConfig(p, sched.NUMAWS)
 		cfg.RecordDAG = true
 		return NewRuntime(cfg).Run(mk())
 	}
@@ -62,7 +62,7 @@ func TestRecordedDagOnRealProgram(t *testing.T) {
 // TestDagNotRecordedByDefault ensures the recorder costs nothing unless
 // asked for.
 func TestDagNotRecordedByDefault(t *testing.T) {
-	rep := newRT(4, sched.PolicyCilk, 1).Run(func(ctx Context) { ctx.Compute(10) })
+	rep := newRT(4, sched.Cilk, 1).Run(func(ctx Context) { ctx.Compute(10) })
 	if rep.DAG != nil {
 		t.Error("DAG recorded without RecordDAG")
 	}

@@ -38,7 +38,7 @@ func newRT(p int, pol sched.Policy, seed int64) *Runtime {
 }
 
 func TestSerialElisionCountsWork(t *testing.T) {
-	rt := newRT(1, sched.PolicyCilk, 1)
+	rt := newRT(1, sched.Cilk, 1)
 	rep := rt.RunSerial(fib(12))
 	if rep.Time != fibNodes(12) {
 		t.Errorf("TS = %d, want exactly %d compute units", rep.Time, fibNodes(12))
@@ -49,8 +49,8 @@ func TestSerialElisionCountsWork(t *testing.T) {
 }
 
 func TestT1IncludesOnlySpawnOverhead(t *testing.T) {
-	ts := newRT(1, sched.PolicyCilk, 1).RunSerial(fib(12)).Time
-	rep := newRT(1, sched.PolicyCilk, 1).Run(fib(12))
+	ts := newRT(1, sched.Cilk, 1).RunSerial(fib(12)).Time
+	rep := newRT(1, sched.Cilk, 1).Run(fib(12))
 	if rep.Time <= ts {
 		t.Errorf("T1 = %d, want > TS = %d (spawn overhead exists)", rep.Time, ts)
 	}
@@ -76,9 +76,9 @@ func TestParallelSpeedup(t *testing.T) {
 			})
 		}
 	}
-	t1 := newRT(1, sched.PolicyCilk, 1).Run(mk()).Time
-	t8 := newRT(8, sched.PolicyCilk, 1).Run(mk()).Time
-	t32 := newRT(32, sched.PolicyCilk, 1).Run(mk()).Time
+	t1 := newRT(1, sched.Cilk, 1).Run(mk()).Time
+	t8 := newRT(8, sched.Cilk, 1).Run(mk()).Time
+	t32 := newRT(32, sched.Cilk, 1).Run(mk()).Time
 	if t8 >= t1 || t32 >= t8 {
 		t.Errorf("no scaling: T1=%d T8=%d T32=%d", t1, t8, t32)
 	}
@@ -100,7 +100,7 @@ func TestNestedSyncSemantics(t *testing.T) {
 		ctx.Sync()
 		log = append(log, 4)
 	}
-	newRT(8, sched.PolicyNUMAWS, 3).Run(root)
+	newRT(8, sched.NUMAWS, 3).Run(root)
 	want := []int{1, 1, 2, 3, 4}
 	if len(log) != len(want) {
 		t.Fatalf("log = %v, want %v", log, want)
@@ -126,7 +126,7 @@ func TestImplicitSyncAtReturn(t *testing.T) {
 			t.Error("parent sync passed before grandchild finished")
 		}
 	}
-	newRT(4, sched.PolicyCilk, 2).Run(root)
+	newRT(4, sched.Cilk, 2).Run(root)
 }
 
 func TestPlaceInheritanceAndOverride(t *testing.T) {
@@ -141,7 +141,7 @@ func TestPlaceInheritanceAndOverride(t *testing.T) {
 		})
 		ctx.Sync()
 	}
-	newRT(32, sched.PolicyNUMAWS, 5).Run(root)
+	newRT(32, sched.NUMAWS, 5).Run(root)
 	if places["child"] != 2 {
 		t.Errorf("child place = %d, want 2", places["child"])
 	}
@@ -166,7 +166,7 @@ func TestSetPlace(t *testing.T) {
 		})
 		ctx.Sync()
 	}
-	newRT(32, sched.PolicyNUMAWS, 5).Run(root)
+	newRT(32, sched.NUMAWS, 5).Run(root)
 	if got != 3 {
 		t.Errorf("grandchild place after SetPlace(3) = %d, want 3", got)
 	}
@@ -178,7 +178,7 @@ func TestPlaceValidation(t *testing.T) {
 			t.Error("SpawnAt with out-of-range place did not panic")
 		}
 	}()
-	newRT(4, sched.PolicyNUMAWS, 1).Run(func(ctx Context) {
+	newRT(4, sched.NUMAWS, 1).Run(func(ctx Context) {
 		ctx.SpawnAt(99, func(Context) {})
 		ctx.Sync()
 	})
@@ -189,7 +189,7 @@ func TestNumPlacesFollowsPacking(t *testing.T) {
 		{1, 1}, {8, 1}, {9, 2}, {16, 2}, {24, 3}, {32, 4},
 	} {
 		var got int
-		newRT(tc.p, sched.PolicyNUMAWS, 1).Run(func(ctx Context) { got = ctx.NumPlaces() })
+		newRT(tc.p, sched.NUMAWS, 1).Run(func(ctx Context) { got = ctx.NumPlaces() })
 		if got != tc.places {
 			t.Errorf("P=%d: NumPlaces() = %d, want %d", tc.p, got, tc.places)
 		}
@@ -198,7 +198,7 @@ func TestNumPlacesFollowsPacking(t *testing.T) {
 
 func TestMemoryChargesAffectTime(t *testing.T) {
 	run := func(pol memory.Policy, p int) int64 {
-		rt := newRT(p, sched.PolicyCilk, 1)
+		rt := newRT(p, sched.Cilk, 1)
 		arr := rt.Alloc("data", 1<<20, pol)
 		return rt.Run(func(ctx Context) {
 			SpawnRange(ctx, 0, 16, 1, func(c Context, lo, hi int) {
@@ -227,8 +227,8 @@ func TestDeterministicRuns(t *testing.T) {
 			ctx.Sync()
 		}
 	}
-	a := newRT(32, sched.PolicyNUMAWS, 9).Run(mk())
-	b := newRT(32, sched.PolicyNUMAWS, 9).Run(mk())
+	a := newRT(32, sched.NUMAWS, 9).Run(mk())
+	b := newRT(32, sched.NUMAWS, 9).Run(mk())
 	if a.Time != b.Time || a.Sched.Steals != b.Sched.Steals {
 		t.Errorf("same seed diverged: T=%d/%d steals=%d/%d", a.Time, b.Time, a.Sched.Steals, b.Sched.Steals)
 	}
@@ -240,14 +240,14 @@ func TestTaskPanicPropagates(t *testing.T) {
 			t.Error("task panic did not propagate to Run caller")
 		}
 	}()
-	newRT(2, sched.PolicyCilk, 1).Run(func(ctx Context) {
+	newRT(2, sched.Cilk, 1).Run(func(ctx Context) {
 		ctx.Spawn(func(Context) { panic("boom") })
 		ctx.Sync()
 	})
 }
 
 func TestRuntimeSingleUse(t *testing.T) {
-	rt := newRT(2, sched.PolicyCilk, 1)
+	rt := newRT(2, sched.Cilk, 1)
 	rt.Run(func(Context) {})
 	defer func() {
 		if recover() == nil {
@@ -259,7 +259,7 @@ func TestRuntimeSingleUse(t *testing.T) {
 
 func TestSpawnRangeCoversAllIndices(t *testing.T) {
 	covered := make([]bool, 100)
-	newRT(8, sched.PolicyCilk, 1).Run(func(ctx Context) {
+	newRT(8, sched.Cilk, 1).Run(func(ctx Context) {
 		SpawnRange(ctx, 0, 100, 7, func(c Context, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				if covered[i] {
@@ -283,7 +283,7 @@ func TestSpawnRangeProperty(t *testing.T) {
 		n := int(rawN)%200 + 1
 		grain := int(rawGrain) % 32 // 0 becomes 1 inside
 		counts := make([]int, n)
-		rt := newRT(1, sched.PolicyCilk, 1)
+		rt := newRT(1, sched.Cilk, 1)
 		rt.RunSerial(func(ctx Context) {
 			SpawnRange(ctx, 0, n, grain, func(c Context, lo, hi int) {
 				for i := lo; i < hi; i++ {
@@ -323,8 +323,8 @@ func TestWorkFirstInvariant(t *testing.T) {
 		}
 		return rec(7)
 	}
-	w1 := newRT(1, sched.PolicyNUMAWS, 1).Run(mk()).Sched.WorkTotal()
-	w32 := newRT(32, sched.PolicyNUMAWS, 1).Run(mk()).Sched.WorkTotal()
+	w1 := newRT(1, sched.NUMAWS, 1).Run(mk()).Sched.WorkTotal()
+	w32 := newRT(32, sched.NUMAWS, 1).Run(mk()).Sched.WorkTotal()
 	if w1 != w32 {
 		t.Errorf("pure-compute work inflated: W1=%d W32=%d", w1, w32)
 	}
@@ -349,7 +349,7 @@ func TestBrentBoundOnRealRuns(t *testing.T) {
 		}
 		return rec(8)
 	}
-	for _, pol := range []sched.Policy{sched.PolicyCilk, sched.PolicyNUMAWS} {
+	for _, pol := range []sched.Policy{sched.Cilk, sched.NUMAWS} {
 		t1 := newRT(1, pol, 1).Run(mk()).Time
 		// span: 8 levels of (spawn+sync bookkeeping) + leaf = roughly
 		// 8*small + 4000; be generous.
@@ -367,7 +367,7 @@ func TestBrentBoundOnRealRuns(t *testing.T) {
 }
 
 func TestTopologyAccessors(t *testing.T) {
-	rt := newRT(4, sched.PolicyCilk, 1)
+	rt := newRT(4, sched.Cilk, 1)
 	if rt.Topology().Sockets() != 4 {
 		t.Error("Topology() lost the machine")
 	}
@@ -387,7 +387,7 @@ func TestConfigRequiresTopology(t *testing.T) {
 
 func TestWorkerReportedDuringRun(t *testing.T) {
 	seen := map[int]bool{}
-	newRT(8, sched.PolicyCilk, 1).Run(func(ctx Context) {
+	newRT(8, sched.Cilk, 1).Run(func(ctx Context) {
 		for i := 0; i < 64; i++ {
 			ctx.Spawn(func(c Context) {
 				c.Compute(2000)
@@ -405,7 +405,7 @@ func TestSingleSocketTopologyWorks(t *testing.T) {
 	cfg := Config{Sched: sched.Config{
 		Topology: topology.SingleSocket(4),
 		Workers:  4,
-		Policy:   sched.PolicyNUMAWS,
+		Policy:   sched.NUMAWS,
 		Seed:     1,
 	}}
 	rep := NewRuntime(cfg).Run(func(ctx Context) {

@@ -85,7 +85,7 @@ func record(t *testing.T, p int, pol sched.Policy, seed int64, script *scriptRun
 
 func TestWorkMatchesAnalytic(t *testing.T) {
 	script := &scriptRunner{fanout: 3, depth: 4, leafCost: 100, innerCost: 7}
-	g, _ := record(t, 8, sched.PolicyCilk, 1, script)
+	g, _ := record(t, 8, sched.Cilk, 1, script)
 	if g.Work() != script.work() {
 		t.Errorf("recorded work %d, want %d", g.Work(), script.work())
 	}
@@ -93,7 +93,7 @@ func TestWorkMatchesAnalytic(t *testing.T) {
 
 func TestSpanMatchesAnalytic(t *testing.T) {
 	script := &scriptRunner{fanout: 2, depth: 5, leafCost: 100, innerCost: 3}
-	g, _ := record(t, 8, sched.PolicyCilk, 1, script)
+	g, _ := record(t, 8, sched.Cilk, 1, script)
 	if g.Span() != script.span() {
 		t.Errorf("recorded span %d, want %d", g.Span(), script.span())
 	}
@@ -102,12 +102,12 @@ func TestSpanMatchesAnalytic(t *testing.T) {
 func TestDagInvariantAcrossSchedules(t *testing.T) {
 	// The dag is a property of the program: identical across P, policy and
 	// seed.
-	base, _ := record(t, 1, sched.PolicyCilk, 1, &scriptRunner{fanout: 3, depth: 5, leafCost: 50, innerCost: 5})
+	base, _ := record(t, 1, sched.Cilk, 1, &scriptRunner{fanout: 3, depth: 5, leafCost: 50, innerCost: 5})
 	for _, tc := range []struct {
 		p    int
 		pol  sched.Policy
 		seed int64
-	}{{8, sched.PolicyCilk, 2}, {32, sched.PolicyNUMAWS, 3}, {32, sched.PolicyNUMAWS, 99}} {
+	}{{8, sched.Cilk, 2}, {32, sched.NUMAWS, 3}, {32, sched.NUMAWS, 99}} {
 		g, _ := record(t, tc.p, tc.pol, tc.seed, &scriptRunner{fanout: 3, depth: 5, leafCost: 50, innerCost: 5})
 		if g.Work() != base.Work() || g.Span() != base.Span() || g.Nodes() != base.Nodes() {
 			t.Errorf("P=%d %v seed=%d: dag (%d nodes, W=%d, S=%d) differs from base (%d, %d, %d)",
@@ -125,7 +125,7 @@ func TestSpanLEWorkProperty(t *testing.T) {
 			leafCost:  int64(leaf)%500 + 1,
 			innerCost: 3,
 		}
-		g, _ := record(t, 4, sched.PolicyNUMAWS, 7, script)
+		g, _ := record(t, 4, sched.NUMAWS, 7, script)
 		return g.Span() <= g.Work() && g.Parallelism() >= 1
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
@@ -138,7 +138,7 @@ func TestMakespanRespectsDagBounds(t *testing.T) {
 	// (engine bookkeeping only adds time).
 	script := &scriptRunner{fanout: 4, depth: 5, leafCost: 2000, innerCost: 10}
 	for _, p := range []int{1, 8, 32} {
-		g, stats := record(t, p, sched.PolicyNUMAWS, 1, &scriptRunner{fanout: 4, depth: 5, leafCost: 2000, innerCost: 10})
+		g, stats := record(t, p, sched.NUMAWS, 1, &scriptRunner{fanout: 4, depth: 5, leafCost: 2000, innerCost: 10})
 		if stats.Makespan < g.Work()/int64(p) {
 			t.Errorf("P=%d: makespan %d below Work/P = %d", p, stats.Makespan, g.Work()/int64(p))
 		}
@@ -157,7 +157,7 @@ func TestEmptyGraph(t *testing.T) {
 }
 
 func TestEdgesCounted(t *testing.T) {
-	g, _ := record(t, 2, sched.PolicyCilk, 1, &scriptRunner{fanout: 2, depth: 2, leafCost: 10, innerCost: 1})
+	g, _ := record(t, 2, sched.Cilk, 1, &scriptRunner{fanout: 2, depth: 2, leafCost: 10, innerCost: 1})
 	if g.Edges() < g.Nodes()-1 {
 		t.Errorf("graph with %d nodes has only %d edges; must be connected", g.Nodes(), g.Edges())
 	}
@@ -167,7 +167,7 @@ func TestEdgesCounted(t *testing.T) {
 // monotone, cover exactly the edge array, and every predecessor id precedes
 // nothing impossible (a valid node id other than the node's own).
 func TestCSRPredsConsistent(t *testing.T) {
-	g, _ := record(t, 4, sched.PolicyNUMAWS, 3, &scriptRunner{fanout: 3, depth: 3, leafCost: 10, innerCost: 1})
+	g, _ := record(t, 4, sched.NUMAWS, 3, &scriptRunner{fanout: 3, depth: 3, leafCost: 10, innerCost: 1})
 	total := 0
 	for v := 0; v < g.Nodes(); v++ {
 		ps := g.Preds(v)
@@ -192,7 +192,7 @@ func TestCSRPredsConsistent(t *testing.T) {
 // TestSpanAllocations pins the Span rework's point: one int32 buffer and
 // one int64 buffer per call, regardless of graph size.
 func TestSpanAllocations(t *testing.T) {
-	g, _ := record(t, 4, sched.PolicyCilk, 1, &scriptRunner{fanout: 3, depth: 4, leafCost: 10, innerCost: 1})
+	g, _ := record(t, 4, sched.Cilk, 1, &scriptRunner{fanout: 3, depth: 4, leafCost: 10, innerCost: 1})
 	want := g.Span()
 	allocs := testing.AllocsPerRun(10, func() {
 		if got := g.Span(); got != want {

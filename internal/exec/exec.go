@@ -1,5 +1,5 @@
-// Package exec runs the harness's independent simulation jobs on a bounded
-// worker pool.
+// Package exec runs the harness's independent simulation jobs on a bounded,
+// cancellable worker pool.
 //
 // Every experiment the harness regenerates — each (spec, policy, P, seed)
 // measurement — is a fully independent simulation: it builds its own
@@ -9,9 +9,16 @@
 // result slot per job, submit one closure per job, and aggregate the slots
 // in canonical (serial) order after Wait, so parallel output is
 // byte-identical to serial output.
+//
+// Pools are context-aware: once the pool's context is cancelled, jobs not
+// yet started are skipped (jobs already running finish — simulations do not
+// observe the context), the submission side drains without blocking, and
+// Wait reports the context's error. That is what makes a multi-hour sweep
+// interruptible at per-simulation granularity without leaking goroutines.
 package exec
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -30,14 +37,17 @@ type job struct {
 // Pool executes submitted jobs on a fixed number of worker goroutines.
 //
 // A pool with one worker degenerates to a serial loop: jobs run inline on
-// Submit, in submission order, and after the first failure subsequent jobs
-// are skipped — exactly the control flow of the serial code the pool
-// replaces. With more workers, jobs already started run to completion, but
-// once a failure is recorded workers skip jobs they have not started yet:
-// every caller discards all results on error, so finishing the sweep after
-// a failure would only burn cycles. Wait reports the failure with the
-// lowest submission index among the jobs that ran.
+// Submit, in submission order, and after the first failure (or once ctx is
+// done) subsequent jobs are skipped — exactly the control flow of the serial
+// code the pool replaces. With more workers, jobs already started run to
+// completion, but once a failure is recorded or the context is cancelled,
+// workers skip jobs they have not started yet: every caller discards all
+// results on error, so finishing the sweep after a failure would only burn
+// cycles. Wait reports the failure with the lowest submission index among
+// the jobs that ran, or the context's error when cancellation cut the sweep
+// short.
 type Pool struct {
+	ctx     context.Context
 	workers int
 	ch      chan job
 	wg      sync.WaitGroup
@@ -48,12 +58,16 @@ type Pool struct {
 }
 
 // NewPool starts a pool with the given number of workers; counts below one
-// are treated as one.
-func NewPool(workers int) *Pool {
+// are treated as one. ctx bounds every job not yet started: cancelling it
+// makes the pool skip the rest of the sweep. A nil ctx means Background.
+func NewPool(ctx context.Context, workers int) *Pool {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers < 1 {
 		workers = 1
 	}
-	p := &Pool{workers: workers, errIdx: -1}
+	p := &Pool{ctx: ctx, workers: workers, errIdx: -1}
 	if workers > 1 {
 		// A small buffer keeps workers fed without letting the submitter
 		// race arbitrarily far ahead of execution.
@@ -69,7 +83,7 @@ func NewPool(workers int) *Pool {
 func (p *Pool) worker() {
 	defer p.wg.Done()
 	for j := range p.ch {
-		if p.failed() {
+		if p.skip() {
 			continue
 		}
 		if err := j.fn(); err != nil {
@@ -78,7 +92,12 @@ func (p *Pool) worker() {
 	}
 }
 
-func (p *Pool) failed() bool {
+// skip reports whether jobs not yet started should be dropped: a previous
+// job failed, or the pool's context is done.
+func (p *Pool) skip() bool {
+	if p.ctx.Err() != nil {
+		return true
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.err != nil
@@ -95,11 +114,12 @@ func (p *Pool) record(idx int, err error) {
 // Submit schedules one job. idx is the job's position in the caller's
 // canonical serial order; it determines which error Wait reports when
 // several jobs fail. Submit blocks when all workers are busy and the
-// buffer is full (backpressure); it must not be called after Wait, nor
-// from inside a job.
+// buffer is full (backpressure; cancellation unblocks it, because workers
+// keep draining the channel); it must not be called after Wait, nor from
+// inside a job.
 func (p *Pool) Submit(idx int, fn func() error) {
 	if p.workers == 1 {
-		if p.err != nil {
+		if p.skip() {
 			return
 		}
 		if err := fn(); err != nil {
@@ -110,20 +130,27 @@ func (p *Pool) Submit(idx int, fn func() error) {
 	p.ch <- job{idx: idx, fn: fn}
 }
 
-// Wait blocks until every submitted job has finished and returns the
-// lowest-indexed error, if any. The pool cannot be reused after Wait.
+// Wait blocks until every submitted job has finished or been skipped and
+// returns the lowest-indexed job error; with no job error it returns the
+// context's error, so a cancelled sweep surfaces ctx.Err() to its caller.
+// The pool cannot be reused after Wait. Jobs already running when the
+// context is cancelled run to completion before Wait returns — the pool
+// never abandons a goroutine.
 func (p *Pool) Wait() error {
 	if p.workers > 1 {
 		close(p.ch)
 		p.wg.Wait()
 	}
-	return p.err
+	if p.err != nil {
+		return p.err
+	}
+	return p.ctx.Err()
 }
 
 // ForEach runs fn(0) … fn(n-1) on a pool with the given worker count and
-// returns the lowest-indexed error.
-func ForEach(workers, n int, fn func(i int) error) error {
-	p := NewPool(workers)
+// returns the lowest-indexed error (or ctx's error on cancellation).
+func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	p := NewPool(ctx, workers)
 	for i := 0; i < n; i++ {
 		i := i
 		p.Submit(i, func() error { return fn(i) })

@@ -1,8 +1,10 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -13,7 +15,7 @@ func TestRunCompletesAllJobs(t *testing.T) {
 	for _, workers := range []int{0, 1, 2, 4, 16} {
 		const n = 100
 		done := make([]int32, n)
-		err := ForEach(workers, n, func(i int) error {
+		err := ForEach(context.Background(), workers, n, func(i int) error {
 			atomic.AddInt32(&done[i], 1)
 			return nil
 		})
@@ -31,7 +33,7 @@ func TestRunCompletesAllJobs(t *testing.T) {
 func TestBoundedConcurrency(t *testing.T) {
 	const workers = 3
 	var cur, max atomic.Int32
-	err := ForEach(workers, 64, func(int) error {
+	err := ForEach(context.Background(), workers, 64, func(int) error {
 		c := cur.Add(1)
 		for {
 			m := max.Load()
@@ -58,7 +60,7 @@ func TestWaitReportsLowestIndexedError(t *testing.T) {
 	}
 
 	// Serial pools short-circuit: job 3 fails first and 7/50 never run.
-	err := ForEach(1, 64, func(i int) error { return errs[i] })
+	err := ForEach(context.Background(), 1, 64, func(i int) error { return errs[i] })
 	if err == nil || err.Error() != "err3" {
 		t.Errorf("workers=1: got %v, want err3", err)
 	}
@@ -66,7 +68,7 @@ func TestWaitReportsLowestIndexedError(t *testing.T) {
 	// Parallel pools report the lowest index among the failures that
 	// ran; the skip-after-failure optimization means any of the three
 	// may be it, but never a fabricated error.
-	err = ForEach(4, 64, func(i int) error { return errs[i] })
+	err = ForEach(context.Background(), 4, 64, func(i int) error { return errs[i] })
 	switch {
 	case err == nil:
 		t.Error("workers=4: got nil, want one of the injected errors")
@@ -77,7 +79,7 @@ func TestWaitReportsLowestIndexedError(t *testing.T) {
 	// With exactly one failing job, the reported error is deterministic
 	// regardless of worker count.
 	for _, workers := range []int{2, 8} {
-		err := ForEach(workers, 64, func(i int) error {
+		err := ForEach(context.Background(), workers, 64, func(i int) error {
 			if i == 7 {
 				return errs[7]
 			}
@@ -90,7 +92,7 @@ func TestWaitReportsLowestIndexedError(t *testing.T) {
 }
 
 func TestSerialPoolRunsInlineInOrderAndShortCircuits(t *testing.T) {
-	p := NewPool(1)
+	p := NewPool(context.Background(), 1)
 	var order []int
 	for i := 0; i < 10; i++ {
 		i := i
@@ -118,7 +120,7 @@ func TestSerialPoolRunsInlineInOrderAndShortCircuits(t *testing.T) {
 
 func TestParallelPoolSkipsJobsAfterFailure(t *testing.T) {
 	const n = 256
-	p := NewPool(4)
+	p := NewPool(context.Background(), 4)
 	failed := make(chan struct{})
 	p.Submit(0, func() error {
 		close(failed)
@@ -150,7 +152,7 @@ func TestParallelPoolSkipsJobsAfterFailure(t *testing.T) {
 func TestForEachAccumulates(t *testing.T) {
 	var mu sync.Mutex
 	sum := 0
-	if err := ForEach(4, 20, func(i int) error {
+	if err := ForEach(context.Background(), 4, 20, func(i int) error {
 		mu.Lock()
 		sum += i
 		mu.Unlock()
@@ -166,5 +168,70 @@ func TestForEachAccumulates(t *testing.T) {
 func TestDefaultJobsPositive(t *testing.T) {
 	if DefaultJobs() < 1 {
 		t.Errorf("DefaultJobs() = %d, want >= 1", DefaultJobs())
+	}
+}
+
+func TestPreCancelledContextSkipsEverything(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		err := ForEach(ctx, workers, 64, func(int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if ran.Load() != 0 {
+			t.Errorf("workers=%d: %d jobs ran under a pre-cancelled context", workers, ran.Load())
+		}
+	}
+}
+
+func TestMidRunCancellationStopsPromptlyWithoutLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+	const n = 512
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int32
+	err := ForEach(ctx, 4, n, func(i int) error {
+		if ran.Add(1) == 8 {
+			cancel() // cancel from inside the sweep, mid-run
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// In-flight jobs finish; everything else is skipped. Allow the few
+	// stragglers that raced the cancellation.
+	if got := ran.Load(); got > n/2 {
+		t.Errorf("%d of %d jobs ran after mid-run cancellation", got, n)
+	}
+	// All pool goroutines must have exited by the time Wait returned.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+func TestJobErrorBeatsLaterCancellation(t *testing.T) {
+	// A real job failure recorded before cancellation is the more useful
+	// report; ctx.Err() is the fallback, not an override.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := ForEach(ctx, 1, 8, func(i int) error {
+		if i == 2 {
+			cancel()
+			return errors.New("real failure")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "real failure" {
+		t.Errorf("err = %v, want the recorded job failure", err)
 	}
 }

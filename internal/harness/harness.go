@@ -11,6 +11,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -181,7 +182,7 @@ func Specs(s Scale) []Spec {
 // TestOptionsZeroValuesMeanDefaults pins this contract.
 type Options struct {
 	Topology *topology.Topology // nil means the paper's 4x8 machine (topology.XeonE5_4620)
-	P        int                // simulated worker count; 0 means the whole machine, capped at the paper's 32
+	P        int                // simulated worker count; 0 means the whole machine (Topology.Cores())
 	Seed     int64              // scheduler seed; 0 means 1
 	// Seeds averages each parallel measurement over this many scheduler
 	// seeds (Seed, Seed+1, ...), echoing the paper's "each data point is
@@ -198,6 +199,38 @@ type Options struct {
 	// and are identical for every Jobs value. 0 means 1 (serial);
 	// exec.DefaultJobs() is the whole-machine setting.
 	Jobs int
+	// Policy is the NUMA-aware platform of the comparison protocols (the
+	// NUMA-WS column of the tables) and the scheduler of the
+	// scalability/topology sweeps. nil means sched.NUMAWS, the paper's
+	// scheduler. The baseline column is always sched.Cilk.
+	Policy sched.Policy
+	// OnRun, if non-nil, receives every completed simulation of
+	// Measure, MeasureAll, MeasureScalability and MeasureTopologies as it
+	// finishes — in completion order, not canonical order; calls are
+	// serialized. Streaming observes the sweep; it never changes the
+	// returned rows, which are still aggregated canonically after the
+	// pool drains.
+	OnRun func(RunMeta)
+}
+
+// RunMeta identifies one completed simulation of a measurement grid, for
+// streaming consumers: which benchmark, under which policy ("serial" for
+// the TS elision run), at which worker count and scheduler seed, and the
+// completion time it measured.
+type RunMeta struct {
+	Bench  string
+	Policy string
+	P      int
+	Seed   int64
+	Serial bool
+	// Baseline marks runs belonging to the classic work-stealing baseline
+	// column of the comparison protocol (always sched.Cilk), as opposed to
+	// the Options.Policy column. It is the column discriminator: with
+	// Policy set to sched.Cilk both columns run cilk, and (Bench, Policy,
+	// P, Seed) alone would not distinguish their runs. False for serial
+	// and sweep runs, which have no baseline column.
+	Baseline bool
+	Time     int64 // virtual cycles (TS for serial runs, TP otherwise)
 }
 
 func (o Options) fill() Options {
@@ -205,16 +238,16 @@ func (o Options) fill() Options {
 		o.Topology = topology.XeonE5_4620()
 	}
 	if o.P == 0 {
-		// The whole machine, capped at the paper's 32 — on the default
-		// topology exactly the documented "0 means 32"; on a smaller sweep
-		// machine a count the engine can actually place.
+		// The whole machine. (An earlier revision capped this at the
+		// paper's 32, a stale limit from the fixed-4x8 era that silently
+		// under-used larger -topology machines.)
 		o.P = o.Topology.Cores()
-		if o.P > 32 {
-			o.P = 32
-		}
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.Policy == nil {
+		o.Policy = sched.NUMAWS
 	}
 	// Counts below one (including negatives, reachable from unvalidated
 	// flags) mean the default too: the job decomposition allocates one
@@ -245,13 +278,45 @@ func newRuntime(top *topology.Topology, workers int, pol sched.Policy, seed int6
 	})
 }
 
+// numaAware reports whether runs under pol get the NUMA-aware workload
+// configuration (partitioned data placement plus @place hints): any policy
+// that exploits locality — biased steals or work pushing — follows the
+// paper's NUMA-WS protocol, while the classic baseline runs unhinted with
+// serial-first-touch placement.
+func numaAware(pol sched.Policy) bool { return pol.Biased() || pol.Pushes() }
+
+// emitter serializes Options.OnRun callbacks across pool workers.
+type emitter struct {
+	mu sync.Mutex
+	fn func(RunMeta)
+}
+
+func newEmitter(fn func(RunMeta)) *emitter {
+	if fn == nil {
+		return nil
+	}
+	return &emitter{fn: fn}
+}
+
+func (e *emitter) emit(m RunMeta) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.fn(m)
+	e.mu.Unlock()
+}
+
 // RunOne executes one (spec, policy, P) measurement and returns the run
-// report. aware follows the platform: NUMA-WS runs get the NUMA-aware
-// workload configuration.
-func RunOne(spec Spec, pol sched.Policy, opt Options) (*core.Report, error) {
+// report. aware follows the platform: locality-exploiting policies get the
+// NUMA-aware workload configuration. The context is checked before the
+// simulation starts; a simulation once started runs to completion.
+func RunOne(ctx context.Context, spec Spec, pol sched.Policy, opt Options) (*core.Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	opt = opt.fill()
-	aware := pol == sched.PolicyNUMAWS
-	w := spec.Make(aware)
+	w := spec.Make(numaAware(pol))
 	arena := arenas.Get().(*core.Arena)
 	rt := newRuntime(opt.Topology, opt.P, pol, opt.Seed, opt.RecordDAG, arena)
 	w.Prepare(rt)
@@ -268,10 +333,13 @@ func RunOne(spec Spec, pol sched.Policy, opt Options) (*core.Report, error) {
 }
 
 // RunSerial measures TS for a spec (serial elision, baseline placement).
-func RunSerial(spec Spec, opt Options) (*core.Report, error) {
+func RunSerial(ctx context.Context, spec Spec, opt Options) (*core.Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	opt = opt.fill()
 	w := spec.Make(false)
-	rt := newRuntime(opt.Topology, 1, sched.PolicyCilk, opt.Seed, false, nil)
+	rt := newRuntime(opt.Topology, 1, sched.Cilk, opt.Seed, false, nil)
 	w.Prepare(rt)
 	rep := rt.RunSerial(w.Root())
 	if opt.Verify {
@@ -283,10 +351,11 @@ func RunSerial(spec Spec, opt Options) (*core.Report, error) {
 }
 
 // Measure runs the full Fig. 7/Fig. 8 protocol for one spec: TS, then T1
-// and TP on both platforms. With opt.Jobs > 1 the protocol's independent
-// runs execute concurrently; the row is identical either way.
-func Measure(spec Spec, opt Options) (metrics.Row, error) {
-	rows, err := MeasureAll([]Spec{spec}, opt)
+// and TP on the baseline and on opt.Policy. With opt.Jobs > 1 the
+// protocol's independent runs execute concurrently; the row is identical
+// either way.
+func Measure(ctx context.Context, spec Spec, opt Options) (metrics.Row, error) {
+	rows, err := MeasureAll(ctx, []Spec{spec}, opt)
 	if err != nil {
 		return metrics.Row{Name: spec.Name, Input: spec.Input, P: opt.fill().P}, err
 	}
@@ -296,14 +365,17 @@ func Measure(spec Spec, opt Options) (metrics.Row, error) {
 // MeasureAll measures every spec. Every (spec, policy, P, seed) run across
 // all specs is an independent job executed on an opt.Jobs-worker pool (see
 // internal/exec); results are aggregated in spec/platform/seed order, so
-// the rows are identical for every Jobs value.
-func MeasureAll(specs []Spec, opt Options) ([]metrics.Row, error) {
+// the rows are identical for every Jobs value. Cancelling ctx skips every
+// simulation not yet started and returns the context's error; completed
+// runs already streamed through opt.OnRun remain valid.
+func MeasureAll(ctx context.Context, specs []Spec, opt Options) ([]metrics.Row, error) {
 	opt = opt.fill()
 	runs := make([]specRuns, len(specs))
-	pool := exec.NewPool(opt.Jobs)
+	pool := exec.NewPool(ctx, opt.Jobs)
+	em := newEmitter(opt.OnRun)
 	idx := 0
 	for i := range specs {
-		runs[i].submit(pool, &idx, specs[i], opt)
+		runs[i].submit(ctx, pool, em, &idx, specs[i], opt)
 	}
 	if err := pool.Wait(); err != nil {
 		return nil, err
@@ -318,13 +390,13 @@ func MeasureAll(specs []Spec, opt Options) ([]metrics.Row, error) {
 // Fig9Points is the paper's Fig. 9 x-axis.
 var Fig9Points = []int{1, 8, 16, 24, 32}
 
-// MeasureScalability produces the Fig. 9 series: NUMA-WS TP over the
+// MeasureScalability produces the Fig. 9 series: opt.Policy's TP over the
 // worker counts, tight socket packing (the Pack default). It is the
 // single-machine case of MeasureTopologies, which fans every (spec, point,
 // seed) run out to an opt.Jobs-worker pool and aggregates in canonical
 // order. nil points derive the axis from the machine (SweepPoints), which
 // on the paper's topology is exactly Fig9Points.
-func MeasureScalability(specs []Spec, opt Options, points []int) ([]metrics.Series, error) {
+func MeasureScalability(ctx context.Context, specs []Spec, opt Options, points []int) ([]metrics.Series, error) {
 	opt = opt.fill()
 	var curve []Spec
 	for _, spec := range specs {
@@ -333,7 +405,7 @@ func MeasureScalability(specs []Spec, opt Options, points []int) ([]metrics.Seri
 		}
 	}
 	machine := Machine{Name: "machine", Top: opt.Topology}
-	sweeps, err := MeasureTopologies(curve, []Machine{machine}, opt, points)
+	sweeps, err := MeasureTopologies(ctx, curve, []Machine{machine}, opt, points)
 	if err != nil {
 		return nil, err
 	}
@@ -346,11 +418,13 @@ func MeasureScalability(specs []Spec, opt Options, points []int) ([]metrics.Seri
 
 // RunTraced is RunOne with an execution timeline attached: it returns the
 // run report plus the recorded per-worker trace (see internal/trace).
-func RunTraced(spec Spec, pol sched.Policy, opt Options) (*core.Report, *trace.Timeline, error) {
+func RunTraced(ctx context.Context, spec Spec, pol sched.Policy, opt Options) (*core.Report, *trace.Timeline, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	opt = opt.fill()
 	tl := trace.New(opt.P)
-	aware := pol == sched.PolicyNUMAWS
-	w := spec.Make(aware)
+	w := spec.Make(numaAware(pol))
 	arena := arenas.Get().(*core.Arena)
 	rt := core.NewRuntime(core.Config{
 		Sched: sched.Config{

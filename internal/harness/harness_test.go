@@ -48,11 +48,11 @@ func TestSpecsInventory(t *testing.T) {
 
 func TestRunOneAndSerial(t *testing.T) {
 	spec := Specs(ScaleSmall)[1] // cilksort
-	ts, err := RunSerial(spec, Options{Verify: true})
+	ts, err := RunSerial(t.Context(), spec, Options{Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := RunOne(spec, sched.PolicyNUMAWS, Options{P: 16, Verify: true})
+	rep, err := RunOne(t.Context(), spec, sched.NUMAWS, Options{P: 16, Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestRunOneAndSerial(t *testing.T) {
 
 func TestMeasureProducesConsistentRow(t *testing.T) {
 	spec := Specs(ScaleSmall)[2] // heat
-	row, err := Measure(spec, Options{P: 16, Verify: true})
+	row, err := Measure(t.Context(), spec, Options{P: 16, Verify: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,11 +102,11 @@ func TestMeasureProducesConsistentRow(t *testing.T) {
 
 func TestSeedAveraging(t *testing.T) {
 	spec := Specs(ScaleSmall)[2] // heat
-	one, err := Measure(spec, Options{P: 8, Seeds: 1})
+	one, err := Measure(t.Context(), spec, Options{P: 8, Seeds: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	avg, err := Measure(spec, Options{P: 8, Seeds: 3})
+	avg, err := Measure(t.Context(), spec, Options{P: 8, Seeds: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestMeasureScalabilityShape(t *testing.T) {
 			sort = append(sort, s)
 		}
 	}
-	series, err := MeasureScalability(sort, Options{}, []int{1, 8, 16})
+	series, err := MeasureScalability(t.Context(), sort, Options{}, []int{1, 8, 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +158,7 @@ func TestFig9PointsMatchPaper(t *testing.T) {
 
 func TestOptionsCustomTopology(t *testing.T) {
 	spec := Specs(ScaleSmall)[2]
-	rep, err := RunOne(spec, sched.PolicyNUMAWS, Options{
+	rep, err := RunOne(t.Context(), spec, sched.NUMAWS, Options{
 		Topology: topology.TwoSocket(4),
 		P:        8,
 		Verify:   true,
@@ -173,11 +173,11 @@ func TestOptionsCustomTopology(t *testing.T) {
 
 func TestDeterministicMeasurement(t *testing.T) {
 	spec := Specs(ScaleSmall)[0] // cg
-	a, err := RunOne(spec, sched.PolicyNUMAWS, Options{P: 16, Seed: 9})
+	a, err := RunOne(t.Context(), spec, sched.NUMAWS, Options{P: 16, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunOne(spec, sched.PolicyNUMAWS, Options{P: 16, Seed: 9})
+	b, err := RunOne(t.Context(), spec, sched.NUMAWS, Options{P: 16, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,9 +5,13 @@ package harness
 // own workload and runtime; jobs write raw reports into pre-allocated
 // slots, and the slots are folded into metrics rows in canonical
 // spec/platform/seed order after the pool drains, so the aggregate is
-// byte-identical to what the old serial loops produced.
+// byte-identical to what the old serial loops produced. Completed jobs are
+// additionally streamed through the emitter (Options.OnRun) in completion
+// order, which is what Session.Each builds on.
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/metrics"
@@ -23,44 +27,52 @@ type platformRuns struct {
 
 // specRuns holds every raw report needed to assemble one metrics.Row.
 type specRuns struct {
-	ts     *core.Report
-	cilk   platformRuns
-	numaws platformRuns
+	ts       *core.Report
+	baseline platformRuns // sched.Cilk, the classic work-stealing column
+	policy   platformRuns // opt.Policy, the NUMA-aware column
 }
 
 // submit schedules the full Fig. 7/Fig. 8 protocol for one spec on the
 // pool: TS, then T1 and the per-seed TP runs on both platforms. idx
 // advances one slot per job submitted and orders errors across specs the
-// way the serial loops encountered them (TS first, then Cilk T1, Cilk
-// seeds, NUMA-WS T1, NUMA-WS seeds).
-func (r *specRuns) submit(pool *exec.Pool, idx *int, spec Spec, opt Options) {
-	submit := func(slot **core.Report, run func() (*core.Report, error)) {
+// way the serial loops encountered them (TS first, then baseline T1,
+// baseline seeds, policy T1, policy seeds).
+func (r *specRuns) submit(ctx context.Context, pool *exec.Pool, em *emitter, idx *int, spec Spec, opt Options) {
+	submit := func(slot **core.Report, meta RunMeta, run func() (*core.Report, error)) {
 		pool.Submit(*idx, func() error {
 			rep, err := run()
 			if err != nil {
 				return err
 			}
 			*slot = rep
+			meta.Time = rep.Time
+			em.emit(meta)
 			return nil
 		})
 		*idx++
 	}
 
-	submit(&r.ts, func() (*core.Report, error) { return RunSerial(spec, opt) })
-	for _, pol := range []sched.Policy{sched.PolicyCilk, sched.PolicyNUMAWS} {
-		pr := &r.cilk
-		if pol == sched.PolicyNUMAWS {
-			pr = &r.numaws
+	submit(&r.ts, RunMeta{Bench: spec.Name, Policy: "serial", P: 1, Seed: opt.Seed, Serial: true},
+		func() (*core.Report, error) { return RunSerial(ctx, spec, opt) })
+	for pi, pol := range []sched.Policy{sched.Cilk, opt.Policy} {
+		// Column position, not policy identity: with Policy: sched.Cilk the
+		// comparison degenerates to cilk-vs-cilk, and both columns must
+		// still be populated.
+		pr := &r.baseline
+		if pi == 1 {
+			pr = &r.policy
 		}
 		pr.seeds = make([]*core.Report, opt.Seeds)
-		pol := pol
+		pol, baseline := pol, pi == 0
 		o1 := opt
 		o1.P = 1
-		submit(&pr.t1, func() (*core.Report, error) { return RunOne(spec, pol, o1) })
+		submit(&pr.t1, RunMeta{Bench: spec.Name, Policy: pol.Name(), P: 1, Seed: opt.Seed, Baseline: baseline},
+			func() (*core.Report, error) { return RunOne(ctx, spec, pol, o1) })
 		for s := 0; s < opt.Seeds; s++ {
 			o := opt
 			o.Seed = opt.Seed + int64(s)
-			submit(&pr.seeds[s], func() (*core.Report, error) { return RunOne(spec, pol, o) })
+			submit(&pr.seeds[s], RunMeta{Bench: spec.Name, Policy: pol.Name(), P: opt.P, Seed: o.Seed, Baseline: baseline},
+				func() (*core.Report, error) { return RunOne(ctx, spec, pol, o) })
 		}
 	}
 }
@@ -91,7 +103,7 @@ func (r *specRuns) row(spec Spec, opt Options) metrics.Row {
 		Input:  spec.Input,
 		P:      opt.P,
 		TS:     r.ts.Time,
-		Cilk:   r.cilk.result(opt.Seeds),
-		NUMAWS: r.numaws.result(opt.Seeds),
+		Cilk:   r.baseline.result(opt.Seeds),
+		NUMAWS: r.policy.result(opt.Seeds),
 	}
 }

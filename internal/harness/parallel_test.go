@@ -4,11 +4,13 @@ import (
 	"errors"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/exec"
 	"repro/internal/metrics"
+	"repro/internal/sched"
 	"repro/internal/topology"
 	"repro/internal/workloads"
 )
@@ -25,6 +27,11 @@ func TestOptionsZeroValuesMeanDefaults(t *testing.T) {
 	if f.P != 32 {
 		t.Errorf("zero P filled to %d, want 32", f.P)
 	}
+	// "The whole machine" really is the whole machine: no stale 32-worker
+	// cap left over from the fixed-4x8 era on bigger topologies.
+	if big := (Options{Topology: topology.Ring(8, 16)}).fill(); big.P != 128 {
+		t.Errorf("zero P on an 8x16 machine filled to %d, want 128", big.P)
+	}
 	if f.Seed != 1 {
 		t.Errorf("zero Seed filled to %d, want 1", f.Seed)
 	}
@@ -38,9 +45,14 @@ func TestOptionsZeroValuesMeanDefaults(t *testing.T) {
 		t.Error("zero booleans must stay false")
 	}
 
+	if f.Policy == nil || f.Policy.Name() != "numaws" {
+		t.Errorf("zero Policy filled to %v, want numaws", f.Policy)
+	}
+
 	// Explicit non-zero values pass through untouched.
 	top := topology.TwoSocket(4)
-	o := Options{Topology: top, P: 8, Seed: 42, Seeds: 3, Jobs: 5, Verify: true, RecordDAG: true}
+	o := Options{Topology: top, P: 8, Seed: 42, Seeds: 3, Jobs: 5, Verify: true, RecordDAG: true,
+		Policy: sched.Cilk}
 	if got := o.fill(); !reflect.DeepEqual(got, o) {
 		t.Errorf("fill altered explicit options: %+v -> %+v", o, got)
 	}
@@ -70,13 +82,13 @@ func TestMeasureAllParallelMatchesSerial(t *testing.T) {
 
 	optSerial := opt
 	optSerial.Jobs = 1
-	serial, err := MeasureAll(specs, optSerial)
+	serial, err := MeasureAll(t.Context(), specs, optSerial)
 	if err != nil {
 		t.Fatal(err)
 	}
 	optPar := opt
 	optPar.Jobs = 8
-	parallel, err := MeasureAll(specs, optPar)
+	parallel, err := MeasureAll(t.Context(), specs, optPar)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,13 +111,13 @@ func TestMeasureScalabilityParallelMatchesSerial(t *testing.T) {
 
 	optSerial := opt
 	optSerial.Jobs = 1
-	serial, err := MeasureScalability(specs, optSerial, points)
+	serial, err := MeasureScalability(t.Context(), specs, optSerial, points)
 	if err != nil {
 		t.Fatal(err)
 	}
 	optPar := opt
 	optPar.Jobs = 8
-	parallel, err := MeasureScalability(specs, optPar, points)
+	parallel, err := MeasureScalability(t.Context(), specs, optPar, points)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,11 +132,11 @@ func TestMeasureScalabilityParallelMatchesSerial(t *testing.T) {
 // TestMeasureParallelMatchesSerial covers the single-spec entry point.
 func TestMeasureParallelMatchesSerial(t *testing.T) {
 	spec := Specs(ScaleSmall)[2] // heat
-	serial, err := Measure(spec, Options{P: 8, Seeds: 2, Jobs: 1})
+	serial, err := Measure(t.Context(), spec, Options{P: 8, Seeds: 2, Jobs: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := Measure(spec, Options{P: 8, Seeds: 2, Jobs: 4})
+	parallel, err := Measure(t.Context(), spec, Options{P: 8, Seeds: 2, Jobs: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +161,7 @@ func TestMeasureAllErrorSurfaces(t *testing.T) {
 	}
 	specs[1] = bad
 	for _, jobs := range []int{1, 8} {
-		_, err := MeasureAll(specs, Options{P: 8, Verify: true, Jobs: jobs})
+		_, err := MeasureAll(t.Context(), specs, Options{P: 8, Verify: true, Jobs: jobs})
 		if err == nil || !strings.Contains(err.Error(), "forced verification failure") {
 			t.Errorf("Jobs=%d: err = %v, want forced verification failure", jobs, err)
 		}
@@ -175,7 +187,7 @@ func TestMeasureAllParallelSpeedup(t *testing.T) {
 	optSerial := opt
 	optSerial.Jobs = 1
 	t0 := time.Now()
-	if _, err := MeasureAll(specs, optSerial); err != nil {
+	if _, err := MeasureAll(t.Context(), specs, optSerial); err != nil {
 		t.Fatal(err)
 	}
 	serialDur := time.Since(t0)
@@ -183,7 +195,7 @@ func TestMeasureAllParallelSpeedup(t *testing.T) {
 	optPar := opt
 	optPar.Jobs = exec.DefaultJobs()
 	t0 = time.Now()
-	if _, err := MeasureAll(specs, optPar); err != nil {
+	if _, err := MeasureAll(t.Context(), specs, optPar); err != nil {
 		t.Fatal(err)
 	}
 	parallelDur := time.Since(t0)
@@ -194,5 +206,69 @@ func TestMeasureAllParallelSpeedup(t *testing.T) {
 	if speedup < 2 {
 		t.Errorf("parallel sweep only %.2fx faster than serial, want >= 2x on a %d-CPU host",
 			speedup, exec.DefaultJobs())
+	}
+}
+
+// TestMeasureAllStreamsEveryRun pins the streaming contract: OnRun receives
+// exactly one RunMeta per simulation of the grid — TS plus (T1 and Seeds
+// TP runs) per platform, for every spec — with valid times, and streaming
+// does not perturb the returned rows.
+func TestMeasureAllStreamsEveryRun(t *testing.T) {
+	var specs []Spec
+	for _, s := range Specs(ScaleSmall) {
+		if s.Name == "cilksort" || s.Name == "heat" {
+			specs = append(specs, s)
+		}
+	}
+	opt := Options{P: 8, Seeds: 2, Jobs: exec.DefaultJobs()}
+	var mu sync.Mutex
+	var metas []RunMeta
+	streamOpt := opt
+	streamOpt.OnRun = func(m RunMeta) {
+		mu.Lock()
+		metas = append(metas, m)
+		mu.Unlock()
+	}
+	rows, err := MeasureAll(t.Context(), specs, streamOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSpec := 1 + 2*(1+opt.Seeds) // TS + per-platform T1 and seed runs
+	if want := len(specs) * perSpec; len(metas) != want {
+		t.Fatalf("streamed %d runs, want %d", len(metas), want)
+	}
+	serial, t1s, tps := 0, 0, 0
+	for _, m := range metas {
+		if m.Time <= 0 {
+			t.Errorf("streamed run %+v has non-positive time", m)
+		}
+		switch {
+		case m.Serial:
+			serial++
+			if m.Policy != "serial" || m.P != 1 {
+				t.Errorf("serial run meta wrong: %+v", m)
+			}
+		case m.P == 1:
+			t1s++
+		case m.P == opt.P:
+			tps++
+		default:
+			t.Errorf("streamed run at unexpected P: %+v", m)
+		}
+		if !m.Serial && m.Policy != "cilk" && m.Policy != "numaws" {
+			t.Errorf("streamed run under unexpected policy: %+v", m)
+		}
+	}
+	if serial != len(specs) || t1s != 2*len(specs) || tps != 2*opt.Seeds*len(specs) {
+		t.Errorf("streamed run mix serial=%d t1=%d tp=%d, want %d/%d/%d",
+			serial, t1s, tps, len(specs), 2*len(specs), 2*opt.Seeds*len(specs))
+	}
+	// Identical rows with and without streaming.
+	plain, err := MeasureAll(t.Context(), specs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, plain) {
+		t.Errorf("streaming changed the measured rows:\n%+v\n%+v", rows, plain)
 	}
 }

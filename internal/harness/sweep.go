@@ -7,12 +7,12 @@ package harness
 // canonical order so output is byte-identical for every Jobs value.
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/exec"
 	"repro/internal/metrics"
-	"repro/internal/sched"
 	"repro/internal/topology"
 )
 
@@ -91,12 +91,15 @@ func machinePoints(name string, top *topology.Topology, points []int) ([]int, er
 	return out, nil
 }
 
-// MeasureTopologies runs the NUMA-WS scalability protocol for every spec on
-// every machine: TP at each worker point, averaged over opt.Seeds scheduler
-// seeds. points nil derives each machine's axis with SweepPoints; explicit
-// points are clipped to each machine's core count. Results group by machine
-// in the given order, one sweep per (machine, spec).
-func MeasureTopologies(specs []Spec, machines []Machine, opt Options, points []int) ([]metrics.Sweep, error) {
+// MeasureTopologies runs the scalability protocol for every spec on every
+// machine under opt.Policy: TP at each worker point, averaged over
+// opt.Seeds scheduler seeds. points nil derives each machine's axis with
+// SweepPoints; explicit points are clipped to each machine's core count.
+// Results group by machine in the given order, one sweep per (machine,
+// spec). Cancelling ctx skips every simulation not yet started and returns
+// the context's error; completed runs already streamed through opt.OnRun
+// remain valid.
+func MeasureTopologies(ctx context.Context, specs []Spec, machines []Machine, opt Options, points []int) ([]metrics.Sweep, error) {
 	opt = opt.fill()
 	if len(machines) == 0 {
 		return nil, fmt.Errorf("harness: no machines to sweep")
@@ -111,7 +114,8 @@ func MeasureTopologies(specs []Spec, machines []Machine, opt Options, points []i
 	}
 	// times[m][i][j][k]: machine m, spec i, point j, seed k.
 	times := make([][][][]int64, len(machines))
-	pool := exec.NewPool(opt.Jobs)
+	pool := exec.NewPool(ctx, opt.Jobs)
+	em := newEmitter(opt.OnRun)
 	idx := 0
 	for m, mach := range machines {
 		times[m] = make([][][]int64, len(specs))
@@ -126,11 +130,13 @@ func MeasureTopologies(specs []Spec, machines []Machine, opt Options, points []i
 					o.P = p
 					o.Seed = opt.Seed + int64(sd)
 					pool.Submit(idx, func() error {
-						rep, err := RunOne(spec, sched.PolicyNUMAWS, o)
+						rep, err := RunOne(ctx, spec, o.Policy, o)
 						if err != nil {
 							return err
 						}
 						*slot = rep.Time
+						em.emit(RunMeta{Bench: spec.Name, Policy: o.Policy.Name(),
+							P: o.P, Seed: o.Seed, Time: rep.Time})
 						return nil
 					})
 					idx++

@@ -60,7 +60,7 @@ func TestMeasureTopologiesShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	opt := Options{Verify: true, Jobs: exec.DefaultJobs()}
-	sweeps, err := MeasureTopologies(specs, machines, opt, []int{1, 4, 8})
+	sweeps, err := MeasureTopologies(t.Context(), specs, machines, opt, []int{1, 4, 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestMeasureTopologiesShape(t *testing.T) {
 	}
 	// Points beyond a machine's core count are clipped, and 1 is always
 	// re-added as the speedup base.
-	clipped, err := MeasureTopologies(specs[:1], machines[:1], opt, []int{4, 99})
+	clipped, err := MeasureTopologies(t.Context(), specs[:1], machines[:1], opt, []int{4, 99})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,11 +113,11 @@ func TestPaperPresetByteIdentical(t *testing.T) {
 	pre := def
 	pre.Topology = paper
 
-	defRows, err := MeasureAll(specs, def)
+	defRows, err := MeasureAll(t.Context(), specs, def)
 	if err != nil {
 		t.Fatal(err)
 	}
-	preRows, err := MeasureAll(specs, pre)
+	preRows, err := MeasureAll(t.Context(), specs, pre)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,11 +129,11 @@ func TestPaperPresetByteIdentical(t *testing.T) {
 	}
 
 	points := []int{1, 4, 8}
-	defSeries, err := MeasureScalability(specs, def, points)
+	defSeries, err := MeasureScalability(t.Context(), specs, def, points)
 	if err != nil {
 		t.Fatal(err)
 	}
-	preSeries, err := MeasureScalability(specs, pre, points)
+	preSeries, err := MeasureScalability(t.Context(), specs, pre, points)
 	if err != nil {
 		t.Fatal(err)
 	}

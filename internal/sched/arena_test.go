@@ -17,11 +17,11 @@ func TestArenaReuseMatchesFreshEngines(t *testing.T) {
 		seed int64
 	}
 	shapes := []shape{
-		{32, PolicyNUMAWS, 1},
-		{32, PolicyNUMAWS, 2}, // same shape, new seed: the reuse path
-		{32, PolicyCilk, 2},   // bias dropped: rebuild
-		{8, PolicyNUMAWS, 1},  // smaller worker set: rebuild
-		{32, PolicyNUMAWS, 1}, // back to the first shape
+		{32, NUMAWS, 1},
+		{32, NUMAWS, 2}, // same shape, new seed: the reuse path
+		{32, Cilk, 2},   // bias dropped: rebuild
+		{8, NUMAWS, 1},  // smaller worker set: rebuild
+		{32, NUMAWS, 1}, // back to the first shape
 	}
 	newRunner := func() *treeRunner {
 		return &treeRunner{fanout: 3, depth: 5, leafCost: 700, innerCost: 5,
@@ -52,7 +52,7 @@ func TestArenaFrameRecycling(t *testing.T) {
 	arena := NewArena()
 	run := func() {
 		r := &treeRunner{fanout: 4, depth: 5, leafCost: 100, innerCost: 2}
-		e := NewEngineIn(arena, testConfig(16, PolicyNUMAWS), r)
+		e := NewEngineIn(arena, testConfig(16, NUMAWS), r)
 		e.Run(e.NewRootFrame(PlaceAny))
 	}
 	run()
@@ -74,7 +74,7 @@ func TestArenaFrameRecycling(t *testing.T) {
 // constructors produce frames indistinguishable from the package-level ones
 // apart from pooling.
 func TestEngineFrameConstructorsMatchPackageOnes(t *testing.T) {
-	e := NewEngine(testConfig(2, PolicyCilk), &treeRunner{fanout: 1, depth: 1, leafCost: 1, innerCost: 1})
+	e := NewEngine(testConfig(2, Cilk), &treeRunner{fanout: 1, depth: 1, leafCost: 1, innerCost: 1})
 	parent := e.NewRootFrame(3)
 	if !parent.Root || !parent.Full() || parent.Place != 3 || !parent.pooled {
 		t.Errorf("NewRootFrame: %+v", parent)

@@ -20,27 +20,6 @@ import (
 	"repro/internal/topology"
 )
 
-// Policy selects which scheduler drives the run.
-type Policy int
-
-// The two schedulers under comparison.
-const (
-	// PolicyCilk is classic work stealing as in Intel Cilk Plus (Fig. 2):
-	// uniformly random victims, no mailboxes, no work pushing.
-	PolicyCilk Policy = iota
-	// PolicyNUMAWS is the paper's scheduler (Fig. 5): locality-biased
-	// steals and lazy work pushing with single-entry mailboxes.
-	PolicyNUMAWS
-)
-
-// String names the policy.
-func (p Policy) String() string {
-	if p == PolicyCilk {
-		return "cilk"
-	}
-	return "numa-ws"
-}
-
 // Config parameterizes a run.
 type Config struct {
 	Topology *topology.Topology
@@ -48,8 +27,11 @@ type Config struct {
 	// Placement maps workers to cores; nil means Topology.Pack(Workers),
 	// the paper's tight packing.
 	Placement *topology.Placement
-	Policy    Policy
-	Seed      int64
+	// Policy selects the scheduler driving the run (see the Policy
+	// interface and the name-keyed registry in policy.go); nil means Cilk,
+	// classic work stealing.
+	Policy Policy
+	Seed   int64
 
 	// Scheduling costs, in cycles. Zero values take defaults.
 	SpawnCost        int64 // work-path: push continuation at cilk_spawn
@@ -75,7 +57,7 @@ type Config struct {
 	DisableCoinFlip bool // always check the mailbox before the deque
 	MailboxCapacity int  // mailbox entries; 0 means the paper's single entry
 	EagerPush       bool // push at spawn time (work-path pushing, the anti-pattern)
-	DisableBias     bool // uniform victims even under PolicyNUMAWS
+	DisableBias     bool // uniform victims even under a biased policy
 	DisableMailbox  bool // biased steals only, no work pushing
 
 	// MaxEvents aborts runaway simulations; 0 means a large default.
@@ -120,6 +102,9 @@ type Tracer interface {
 
 func (c *Config) withDefaults() Config {
 	out := *c
+	if out.Policy == nil {
+		out.Policy = Cilk
+	}
 	if out.Placement == nil {
 		out.Placement = out.Topology.Pack(out.Workers)
 	}
@@ -292,6 +277,9 @@ type Engine struct {
 	stats    Stats
 	done     bool
 	finish   int64
+	// pushes caches Policy.Pushes() && !DisableMailbox: whether the
+	// mailbox/PUSHBACK machinery is live this run.
+	pushes bool
 }
 
 // NewEngine builds an engine with a private arena. The configuration is
@@ -313,8 +301,9 @@ func NewEngineIn(a *Arena, cfg Config, r Runner) *Engine {
 		panic(fmt.Sprintf("sched: %d workers invalid for a %d-core machine", cfg.Workers, cfg.Topology.Cores()))
 	}
 	c := cfg.withDefaults()
-	needBias := c.Policy == PolicyNUMAWS && !c.DisableBias && c.Workers > 1
+	needBias := c.Policy.Biased() && !c.DisableBias && c.Workers > 1
 	e := &Engine{cfg: c, runner: r, rng: sim.NewRNG(c.Seed), arena: a, q: &a.q}
+	e.pushes = c.Policy.Pushes() && !c.DisableMailbox
 	e.q.Reset()
 	e.workers = a.workersFor(&c, needBias)
 	e.onSocket = a.onSocket
@@ -487,7 +476,7 @@ func (e *Engine) onSpawn(w *worker, parent, child *Frame) {
 	w.stats.Work += e.cfg.SpawnCost
 	parent.children++
 
-	if e.cfg.EagerPush && e.cfg.Policy == PolicyNUMAWS &&
+	if e.cfg.EagerPush && e.cfg.Policy.Pushes() &&
 		child.Place != PlaceAny && child.Place != w.socket {
 		// Work-path pushing (the anti-pattern): promote the child so it can
 		// run detached, then push it toward its socket. The cost lands on
@@ -591,7 +580,7 @@ func (e *Engine) onSync(w *worker, f *Frame) {
 // away (in which case the caller must not run it). Costs are charged to the
 // scheduling term — this is a steal-path event.
 func (e *Engine) pushHomeIfForeign(w *worker, f *Frame) bool {
-	if e.cfg.Policy != PolicyNUMAWS || e.cfg.DisableMailbox {
+	if !e.pushes {
 		return false
 	}
 	if f.Place == PlaceAny || f.Place == w.socket {
@@ -695,7 +684,7 @@ func (e *Engine) schedule(w *worker) {
 	}
 
 	// Fig. 5 line 26: check our own mailbox before stealing.
-	if frame == nil && e.cfg.Policy == PolicyNUMAWS && !e.cfg.DisableMailbox && !w.mailboxEmpty() {
+	if frame == nil && e.pushes && !w.mailboxEmpty() {
 		frame = e.popMailbox(w)
 		w.clock += e.cfg.MailboxPopCost
 		w.stats.Sched += e.cfg.MailboxPopCost
@@ -730,8 +719,7 @@ func (e *Engine) popMailbox(w *worker) *Frame {
 }
 
 // steal performs one steal attempt and returns the acquired frame or nil.
-// Under PolicyCilk this is RANDOMSTEAL; under PolicyNUMAWS it is
-// BIASEDSTEALWITHPUSH.
+// Under cilk this is RANDOMSTEAL; under numaws it is BIASEDSTEALWITHPUSH.
 func (e *Engine) steal(w *worker) *Frame {
 	if e.cfg.Workers == 1 {
 		// No victims exist; spin (costed) until our own work appears.
@@ -741,20 +729,16 @@ func (e *Engine) steal(w *worker) *Frame {
 	}
 	e.stats.StealAttempts++
 
-	// Victim selection: one Float64 draw either way, consumed exactly as
-	// the linear weighted scan would (the cross-check tests in internal/sim
-	// pin this), so the event stream is byte-identical to the old code.
-	var victim *worker
-	if w.picker != nil {
-		victim = e.workers[w.picker.Pick(e.rng)]
-	} else {
-		victim = e.workers[e.rng.PickUniformExcept(e.cfg.Workers, w.id)]
-	}
+	// Victim selection is the policy's hook: one Float64 draw either way,
+	// consumed exactly as the linear weighted scan would (the cross-check
+	// tests in internal/sim pin this), so the event stream is
+	// byte-identical to the old enum-dispatched code.
+	victim := e.workers[e.cfg.Policy.Victim(e.rng, w.picker, e.cfg.Workers, w.id)]
 	attemptCost := e.cfg.StealAttemptCost +
 		int64(e.cfg.Topology.Distance(w.socket, victim.socket))*e.cfg.StealHopCost
 	w.clock += attemptCost
 
-	if e.cfg.Policy != PolicyNUMAWS || e.cfg.DisableMailbox {
+	if !e.pushes {
 		return e.stealDeque(w, victim, attemptCost)
 	}
 

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/topology"
@@ -96,7 +97,7 @@ func runTree(t *testing.T, cfg Config, r *treeRunner) *Stats {
 
 func TestSingleWorkerMatchesWork(t *testing.T) {
 	r := &treeRunner{fanout: 2, depth: 6, leafCost: 1000, innerCost: 10}
-	cfg := testConfig(1, PolicyCilk)
+	cfg := testConfig(1, Cilk)
 	st := runTree(t, cfg, r)
 	// T1 = strand work + spawn/return bookkeeping; no steals, no idle.
 	if st.Steals != 0 {
@@ -121,10 +122,10 @@ func TestWorkConservedAcrossP(t *testing.T) {
 	// bookkeeping differs. (This is what "work-efficient" means: the work
 	// term does not grow with parallelism.)
 	r1 := &treeRunner{fanout: 2, depth: 8, leafCost: 500, innerCost: 5}
-	t1 := runTree(t, testConfig(1, PolicyCilk), r1).WorkTotal()
+	t1 := runTree(t, testConfig(1, Cilk), r1).WorkTotal()
 	for _, p := range []int{2, 8, 32} {
 		r := &treeRunner{fanout: 2, depth: 8, leafCost: 500, innerCost: 5}
-		st := runTree(t, testConfig(p, PolicyCilk), r)
+		st := runTree(t, testConfig(p, Cilk), r)
 		// Strand work identical; spawn/return bookkeeping identical (same
 		// tree). So WorkTotal must match T1's exactly: the engine never
 		// charges scheduling overhead to the work term.
@@ -135,7 +136,7 @@ func TestWorkConservedAcrossP(t *testing.T) {
 }
 
 func TestSpeedupAndTimeBound(t *testing.T) {
-	for _, pol := range []Policy{PolicyCilk, PolicyNUMAWS} {
+	for _, pol := range []Policy{Cilk, NUMAWS} {
 		r := &treeRunner{fanout: 4, depth: 6, leafCost: 3000, innerCost: 10}
 		t1 := runTree(t, testConfig(1, pol), r).Makespan
 		for _, p := range []int{4, 16, 32} {
@@ -161,7 +162,7 @@ func TestSpeedupAndTimeBound(t *testing.T) {
 func TestStealBound(t *testing.T) {
 	// Successful steals must be O(P * #spans-worth-of-strands). Use the
 	// strand count along the critical path as the span proxy.
-	for _, pol := range []Policy{PolicyCilk, PolicyNUMAWS} {
+	for _, pol := range []Policy{Cilk, NUMAWS} {
 		r := &treeRunner{fanout: 2, depth: 10, leafCost: 200, innerCost: 5}
 		p := 32
 		st := runTree(t, testConfig(p, pol), r)
@@ -178,7 +179,7 @@ func TestStealBound(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	run := func(seed int64) *Stats {
-		cfg := testConfig(16, PolicyNUMAWS)
+		cfg := testConfig(16, NUMAWS)
 		cfg.Seed = seed
 		r := &treeRunner{fanout: 3, depth: 6, leafCost: 700, innerCost: 10,
 			placeOf: func(i int) int { return i % 4 }}
@@ -197,7 +198,7 @@ func TestDeterminism(t *testing.T) {
 
 func TestPromotionOnlyOnSteal(t *testing.T) {
 	r := &treeRunner{fanout: 2, depth: 8, leafCost: 100, innerCost: 2}
-	st := runTree(t, testConfig(32, PolicyCilk), r)
+	st := runTree(t, testConfig(32, Cilk), r)
 	if st.Promotions == 0 {
 		t.Fatal("expected promotions at P=32")
 	}
@@ -209,7 +210,7 @@ func TestPromotionOnlyOnSteal(t *testing.T) {
 func TestNUMAWSUsesMailboxesWithHints(t *testing.T) {
 	r := &treeRunner{fanout: 4, depth: 6, leafCost: 2000, innerCost: 10,
 		placeOf: func(i int) int { return i % 4 }}
-	st := runTree(t, testConfig(32, PolicyNUMAWS), r)
+	st := runTree(t, testConfig(32, NUMAWS), r)
 	if st.Pushes == 0 {
 		t.Error("NUMA-WS with place hints performed no work pushing")
 	}
@@ -227,7 +228,7 @@ func TestNUMAWSUsesMailboxesWithHints(t *testing.T) {
 func TestCilkNeverPushes(t *testing.T) {
 	r := &treeRunner{fanout: 4, depth: 6, leafCost: 2000, innerCost: 10,
 		placeOf: func(i int) int { return i % 4 }}
-	st := runTree(t, testConfig(32, PolicyCilk), r)
+	st := runTree(t, testConfig(32, Cilk), r)
 	if st.Pushes != 0 || st.PushAttempts != 0 || st.MailboxSteals != 0 {
 		t.Errorf("classic work stealing touched mailboxes: pushes=%d attempts=%d mbsteals=%d",
 			st.Pushes, st.PushAttempts, st.MailboxSteals)
@@ -241,7 +242,7 @@ func TestPushAmortization(t *testing.T) {
 	// syncs) with slack.
 	r := &treeRunner{fanout: 4, depth: 7, leafCost: 1000, innerCost: 10,
 		placeOf: func(i int) int { return i % 4 }}
-	cfg := testConfig(32, PolicyNUMAWS)
+	cfg := testConfig(32, NUMAWS)
 	st := runTree(t, cfg, r)
 	perEvent := int64(4 + 1) // default threshold 4 => at most 5 attempts per PUSHBACK call
 	budget := perEvent * 2 * (st.Steals + st.NontrivialSync + st.FramesRun + st.MailboxSteals + 1)
@@ -257,9 +258,9 @@ func TestBiasedStealsPreferLocalVictims(t *testing.T) {
 	// both complete while bias produces at least as many local resumes.
 	r1 := &treeRunner{fanout: 4, depth: 6, leafCost: 2000, innerCost: 10,
 		placeOf: func(i int) int { return i % 4 }}
-	st1 := runTree(t, testConfig(32, PolicyNUMAWS), r1)
+	st1 := runTree(t, testConfig(32, NUMAWS), r1)
 
-	cfg := testConfig(32, PolicyNUMAWS)
+	cfg := testConfig(32, NUMAWS)
 	cfg.DisableBias = true
 	r2 := &treeRunner{fanout: 4, depth: 6, leafCost: 2000, innerCost: 10,
 		placeOf: func(i int) int { return i % 4 }}
@@ -270,7 +271,7 @@ func TestBiasedStealsPreferLocalVictims(t *testing.T) {
 }
 
 func TestMailboxCapacityAblation(t *testing.T) {
-	cfg := testConfig(32, PolicyNUMAWS)
+	cfg := testConfig(32, NUMAWS)
 	cfg.MailboxCapacity = 4
 	r := &treeRunner{fanout: 4, depth: 6, leafCost: 1500, innerCost: 10,
 		placeOf: func(i int) int { return i % 4 }}
@@ -287,8 +288,8 @@ func TestEagerPushAblationChargesWorkTerm(t *testing.T) {
 		return &treeRunner{fanout: 4, depth: 6, leafCost: 1500, innerCost: 10,
 			placeOf: func(i int) int { return i % 4 }}
 	}
-	lazy := runTree(t, testConfig(32, PolicyNUMAWS), mk())
-	cfg := testConfig(32, PolicyNUMAWS)
+	lazy := runTree(t, testConfig(32, NUMAWS), mk())
+	cfg := testConfig(32, NUMAWS)
 	cfg.EagerPush = true
 	eager := runTree(t, cfg, mk())
 	if eager.WorkTotal() <= lazy.WorkTotal() {
@@ -298,7 +299,7 @@ func TestEagerPushAblationChargesWorkTerm(t *testing.T) {
 }
 
 func TestDisableMailboxStillCompletes(t *testing.T) {
-	cfg := testConfig(32, PolicyNUMAWS)
+	cfg := testConfig(32, NUMAWS)
 	cfg.DisableMailbox = true
 	r := &treeRunner{fanout: 4, depth: 6, leafCost: 1500, innerCost: 10,
 		placeOf: func(i int) int { return i % 4 }}
@@ -314,7 +315,7 @@ func TestDisableMailboxStillCompletes(t *testing.T) {
 func TestTimeBreakdownAccounting(t *testing.T) {
 	r := &treeRunner{fanout: 2, depth: 9, leafCost: 800, innerCost: 5}
 	p := 16
-	st := runTree(t, testConfig(p, PolicyCilk), r)
+	st := runTree(t, testConfig(p, Cilk), r)
 	total := st.WorkTotal() + st.SchedTotal() + st.IdleTotal()
 	// Work + Sched + Idle should account for P * makespan within a small
 	// tolerance (the last in-flight event of each worker may overshoot).
@@ -330,7 +331,7 @@ func TestTimeBreakdownAccounting(t *testing.T) {
 
 func TestChildrenCountersDrainToZero(t *testing.T) {
 	r := &treeRunner{fanout: 3, depth: 6, leafCost: 300, innerCost: 5}
-	e := NewEngine(testConfig(32, PolicyNUMAWS), r)
+	e := NewEngine(testConfig(32, NUMAWS), r)
 	root := NewRootFrame(PlaceAny)
 	e.Run(root)
 	if root.Children() != 0 {
@@ -360,7 +361,7 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestRunRequiresRootFrame(t *testing.T) {
-	e := NewEngine(testConfig(2, PolicyCilk), &treeRunner{fanout: 2, depth: 1, leafCost: 1, innerCost: 1})
+	e := NewEngine(testConfig(2, Cilk), &treeRunner{fanout: 2, depth: 1, leafCost: 1, innerCost: 1})
 	defer func() {
 		if recover() == nil {
 			t.Error("Run on a non-root frame did not panic")
@@ -369,9 +370,14 @@ func TestRunRequiresRootFrame(t *testing.T) {
 	e.Run(NewFrame(nil, PlaceAny))
 }
 
-func TestPolicyString(t *testing.T) {
-	if PolicyCilk.String() != "cilk" || PolicyNUMAWS.String() != "numa-ws" {
-		t.Errorf("policy names wrong: %q, %q", PolicyCilk, PolicyNUMAWS)
+func TestPolicyNames(t *testing.T) {
+	if Cilk.Name() != "cilk" || NUMAWS.Name() != "numaws" {
+		t.Errorf("policy names wrong: %q, %q", Cilk.Name(), NUMAWS.Name())
+	}
+	// The policies render by name through fmt too (harness error messages
+	// and the timeline header rely on it).
+	if got := fmt.Sprintf("%v/%v", Cilk, NUMAWS); got != "cilk/numaws" {
+		t.Errorf("policy fmt rendering = %q, want cilk/numaws", got)
 	}
 }
 

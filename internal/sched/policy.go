@@ -1,0 +1,152 @@
+package sched
+
+// The scheduling policies under comparison, as pluggable values instead of a
+// closed enum. A Policy packages the two decision points that distinguish
+// the paper's schedulers — how a thief selects its victim, and whether the
+// lazy work-pushing machinery (mailboxes, PUSHBACK) is active — so new
+// scheduler variants register themselves by name instead of editing the
+// engine. The engine consumes a policy only through these hooks; everything
+// else (deque discipline, promotion, sync handling, cost accounting) is
+// shared by construction, which is exactly the paper's controlled-comparison
+// methodology.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Policy is one scheduling policy. Implementations must be stateless (one
+// Policy value is shared by every engine and every goroutine) and
+// deterministic: a victim draw may consume randomness only through the rng
+// it is handed, so runs replay byte-for-byte from the seed.
+type Policy interface {
+	// Name is the policy's registry key and display name ("cilk",
+	// "numaws").
+	Name() string
+	// Biased reports whether thieves draw victims from the locality-biased
+	// distribution, in which case the engine builds a per-thief victim
+	// picker from the run's BiasWeights. Ablation (Config.DisableBias) can
+	// still force uniform victims on a biased policy.
+	Biased() bool
+	// Pushes reports whether the policy performs lazy work pushing through
+	// mailboxes: PUSHBACK on stolen or synced foreign frames, the mailbox
+	// check in the scheduling loop, and the mailbox half of the steal coin
+	// flip. Ablation (Config.DisableMailbox) can switch the machinery off
+	// without changing the policy.
+	Pushes() bool
+	// Victim draws the victim worker id for one steal attempt by thief
+	// self. picker is the thief's biased picker (non-nil exactly when
+	// Biased() held and bias was not ablated away; a drawn id is never
+	// self). workers is the total worker count, always at least 2 when the
+	// engine calls this. Implementations must consume exactly one draw
+	// from rng so the event stream stays seed-reproducible.
+	Victim(rng *sim.RNG, picker *sim.Picker, workers, self int) int
+}
+
+// cilkPolicy is classic work stealing as in Intel Cilk Plus (the paper's
+// Fig. 2): uniformly random victims, no mailboxes, no work pushing.
+type cilkPolicy struct{}
+
+func (cilkPolicy) Name() string   { return "cilk" }
+func (cilkPolicy) String() string { return "cilk" }
+func (cilkPolicy) Biased() bool   { return false }
+func (cilkPolicy) Pushes() bool   { return false }
+func (cilkPolicy) Victim(rng *sim.RNG, _ *sim.Picker, workers, self int) int {
+	return rng.PickUniformExcept(workers, self)
+}
+
+// numawsPolicy is the paper's NUMA-WS scheduler (its Fig. 5):
+// locality-biased steals plus lazy work pushing with single-entry mailboxes.
+type numawsPolicy struct{}
+
+func (numawsPolicy) Name() string   { return "numaws" }
+func (numawsPolicy) String() string { return "numaws" }
+func (numawsPolicy) Biased() bool   { return true }
+func (numawsPolicy) Pushes() bool   { return true }
+func (numawsPolicy) Victim(rng *sim.RNG, picker *sim.Picker, workers, self int) int {
+	if picker != nil {
+		return picker.Pick(rng)
+	}
+	// Bias ablated away (DisableBias): same uniform draw as cilk.
+	return rng.PickUniformExcept(workers, self)
+}
+
+// The two schedulers the paper compares, registered under the names "cilk"
+// and "numaws" at init.
+var (
+	// Cilk is classic work stealing (Fig. 2): uniformly random victims,
+	// no mailboxes, no work pushing.
+	Cilk Policy = cilkPolicy{}
+	// NUMAWS is the paper's scheduler (Fig. 5): locality-biased steals and
+	// lazy work pushing with single-entry mailboxes.
+	NUMAWS Policy = numawsPolicy{}
+)
+
+// registry is the name-keyed policy registry. Registration normally happens
+// in init functions of this module's packages, but the mutex makes
+// Register/Lookup safe from tests and late registration at any time.
+var registry = struct {
+	sync.RWMutex
+	byName map[string]Policy
+}{byName: map[string]Policy{}}
+
+func init() {
+	Register(Cilk)
+	Register(NUMAWS)
+}
+
+// Register adds a policy to the registry under p.Name(). It panics on an
+// empty name or a duplicate registration: both are programming errors, and
+// silently replacing a scheduler would invalidate every measurement taken
+// under the name.
+func Register(p Policy) {
+	name := p.Name()
+	if name == "" {
+		panic("sched: Register: policy has an empty name")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.byName[name]; dup {
+		panic(fmt.Sprintf("sched: Register: policy %q already registered", name))
+	}
+	registry.byName[name] = p
+}
+
+// unregister removes a policy by name. Test hook only: production code never
+// unregisters (measurements must stay attributable to a stable name).
+func unregister(name string) {
+	registry.Lock()
+	defer registry.Unlock()
+	delete(registry.byName, name)
+}
+
+// Lookup resolves a registered policy by name. Unknown names return an error
+// listing every registered name, so callers can surface it as a usage error
+// (mirroring how unknown topology names are reported) instead of panicking.
+func Lookup(name string) (Policy, error) {
+	registry.RLock()
+	p, ok := registry.byName[name]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown policy %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return p, nil
+}
+
+// Names returns the registered policy names, sorted, so listings and error
+// messages are stable.
+func Names() []string {
+	registry.RLock()
+	names := make([]string, 0, len(registry.byName))
+	for name := range registry.byName {
+		names = append(names, name)
+	}
+	registry.RUnlock()
+	sort.Strings(names)
+	return names
+}

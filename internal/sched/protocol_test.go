@@ -53,7 +53,7 @@ func TestStolenForeignFrameIsPushedHome(t *testing.T) {
 	// must itself be stealable — i.e. a spawning subtree, not a leaf: under
 	// continuation stealing a leaf always runs on its spawner, and only
 	// frames that transit deques or syncs can be pushed.)
-	cfg := testConfig(16, PolicyNUMAWS) // sockets 0 and 1 in use
+	cfg := testConfig(16, NUMAWS) // sockets 0 and 1 in use
 	cfg.Seed = 3
 	r := &treeRunner{fanout: 4, depth: 4, leafCost: 5000, innerCost: 10,
 		placeOf: func(i int) int { return 1 }} // everything belongs on socket 1
@@ -72,7 +72,7 @@ func TestStolenForeignFrameIsPushedHome(t *testing.T) {
 func TestHomeFrameNotPushed(t *testing.T) {
 	// Earmarked for socket 0, where everything runs at P=8 (one socket):
 	// pushing must never trigger.
-	cfg := testConfig(8, PolicyNUMAWS)
+	cfg := testConfig(8, NUMAWS)
 	st := runTwoPhase(t, cfg, &twoPhaseRunner{childPlace: 0, childCost: 50_000})
 	if st.Pushes != 0 || st.PushAttempts != 0 {
 		t.Errorf("pushed %d times for home-socket computation", st.Pushes)
@@ -80,7 +80,7 @@ func TestHomeFrameNotPushed(t *testing.T) {
 }
 
 func TestPlaceAnyNeverPushed(t *testing.T) {
-	cfg := testConfig(32, PolicyNUMAWS)
+	cfg := testConfig(32, NUMAWS)
 	st := runTwoPhase(t, cfg, &twoPhaseRunner{childPlace: PlaceAny, childCost: 50_000})
 	if st.Pushes != 0 {
 		t.Errorf("pushed %d times for @ANY computation", st.Pushes)
@@ -93,7 +93,7 @@ func TestPushThresholdOverflowTakesFrame(t *testing.T) {
 	// a busy hinted workload: overflowed frames were still executed (the
 	// run completes), and attempts = successes + failures where failures
 	// are bounded by threshold+1 per overflow plus the per-success misses.
-	cfg := testConfig(32, PolicyNUMAWS)
+	cfg := testConfig(32, NUMAWS)
 	cfg.PushThreshold = 1
 	r := &treeRunner{fanout: 4, depth: 6, leafCost: 2000, innerCost: 10,
 		placeOf: func(i int) int { return i % 4 }}
@@ -109,7 +109,7 @@ func TestPushThresholdOverflowTakesFrame(t *testing.T) {
 }
 
 func TestDisableCoinFlipStillCorrect(t *testing.T) {
-	cfg := testConfig(32, PolicyNUMAWS)
+	cfg := testConfig(32, NUMAWS)
 	cfg.DisableCoinFlip = true
 	r := &treeRunner{fanout: 4, depth: 6, leafCost: 1000, innerCost: 10,
 		placeOf: func(i int) int { return i % 4 }}
@@ -118,7 +118,7 @@ func TestDisableCoinFlipStillCorrect(t *testing.T) {
 		t.Fatal("run did not complete")
 	}
 	// Everything still executed exactly once: total work conserved.
-	ref := runTree(t, testConfig(1, PolicyNUMAWS), &treeRunner{fanout: 4, depth: 6, leafCost: 1000, innerCost: 10,
+	ref := runTree(t, testConfig(1, NUMAWS), &treeRunner{fanout: 4, depth: 6, leafCost: 1000, innerCost: 10,
 		placeOf: func(i int) int { return i % 4 }})
 	if st.WorkTotal() != ref.WorkTotal() {
 		t.Errorf("work differs with coin flip disabled: %d vs %d", st.WorkTotal(), ref.WorkTotal())
@@ -126,7 +126,7 @@ func TestDisableCoinFlipStillCorrect(t *testing.T) {
 }
 
 func TestBiasWeightsValidation(t *testing.T) {
-	cfg := testConfig(4, PolicyNUMAWS)
+	cfg := testConfig(4, NUMAWS)
 	cfg.BiasWeights = []float64{1, 1, 1} // must cover max hop distance (2) — ok
 	r := &treeRunner{fanout: 2, depth: 3, leafCost: 100, innerCost: 5}
 	st := runTree(t, cfg, r)
@@ -141,7 +141,7 @@ func TestCustomPlacementSpread(t *testing.T) {
 		Topology:  top,
 		Workers:   8,
 		Placement: top.Spread(8), // two workers per socket: 4 places at P=8
-		Policy:    PolicyNUMAWS,
+		Policy:    NUMAWS,
 		Seed:      1,
 	}
 	e := NewEngine(cfg, &treeRunner{fanout: 4, depth: 4, leafCost: 1000, innerCost: 10,
@@ -161,7 +161,7 @@ func TestCustomPlacementSpread(t *testing.T) {
 func TestSchedulingTimeOnlyOnStealPath(t *testing.T) {
 	// At P=1 nothing is ever stolen, so scheduling time must be exactly 0
 	// under both policies — the work-first principle's accounting footprint.
-	for _, pol := range []Policy{PolicyCilk, PolicyNUMAWS} {
+	for _, pol := range []Policy{Cilk, NUMAWS} {
 		r := &treeRunner{fanout: 3, depth: 6, leafCost: 500, innerCost: 5,
 			placeOf: func(i int) int { return i % 4 }}
 		st := runTree(t, testConfig(1, pol), r)
@@ -177,7 +177,7 @@ func TestMailboxFramesAreFullFrames(t *testing.T) {
 	// full frame"). Indirect check: promotions+suspensions account for all
 	// full frames, and runs with heavy pushing complete with drained
 	// mailboxes (the engine would deadlock otherwise).
-	cfg := testConfig(32, PolicyNUMAWS)
+	cfg := testConfig(32, NUMAWS)
 	r := &treeRunner{fanout: 4, depth: 7, leafCost: 800, innerCost: 10,
 		placeOf: func(i int) int { return i % 4 }}
 	st := runTree(t, cfg, r)

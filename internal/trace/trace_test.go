@@ -79,7 +79,7 @@ func TestEndToEndWithEngine(t *testing.T) {
 	cfg := sched.Config{
 		Topology: topology.XeonE5_4620(),
 		Workers:  8,
-		Policy:   sched.PolicyNUMAWS,
+		Policy:   sched.NUMAWS,
 		Seed:     5,
 		Tracer:   tl,
 	}

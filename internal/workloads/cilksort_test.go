@@ -26,14 +26,14 @@ func runSort(t *testing.T, n, base, p int, pol sched.Policy, aware bool) *Cilkso
 
 func TestCilksortTinyInput(t *testing.T) {
 	// Below the base case: the top-level falls straight into quicksort.
-	runSort(t, 7, 64, 1, sched.PolicyCilk, false)
-	runSort(t, 7, 64, 8, sched.PolicyCilk, false)
+	runSort(t, 7, 64, 1, sched.Cilk, false)
+	runSort(t, 7, 64, 8, sched.Cilk, false)
 }
 
 func TestCilksortNonDivisibleLength(t *testing.T) {
 	// n % 4 != 0 exercises the "last quarter is larger" paths.
 	for _, n := range []int{1001, 4099, 65537} {
-		runSort(t, n, 256, 8, sched.PolicyNUMAWS, true)
+		runSort(t, n, 256, 8, sched.NUMAWS, true)
 	}
 }
 
@@ -71,7 +71,7 @@ func TestCilksortAdversarialInputs(t *testing.T) {
 	} {
 		t.Run(name, func(t *testing.T) {
 			w := NewCilksort(5000, 256, Config{Seed: 1})
-			rt := newWorkloadRT(16, sched.PolicyCilk)
+			rt := newWorkloadRT(16, sched.Cilk)
 			w.Prepare(rt)
 			fill(w.in.Data)
 			w.orig = append(w.orig[:0], w.in.Data...)
@@ -86,8 +86,8 @@ func TestCilksortAdversarialInputs(t *testing.T) {
 func TestCilksortResultIdenticalAcrossSchedules(t *testing.T) {
 	// The sorted output (a pure function of the input) must be identical
 	// no matter the scheduler or worker count.
-	a := runSort(t, 20000, 512, 1, sched.PolicyCilk, false)
-	b := runSort(t, 20000, 512, 32, sched.PolicyNUMAWS, true)
+	a := runSort(t, 20000, 512, 1, sched.Cilk, false)
+	b := runSort(t, 20000, 512, 32, sched.NUMAWS, true)
 	for i := range a.in.Data {
 		if a.in.Data[i] != b.in.Data[i] {
 			t.Fatalf("outputs diverge at %d", i)
@@ -98,7 +98,7 @@ func TestCilksortResultIdenticalAcrossSchedules(t *testing.T) {
 func TestCilksortSortedRunsAreMergeable(t *testing.T) {
 	// White-box: seqmerge on crafted runs.
 	w := NewCilksort(64, 8, Config{Seed: 1})
-	rt := newWorkloadRT(1, sched.PolicyCilk)
+	rt := newWorkloadRT(1, sched.Cilk)
 	w.Prepare(rt)
 	for i := 0; i < 32; i++ {
 		w.in.Data[i] = int64(2 * i)      // evens
@@ -114,7 +114,7 @@ func TestCilksortSortedRunsAreMergeable(t *testing.T) {
 
 func TestCilksortParmergeEmptySide(t *testing.T) {
 	w := NewCilksort(64, 16, Config{Seed: 1})
-	rt := newWorkloadRT(1, sched.PolicyCilk)
+	rt := newWorkloadRT(1, sched.Cilk)
 	w.Prepare(rt)
 	for i := 0; i < 32; i++ {
 		w.in.Data[i] = int64(i)
@@ -132,7 +132,7 @@ func TestCilksortParmergeEmptySide(t *testing.T) {
 
 func TestCilksortAwareBindsQuarters(t *testing.T) {
 	w := NewCilksort(1<<16, 512, Config{Aware: true, Seed: 1})
-	rt := newWorkloadRT(32, sched.PolicyNUMAWS)
+	rt := newWorkloadRT(32, sched.NUMAWS)
 	w.Prepare(rt)
 	dist := w.in.R.Distribution(4)
 	for s := 0; s < 4; s++ {

@@ -8,7 +8,7 @@ import (
 
 func TestHeatBoundariesFixed(t *testing.T) {
 	w := NewHeat(32, 32, 5, 4, Config{Seed: 1})
-	rt := newWorkloadRT(8, sched.PolicyCilk)
+	rt := newWorkloadRT(8, sched.Cilk)
 	w.Prepare(rt)
 	rt.Run(w.Root())
 	if err := w.Verify(); err != nil {
@@ -29,7 +29,7 @@ func TestHeatBoundariesFixed(t *testing.T) {
 
 func TestHeatInteriorDiffuses(t *testing.T) {
 	w := NewHeat(32, 32, 10, 4, Config{Seed: 1})
-	rt := newWorkloadRT(4, sched.PolicyNUMAWS)
+	rt := newWorkloadRT(4, sched.NUMAWS)
 	w.Prepare(rt)
 	before := w.grid[0].Data[5*32+5]
 	rt.Run(w.Root())
@@ -41,7 +41,7 @@ func TestHeatInteriorDiffuses(t *testing.T) {
 
 func TestHeatSingleBand(t *testing.T) {
 	w := NewHeat(16, 16, 3, 1, Config{Seed: 2})
-	rt := newWorkloadRT(4, sched.PolicyCilk)
+	rt := newWorkloadRT(4, sched.Cilk)
 	w.Prepare(rt)
 	rt.Run(w.Root())
 	if err := w.Verify(); err != nil {
@@ -52,7 +52,7 @@ func TestHeatSingleBand(t *testing.T) {
 func TestHeatMoreBandsThanRows(t *testing.T) {
 	// 10 interior rows split over 16 bands: some bands are empty.
 	w := NewHeat(12, 12, 3, 16, Config{Seed: 2})
-	rt := newWorkloadRT(8, sched.PolicyNUMAWS)
+	rt := newWorkloadRT(8, sched.NUMAWS)
 	w.Prepare(rt)
 	rt.Run(w.Root())
 	if err := w.Verify(); err != nil {
@@ -62,7 +62,7 @@ func TestHeatMoreBandsThanRows(t *testing.T) {
 
 func TestHeatZeroSteps(t *testing.T) {
 	w := NewHeat(16, 16, 0, 4, Config{Seed: 2})
-	rt := newWorkloadRT(4, sched.PolicyCilk)
+	rt := newWorkloadRT(4, sched.Cilk)
 	w.Prepare(rt)
 	rt.Run(w.Root())
 	if err := w.Verify(); err != nil {
@@ -72,7 +72,7 @@ func TestHeatZeroSteps(t *testing.T) {
 
 func TestHeatNonSquare(t *testing.T) {
 	w := NewHeat(24, 48, 4, 6, Config{Seed: 3})
-	rt := newWorkloadRT(8, sched.PolicyCilk)
+	rt := newWorkloadRT(8, sched.Cilk)
 	w.Prepare(rt)
 	rt.Run(w.Root())
 	if err := w.Verify(); err != nil {
@@ -97,8 +97,8 @@ func TestCGBitwiseIdenticalAcrossP(t *testing.T) {
 		}
 		return append([]float64(nil), w.x.Data...)
 	}
-	serial := run(1, sched.PolicyCilk, false)
-	par := run(32, sched.PolicyNUMAWS, true)
+	serial := run(1, sched.Cilk, false)
+	par := run(32, sched.NUMAWS, true)
 	for i := range serial {
 		if serial[i] != par[i] {
 			t.Fatalf("x[%d] differs: %g vs %g", i, serial[i], par[i])
@@ -108,7 +108,7 @@ func TestCGBitwiseIdenticalAcrossP(t *testing.T) {
 
 func TestCGSingleBand(t *testing.T) {
 	w := NewCG(128, 8, 4, 1, Config{Seed: 5})
-	rt := newWorkloadRT(4, sched.PolicyCilk)
+	rt := newWorkloadRT(4, sched.Cilk)
 	w.Prepare(rt)
 	rt.Run(w.Root())
 	if err := w.Verify(); err != nil {
@@ -118,7 +118,7 @@ func TestCGSingleBand(t *testing.T) {
 
 func TestCGMatrixShape(t *testing.T) {
 	w := NewCG(256, 12, 2, 4, Config{Seed: 6})
-	rt := newWorkloadRT(1, sched.PolicyCilk)
+	rt := newWorkloadRT(1, sched.Cilk)
 	w.Prepare(rt)
 	// Every row has exactly nzRow entries with sorted unique columns
 	// including the diagonal, and is diagonally dominant.

@@ -11,7 +11,7 @@ import (
 func TestHullTriangle(t *testing.T) {
 	// Three points: all are hull vertices.
 	w := NewHull(3, 64, 2, InDisk, Config{Seed: 1})
-	rt := newWorkloadRT(4, sched.PolicyCilk)
+	rt := newWorkloadRT(4, sched.Cilk)
 	w.Prepare(rt)
 	w.x.Data[0], w.y.Data[0] = 0, 0
 	w.x.Data[1], w.y.Data[1] = 1, 0
@@ -29,7 +29,7 @@ func TestHullTriangle(t *testing.T) {
 
 func TestHullSquareWithInteriorPoint(t *testing.T) {
 	w := NewHull(5, 64, 2, InDisk, Config{Seed: 1})
-	rt := newWorkloadRT(4, sched.PolicyCilk)
+	rt := newWorkloadRT(4, sched.Cilk)
 	w.Prepare(rt)
 	coords := [][2]float64{{-1, -1}, {1, -1}, {1, 1}, {-1, 1}, {0, 0}}
 	for i, c := range coords {
@@ -64,8 +64,8 @@ func TestHullParallelMatchesSerial(t *testing.T) {
 		}
 		return w.hullMark
 	}
-	a := mark(1, sched.PolicyCilk)
-	b := mark(32, sched.PolicyNUMAWS)
+	a := mark(1, sched.Cilk)
+	b := mark(32, sched.NUMAWS)
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("hull membership of point %d differs across schedules", i)
@@ -90,7 +90,7 @@ func TestMonotoneChainReference(t *testing.T) {
 
 func TestHullCirclePointsOnUnitCircle(t *testing.T) {
 	w := NewHull(100, 64, 2, OnCircle, Config{Seed: 3})
-	rt := newWorkloadRT(1, sched.PolicyCilk)
+	rt := newWorkloadRT(1, sched.Cilk)
 	w.Prepare(rt)
 	for i := 0; i < 100; i++ {
 		r := math.Hypot(w.x.Data[i], w.y.Data[i])
@@ -102,7 +102,7 @@ func TestHullCirclePointsOnUnitCircle(t *testing.T) {
 
 func TestMatmulIdentity(t *testing.T) {
 	w := NewMatmul(32, 16, false, Config{Seed: 1})
-	rt := newWorkloadRT(8, sched.PolicyCilk)
+	rt := newWorkloadRT(8, sched.Cilk)
 	w.Prepare(rt)
 	// B = I: C must equal A.
 	for r := 0; r < 32; r++ {
@@ -124,7 +124,7 @@ func TestMatmulBaseOnly(t *testing.T) {
 	// n == base: the whole multiply is one base case, no spawns.
 	for _, z := range []bool{false, true} {
 		w := NewMatmul(16, 16, z, Config{Seed: 2})
-		rt := newWorkloadRT(4, sched.PolicyNUMAWS)
+		rt := newWorkloadRT(4, sched.NUMAWS)
 		w.Prepare(rt)
 		rep := rt.Run(w.Root())
 		if err := w.Verify(); err != nil {
@@ -140,7 +140,7 @@ func TestMatmulZMatchesPlain(t *testing.T) {
 	// Same inputs, both layouts: identical results (same fp order).
 	mk := func(z bool) *Matmul {
 		w := NewMatmul(64, 16, z, Config{Seed: 9})
-		rt := newWorkloadRT(16, sched.PolicyCilk)
+		rt := newWorkloadRT(16, sched.Cilk)
 		w.Prepare(rt)
 		rt.Run(w.Root())
 		if err := w.Verify(); err != nil {
@@ -156,7 +156,7 @@ func TestMatmulZMatchesPlain(t *testing.T) {
 
 func TestStrassenBaseOnly(t *testing.T) {
 	w := NewStrassen(16, 16, false, Config{Seed: 3})
-	rt := newWorkloadRT(4, sched.PolicyCilk)
+	rt := newWorkloadRT(4, sched.Cilk)
 	w.Prepare(rt)
 	if w.temps != nil {
 		t.Error("base-only strassen built a temp tree")
@@ -169,7 +169,7 @@ func TestStrassenBaseOnly(t *testing.T) {
 
 func TestStrassenTempTreeShape(t *testing.T) {
 	w := NewStrassen(64, 16, false, Config{Seed: 3})
-	rt := newWorkloadRT(4, sched.PolicyCilk)
+	rt := newWorkloadRT(4, sched.Cilk)
 	w.Prepare(rt)
 	// 64 -> 32 -> 16(base): two levels of temps.
 	if w.temps == nil {
@@ -198,12 +198,12 @@ func TestStrassenAgainstMatmul(t *testing.T) {
 	// Strassen and the D&C matmul on identical inputs must agree within
 	// numerical tolerance.
 	sw := NewStrassen(64, 16, false, Config{Seed: 77})
-	rtS := newWorkloadRT(16, sched.PolicyNUMAWS)
+	rtS := newWorkloadRT(16, sched.NUMAWS)
 	sw.Prepare(rtS)
 	rtS.Run(sw.Root())
 
 	mw := NewMatmul(64, 16, false, Config{Seed: 77})
-	rtM := newWorkloadRT(16, sched.PolicyNUMAWS)
+	rtM := newWorkloadRT(16, sched.NUMAWS)
 	mw.Prepare(rtM)
 	rtM.Run(mw.Root())
 

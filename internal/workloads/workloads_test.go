@@ -36,7 +36,7 @@ func TestSerialElisionCorrectness(t *testing.T) {
 	for name, mk := range factories(false) {
 		t.Run(name, func(t *testing.T) {
 			w := mk()
-			rt := newWorkloadRT(1, sched.PolicyCilk)
+			rt := newWorkloadRT(1, sched.Cilk)
 			w.Prepare(rt)
 			rep := rt.RunSerial(w.Root())
 			if rep.Time <= 0 {
@@ -53,7 +53,7 @@ func TestParallelCorrectnessCilk(t *testing.T) {
 	for name, mk := range factories(false) {
 		t.Run(name, func(t *testing.T) {
 			w := mk()
-			rt := newWorkloadRT(16, sched.PolicyCilk)
+			rt := newWorkloadRT(16, sched.Cilk)
 			w.Prepare(rt)
 			rep := rt.Run(w.Root())
 			if rep.Time <= 0 {
@@ -70,7 +70,7 @@ func TestParallelCorrectnessNUMAWSAware(t *testing.T) {
 	for name, mk := range factories(true) {
 		t.Run(name, func(t *testing.T) {
 			w := mk()
-			rt := newWorkloadRT(32, sched.PolicyNUMAWS)
+			rt := newWorkloadRT(32, sched.NUMAWS)
 			w.Prepare(rt)
 			rep := rt.Run(w.Root())
 			if rep.Time <= 0 {
@@ -90,7 +90,7 @@ func TestNativeExecutorCorrectness(t *testing.T) {
 	for name, mk := range factories(false) {
 		t.Run(name, func(t *testing.T) {
 			w := mk()
-			rt := newWorkloadRT(1, sched.PolicyCilk) // allocation host only
+			rt := newWorkloadRT(1, sched.Cilk) // allocation host only
 			w.Prepare(rt)
 			pool := native.NewPool(8, 4)
 			pool.Run(w.Root())
@@ -108,7 +108,7 @@ func TestAwareRunsReduceRemoteAccesses(t *testing.T) {
 	run := func(aware bool) (remote, total int64) {
 		cfg := Config{Aware: aware, Seed: 42}
 		w := NewHeat(128, 128, 4, 16, cfg)
-		rt := newWorkloadRT(32, sched.PolicyNUMAWS)
+		rt := newWorkloadRT(32, sched.NUMAWS)
 		w.Prepare(rt)
 		rep := rt.Run(w.Root())
 		if err := w.Verify(); err != nil {
@@ -127,7 +127,7 @@ func TestAwareRunsReduceRemoteAccesses(t *testing.T) {
 func TestDeterministicAcrossRuns(t *testing.T) {
 	run := func() int64 {
 		w := NewCilksort(1<<13, 256, Config{Aware: true, Seed: 3})
-		rt := newWorkloadRT(16, sched.PolicyNUMAWS)
+		rt := newWorkloadRT(16, sched.NUMAWS)
 		w.Prepare(rt)
 		return rt.Run(w.Root()).Time
 	}
@@ -139,7 +139,7 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 func TestHullInputShapes(t *testing.T) {
 	// hull2 (on circle) must put every point on the hull; hull1 only a few.
 	w2 := NewHull(400, 64, 4, OnCircle, Config{Seed: 1})
-	rt := newWorkloadRT(1, sched.PolicyCilk)
+	rt := newWorkloadRT(1, sched.Cilk)
 	w2.Prepare(rt)
 	rt.RunSerial(w2.Root())
 	if err := w2.Verify(); err != nil {
@@ -156,7 +156,7 @@ func TestHullInputShapes(t *testing.T) {
 	}
 
 	w1 := NewHull(4000, 64, 4, InDisk, Config{Seed: 1})
-	rt = newWorkloadRT(1, sched.PolicyCilk)
+	rt = newWorkloadRT(1, sched.Cilk)
 	w1.Prepare(rt)
 	rt.RunSerial(w1.Root())
 	if err := w1.Verify(); err != nil {
@@ -177,7 +177,7 @@ func TestHull2HeavierThanHull1(t *testing.T) {
 	// "There is a lot more computation in hull2" for the same n.
 	ts := func(input Input) int64 {
 		w := NewHull(3000, 256, 8, input, Config{Seed: 5})
-		rt := newWorkloadRT(1, sched.PolicyCilk)
+		rt := newWorkloadRT(1, sched.Cilk)
 		w.Prepare(rt)
 		return rt.RunSerial(w.Root()).Time
 	}
@@ -192,7 +192,7 @@ func TestZLayoutSpeedsUpSerialMatmul(t *testing.T) {
 	// vs 190.9s) because contiguous tiles stream. Check the direction.
 	ts := func(z bool) int64 {
 		w := NewMatmul(128, 32, z, Config{Seed: 2})
-		rt := newWorkloadRT(1, sched.PolicyCilk)
+		rt := newWorkloadRT(1, sched.Cilk)
 		w.Prepare(rt)
 		rep := rt.RunSerial(w.Root())
 		if err := w.Verify(); err != nil {
@@ -209,7 +209,7 @@ func TestZLayoutSpeedsUpSerialMatmul(t *testing.T) {
 func TestZLayoutSpeedsUpSerialStrassen(t *testing.T) {
 	ts := func(z bool) int64 {
 		w := NewStrassen(128, 32, z, Config{Seed: 2})
-		rt := newWorkloadRT(1, sched.PolicyCilk)
+		rt := newWorkloadRT(1, sched.Cilk)
 		w.Prepare(rt)
 		rep := rt.RunSerial(w.Root())
 		if err := w.Verify(); err != nil {
@@ -241,7 +241,7 @@ func TestWorkloadNames(t *testing.T) {
 
 func TestCGResidualDecreases(t *testing.T) {
 	w := NewCG(256, 10, 8, 4, Config{Seed: 9})
-	rt := newWorkloadRT(8, sched.PolicyCilk)
+	rt := newWorkloadRT(8, sched.Cilk)
 	w.Prepare(rt)
 	rt.Run(w.Root())
 	if err := w.Verify(); err != nil { // Verify includes the residual check

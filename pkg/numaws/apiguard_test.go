@@ -1,0 +1,188 @@
+package numaws_test
+
+// The facade's layering contract, enforced: no godoc-visible declaration of
+// pkg/numaws — exported function signature, exported type, exported struct
+// field, exported method — may reference a type imported from an internal
+// package. Internal types are free to appear in unexported fields and
+// function bodies (that is the point of a facade); leaking one into the
+// exported surface would couple embedders to the engine. The CI facade job
+// runs the same check over `go doc -all` as a second line of defense.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFacadeLeaksNoInternalTypes(t *testing.T) {
+	fset := token.NewFileSet()
+	files, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, file := range files {
+		if strings.HasSuffix(file, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parser.ParseFile(fset, file, src, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checked++
+		internal := internalImportNames(f)
+		for _, decl := range f.Decls {
+			checkDecl(t, fset, decl, internal)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no facade source files checked")
+	}
+}
+
+// internalImportNames maps the local name of every internal import of f to
+// its path ("sched" -> "repro/internal/sched").
+func internalImportNames(f *ast.File) map[string]string {
+	out := map[string]string{}
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		if !strings.Contains(path, "/internal/") {
+			continue
+		}
+		name := path[strings.LastIndex(path, "/")+1:]
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		out[name] = path
+	}
+	return out
+}
+
+func checkDecl(t *testing.T, fset *token.FileSet, decl ast.Decl, internal map[string]string) {
+	t.Helper()
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return
+		}
+		// Methods on unexported types are not godoc-visible.
+		if d.Recv != nil && !exportedReceiver(d.Recv) {
+			return
+		}
+		where := fmt.Sprintf("func %s", d.Name.Name)
+		checkFieldList(t, fset, d.Type.Params, internal, where)
+		checkFieldList(t, fset, d.Type.Results, internal, where)
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() {
+					checkTypeExpr(t, fset, s.Type, internal, "type "+s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				exported := false
+				for _, n := range s.Names {
+					exported = exported || n.IsExported()
+				}
+				if !exported {
+					continue
+				}
+				if s.Type != nil {
+					checkExpr(t, fset, s.Type, internal, "var/const "+s.Names[0].Name)
+				}
+				// Constant/var initializers are part of the godoc
+				// rendering too (`const X = pkg.Y` shows pkg.Y).
+				for _, v := range s.Values {
+					checkExpr(t, fset, v, internal, "var/const "+s.Names[0].Name+" value")
+				}
+			}
+		}
+	}
+}
+
+func exportedReceiver(recv *ast.FieldList) bool {
+	for _, f := range recv.List {
+		expr := f.Type
+		if star, ok := expr.(*ast.StarExpr); ok {
+			expr = star.X
+		}
+		if ident, ok := expr.(*ast.Ident); ok && ident.IsExported() {
+			return true
+		}
+	}
+	return false
+}
+
+// checkTypeExpr checks a type declaration's right-hand side, descending
+// only into godoc-visible parts: exported struct fields and exported
+// interface methods; everything else is checked wholesale.
+func checkTypeExpr(t *testing.T, fset *token.FileSet, expr ast.Expr, internal map[string]string, where string) {
+	t.Helper()
+	switch e := expr.(type) {
+	case *ast.StructType:
+		for _, f := range e.Fields.List {
+			if len(f.Names) == 0 {
+				// Embedded field: always part of the exported surface.
+				checkExpr(t, fset, f.Type, internal, where+" (embedded field)")
+				continue
+			}
+			for _, n := range f.Names {
+				if n.IsExported() {
+					checkExpr(t, fset, f.Type, internal, fmt.Sprintf("%s field %s", where, n.Name))
+					break
+				}
+			}
+		}
+	case *ast.InterfaceType:
+		for _, m := range e.Methods.List {
+			for _, n := range m.Names {
+				if n.IsExported() {
+					checkExpr(t, fset, m.Type, internal, fmt.Sprintf("%s method %s", where, n.Name))
+					break
+				}
+			}
+		}
+	default:
+		checkExpr(t, fset, expr, internal, where)
+	}
+}
+
+func checkFieldList(t *testing.T, fset *token.FileSet, fl *ast.FieldList, internal map[string]string, where string) {
+	t.Helper()
+	if fl == nil {
+		return
+	}
+	for _, f := range fl.List {
+		checkExpr(t, fset, f.Type, internal, where)
+	}
+}
+
+// checkExpr flags any selector expression pkg.Type whose pkg is an
+// internal import.
+func checkExpr(t *testing.T, fset *token.FileSet, expr ast.Expr, internal map[string]string, where string) {
+	t.Helper()
+	ast.Inspect(expr, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if path, leaked := internal[ident.Name]; leaked {
+			t.Errorf("%s: %s leaks internal type %s.%s (%s)",
+				fset.Position(n.Pos()), where, ident.Name, sel.Sel.Name, path)
+		}
+		return true
+	})
+}

@@ -1,0 +1,347 @@
+// Package numaws is the public API of the NUMA-WS simulator: a library
+// facade over the paper-reproduction engine that lets any Go program embed
+// the simulator, measure the paper's benchmarks, sweep machine topologies,
+// stream results from long runs, and run its own fork-join computations on
+// the simulated NUMA machine.
+//
+// This package is the one supported way to consume the simulator. Its
+// exported surface deliberately names no type from the simulation engine
+// underneath (the layering contract in DESIGN.md); everything a caller
+// needs — machines, policies, benchmarks, measurements, renderers and
+// exporters — is expressed in this package's own types, so the engine can
+// keep refactoring without breaking embedders.
+//
+// A Session is built once from functional options and then queried:
+//
+//	s, err := numaws.New(
+//		numaws.WithTopology("2x16"),
+//		numaws.WithPolicy("numaws"),
+//		numaws.WithScale(numaws.ScaleSmall),
+//	)
+//	if err != nil { ... }
+//	row, err := s.Measure(ctx, "heat")
+//	fmt.Printf("speedup %.2fx\n", row.NUMAWS.Scalability())
+//
+// Every measurement takes a context.Context and stops promptly when it is
+// cancelled (at per-simulation granularity), returning ctx.Err(). Long
+// sweeps can stream each completed simulation through Session.Each instead
+// of waiting for the aggregated rows.
+package numaws
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/exec"
+	"repro/internal/harness"
+	"repro/internal/sched"
+	"repro/internal/topology"
+)
+
+// Scale selects the benchmark input sizes.
+type Scale int
+
+// Available scales.
+const (
+	// ScaleFull is the paper's EXPERIMENTS.md configuration; a full
+	// measurement sweep takes minutes to hours.
+	ScaleFull Scale = iota
+	// ScaleSmall shrinks every input so a full sweep runs in seconds;
+	// used by tests, examples and quick exploration.
+	ScaleSmall
+)
+
+// config collects the option values; New validates it as a whole.
+type config struct {
+	topology string
+	policy   string
+	scale    Scale
+	workers  int
+	seed     int64
+	seeds    int
+	jobs     int
+	verify   bool
+	benches  []string
+}
+
+// Option configures New.
+type Option struct {
+	apply func(*config) error
+}
+
+func option(f func(*config) error) Option { return Option{apply: f} }
+
+// WithTopology selects the simulated machine: a preset name (see
+// Topologies) or a generic "SOCKETSxCORES" ring shape such as "2x16".
+// The default is "paper-4x8", the paper's 4-socket x 8-core Xeon E5-4620.
+// Unknown names surface as an error from New naming the accepted forms.
+func WithTopology(spec string) Option {
+	return option(func(c *config) error {
+		if spec == "" {
+			return fmt.Errorf("WithTopology: empty topology spec")
+		}
+		c.topology = spec
+		return nil
+	})
+}
+
+// WithPolicy selects the scheduling policy by registry name (see
+// Policies). The default is "numaws", the paper's scheduler; "cilk" is
+// classic work stealing. The policy drives Run, the sweeps, and the
+// NUMA-aware column of the comparison tables (the baseline column is
+// always "cilk"). Unknown names surface as an error from New listing the
+// registered names.
+func WithPolicy(name string) Option {
+	return option(func(c *config) error {
+		if name == "" {
+			return fmt.Errorf("WithPolicy: empty policy name")
+		}
+		c.policy = name
+		return nil
+	})
+}
+
+// WithScale selects benchmark input sizes; the default is ScaleFull.
+func WithScale(s Scale) Option {
+	return option(func(c *config) error {
+		if s != ScaleFull && s != ScaleSmall {
+			return fmt.Errorf("WithScale: unknown scale %d", int(s))
+		}
+		c.scale = s
+		return nil
+	})
+}
+
+// WithWorkers sets the simulated worker count P of parallel runs and the
+// TP column of the tables. 0 (the default) means the whole machine — every
+// core of the selected topology. New rejects counts the machine cannot
+// place.
+func WithWorkers(p int) Option {
+	return option(func(c *config) error {
+		if p < 0 {
+			return fmt.Errorf("WithWorkers: negative worker count %d", p)
+		}
+		c.workers = p
+		return nil
+	})
+}
+
+// WithSeed sets the base scheduler seed (default 1). Runs are
+// deterministic in the seed: the same Session configuration replays
+// byte-identical measurements. Zero is reserved as "the default" by the
+// engine, so New rejects it rather than silently remapping.
+func WithSeed(seed int64) Option {
+	return option(func(c *config) error {
+		if seed == 0 {
+			return fmt.Errorf("WithSeed: seed must be non-zero (the default seed is 1)")
+		}
+		c.seed = seed
+		return nil
+	})
+}
+
+// WithSeeds averages each parallel measurement over n scheduler seeds
+// (seed, seed+1, ...), echoing the paper's "each data point is the average
+// of 10 runs". The default is 1.
+func WithSeeds(n int) Option {
+	return option(func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("WithSeeds: need at least one seed, got %d", n)
+		}
+		c.seeds = n
+		return nil
+	})
+}
+
+// WithJobs bounds how many independent simulations run concurrently on
+// host goroutines. Jobs changes wall-clock time only — measurements are
+// aggregated in canonical order and are identical for every value. The
+// default is one job per available CPU.
+func WithJobs(n int) Option {
+	return option(func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("WithJobs: need at least one job, got %d", n)
+		}
+		c.jobs = n
+		return nil
+	})
+}
+
+// WithVerify controls whether every run's computed result is checked
+// against a reference (default true). Verification costs host time, never
+// simulated cycles.
+func WithVerify(v bool) Option {
+	return option(func(c *config) error {
+		c.verify = v
+		return nil
+	})
+}
+
+// WithBenchmarks restricts the session to the named benchmarks (in the
+// given order) instead of the paper's full set. New rejects unknown names.
+func WithBenchmarks(names ...string) Option {
+	return option(func(c *config) error {
+		if len(names) == 0 {
+			return fmt.Errorf("WithBenchmarks: no names given")
+		}
+		c.benches = append([]string(nil), names...)
+		return nil
+	})
+}
+
+// Session is a configured simulator instance: one machine topology, one
+// scheduling policy, one benchmark suite. Sessions are immutable after New
+// and safe for concurrent use; every method that simulates takes a
+// context.Context and honors its cancellation at per-simulation
+// granularity.
+type Session struct {
+	top    *topology.Topology
+	policy sched.Policy
+	specs  []harness.Spec
+	cfg    config
+}
+
+// New builds a Session from the given options, validating them as a set:
+// unknown topology or policy names, out-of-range worker counts and unknown
+// benchmark names are reported here, before any simulation runs.
+func New(opts ...Option) (*Session, error) {
+	c := config{
+		topology: "paper-4x8",
+		policy:   "numaws",
+		scale:    ScaleFull,
+		seed:     1,
+		seeds:    1,
+		jobs:     exec.DefaultJobs(),
+		verify:   true,
+	}
+	for _, o := range opts {
+		if o.apply == nil {
+			return nil, fmt.Errorf("numaws: zero Option value")
+		}
+		if err := o.apply(&c); err != nil {
+			return nil, fmt.Errorf("numaws: %w", err)
+		}
+	}
+	top, err := topology.Parse(c.topology)
+	if err != nil {
+		return nil, fmt.Errorf("numaws: %w", err)
+	}
+	pol, err := sched.Lookup(c.policy)
+	if err != nil {
+		return nil, fmt.Errorf("numaws: %w", err)
+	}
+	if c.workers == 0 {
+		c.workers = top.Cores()
+	}
+	if c.workers > top.Cores() {
+		return nil, fmt.Errorf("numaws: %d workers out of range [1,%d] for topology %s",
+			c.workers, top.Cores(), c.topology)
+	}
+	scale := harness.ScaleFull
+	if c.scale == ScaleSmall {
+		scale = harness.ScaleSmall
+	}
+	all := harness.Specs(scale)
+	specs := all
+	if len(c.benches) > 0 {
+		specs, err = selectSpecs(all, c.benches)
+		if err != nil {
+			return nil, fmt.Errorf("numaws: %w", err)
+		}
+	}
+	return &Session{top: top, policy: pol, specs: specs, cfg: c}, nil
+}
+
+// selectSpecs resolves benchmark names against the suite, preserving the
+// requested order and rejecting unknown or duplicate names.
+func selectSpecs(all []harness.Spec, names []string) ([]harness.Spec, error) {
+	byName := make(map[string]harness.Spec, len(all))
+	known := make([]string, 0, len(all))
+	for _, s := range all {
+		byName[s.Name] = s
+		known = append(known, s.Name)
+	}
+	seen := make(map[string]bool, len(names))
+	out := make([]harness.Spec, 0, len(names))
+	for _, n := range names {
+		s, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("no benchmark named %q (want %s)", n, strings.Join(known, ", "))
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("benchmark %q named twice", n)
+		}
+		seen[n] = true
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// options assembles the harness options for one measurement call.
+func (s *Session) options() harness.Options {
+	return harness.Options{
+		Topology: s.top,
+		P:        s.cfg.workers,
+		Seed:     s.cfg.seed,
+		Seeds:    s.cfg.seeds,
+		Verify:   s.cfg.verify,
+		Jobs:     s.cfg.jobs,
+		Policy:   s.policy,
+	}
+}
+
+// Machine describes the session's simulated machine.
+type Machine struct {
+	Name    string // the topology spec the session was built with
+	Sockets int
+	Cores   int // total cores across all sockets
+	// Description is the machine rendered the way the paper's Fig. 1
+	// presents it: sockets, per-socket resources, and the node distance
+	// matrix.
+	Description string
+}
+
+// Machine reports the session's simulated machine.
+func (s *Session) Machine() Machine {
+	return Machine{
+		Name:        s.cfg.topology,
+		Sockets:     s.top.Sockets(),
+		Cores:       s.top.Cores(),
+		Description: s.top.String(),
+	}
+}
+
+// Policy reports the session's scheduling policy name.
+func (s *Session) Policy() string { return s.policy.Name() }
+
+// Workers reports the session's resolved simulated worker count (the whole
+// machine unless WithWorkers said otherwise).
+func (s *Session) Workers() int { return s.cfg.workers }
+
+// Benchmark describes one benchmark of the session's suite.
+type Benchmark struct {
+	Name  string
+	Input string // human-readable "input size / base case"
+	// Fig3 marks the seven benchmarks of the paper's Fig. 3.
+	Fig3 bool
+	// Curve is the benchmark's series name in the paper's Fig. 9
+	// scalability plot ("" if it has no curve).
+	Curve string
+}
+
+// Benchmarks lists the session's benchmark suite in measurement order.
+func (s *Session) Benchmarks() []Benchmark {
+	out := make([]Benchmark, len(s.specs))
+	for i, sp := range s.specs {
+		out[i] = Benchmark{Name: sp.Name, Input: sp.Input, Fig3: sp.InFig3, Curve: sp.Fig9Name}
+	}
+	return out
+}
+
+// Topologies lists the built-in machine presets accepted by WithTopology
+// (generic "SOCKETSxCORES" shapes are accepted too).
+func Topologies() []string { return topology.Presets() }
+
+// Policies lists the registered scheduling policy names accepted by
+// WithPolicy, sorted.
+func Policies() []string { return sched.Names() }

@@ -1,0 +1,286 @@
+package numaws
+
+// The facade's result types. They mirror the engine's internal metrics
+// types field for field, but belong to this package: the public API must
+// not name internal types in exported signatures (the layering contract in
+// DESIGN.md, enforced by TestFacadeLeaksNoInternalTypes and the CI facade
+// job), so measurements cross the boundary by value conversion.
+
+import (
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// PlatformResult is one platform's measurements for one benchmark: the
+// one-worker time, the P-worker time, and the P-worker work/scheduling/idle
+// breakdown summed over workers.
+type PlatformResult struct {
+	T1 int64 // one-worker time, cycles
+	TP int64 // P-worker time, cycles
+	WP int64 // summed work time at P workers
+	SP int64 // summed scheduling time at P workers
+	IP int64 // summed idle time at P workers
+	W1 int64 // work time at one worker (= T1)
+}
+
+// SpawnOverhead is T1/TS: the cost of expressing the parallelism.
+func (r PlatformResult) SpawnOverhead(ts int64) float64 {
+	m := metrics.PlatformResult(r)
+	return m.SpawnOverhead(ts)
+}
+
+// Scalability is T1/TP: the parallel speedup over the platform's own
+// one-worker run.
+func (r PlatformResult) Scalability() float64 {
+	m := metrics.PlatformResult(r)
+	return m.Scalability()
+}
+
+// WorkInflation is WP/T1: how much the total useful-work time grew going
+// parallel — the quantity the paper's NUMA-WS scheduler exists to shrink.
+func (r PlatformResult) WorkInflation() float64 {
+	m := metrics.PlatformResult(r)
+	return m.WorkInflation()
+}
+
+// Row is one benchmark's full measurement: the serial elision TS and both
+// platforms' results — Cilk, the classic work-stealing baseline, and
+// NUMAWS, the session's policy (the paper's scheduler unless WithPolicy
+// said otherwise).
+type Row struct {
+	Name   string
+	Input  string // "input size / base case" description
+	TS     int64
+	Cilk   PlatformResult
+	NUMAWS PlatformResult
+	P      int // worker count of the TP/WP/SP/IP columns
+}
+
+// Series is one benchmark's scalability curve (the paper's Fig. 9): TP[i]
+// is the completion time at P[i] workers.
+type Series struct {
+	Name string
+	P    []int
+	TP   []int64
+}
+
+// Speedup reports T1/TP per point (P[0] must be 1).
+func (s Series) Speedup() []float64 {
+	m := seriesToMetrics(s)
+	return m.Speedup()
+}
+
+// SweepCurve is one (benchmark, machine) scalability curve of a topology
+// sweep.
+type SweepCurve struct {
+	Bench    string
+	Topology string // the topology spec the curve ran on
+	Sockets  int
+	Cores    int
+	P        []int
+	TP       []int64
+}
+
+// Speedup reports T1/TP per point (P[0] must be 1).
+func (s SweepCurve) Speedup() []float64 {
+	m := sweepToMetrics(s)
+	return m.Speedup()
+}
+
+// Export bundles every measurement kind for the machine-readable writers;
+// any field may be empty.
+type Export struct {
+	Rows   []Row
+	Series []Series
+	Sweeps []SweepCurve
+}
+
+// Run identifies one completed simulation of a streaming measurement (see
+// Session.Each): which benchmark, under which policy ("serial" for the TS
+// elision run), at which worker count and scheduler seed, and the
+// completion time it measured.
+type Run struct {
+	Bench  string
+	Policy string
+	P      int
+	Seed   int64
+	Serial bool
+	// Baseline marks runs of the classic work-stealing baseline column
+	// (always "cilk"), distinguishing them from the session-policy column
+	// even when the session's policy is itself "cilk". False for serial
+	// runs.
+	Baseline bool
+	Time     int64 // virtual cycles (TS for serial runs, TP otherwise)
+}
+
+// Accesses counts memory accesses by the point of the hierarchy that
+// serviced them, from fastest to slowest.
+type Accesses struct {
+	PrivateHit  int64 // private L1/L2 hit
+	LocalLLC    int64 // shared last-level cache on the home socket
+	RemoteCache int64 // a cache on another socket
+	LocalDRAM   int64 // DRAM attached to the accessing socket
+	RemoteDRAM  int64 // DRAM on another socket
+}
+
+// Remote reports the accesses serviced off-socket — the traffic NUMA-aware
+// scheduling exists to avoid.
+func (a Accesses) Remote() int64 { return a.RemoteCache + a.RemoteDRAM }
+
+// RunReport is the outcome of one simulation (Session.Run, RunSerial,
+// RunTask): the completion time plus the scheduler and memory-system
+// activity behind it. Scheduler fields are zero for serial runs, which
+// have no scheduler.
+type RunReport struct {
+	Bench   string // "" for RunTask computations
+	Policy  string // registry name; "serial" for serial elision runs
+	Workers int
+	Time    int64 // completion time in virtual cycles
+
+	Work  int64 // summed useful-work time over workers
+	Sched int64 // summed scheduling time (promotions, syncs, pushes)
+	Idle  int64 // summed idle time (failed steal attempts)
+
+	Steals        int64 // successful deque steals
+	StealAttempts int64 // all steal attempts
+	Pushes        int64 // successful mailbox deposits
+	MailboxHits   int64 // frames obtained from a mailbox (own or stolen)
+
+	Accesses Accesses
+}
+
+// DAGReport is a benchmark's measured computation dag: the quantities the
+// paper's Section IV bounds are stated in.
+type DAGReport struct {
+	Bench       string
+	Work        int64 // T1: total strand cycles
+	Span        int64 // T∞: critical-path cycles
+	Parallelism float64
+}
+
+// Timeline is one policy's rendered per-worker execution timeline for a
+// benchmark: each worker's time split into useful work, scheduler
+// bookkeeping and idle probing.
+type Timeline struct {
+	Policy string
+	P      int
+	Time   int64  // completion time in virtual cycles
+	Chart  string // fixed-width rendering, one row per worker
+}
+
+// Conversions between the facade types and the internal metrics types.
+
+func rowFromMetrics(m metrics.Row) Row {
+	return Row{
+		Name: m.Name, Input: m.Input, TS: m.TS, P: m.P,
+		Cilk:   PlatformResult(m.Cilk),
+		NUMAWS: PlatformResult(m.NUMAWS),
+	}
+}
+
+func rowToMetrics(r Row) metrics.Row {
+	return metrics.Row{
+		Name: r.Name, Input: r.Input, TS: r.TS, P: r.P,
+		Cilk:   metrics.PlatformResult(r.Cilk),
+		NUMAWS: metrics.PlatformResult(r.NUMAWS),
+	}
+}
+
+func rowsFromMetrics(ms []metrics.Row) []Row {
+	out := make([]Row, len(ms))
+	for i, m := range ms {
+		out[i] = rowFromMetrics(m)
+	}
+	return out
+}
+
+func rowsToMetrics(rs []Row) []metrics.Row {
+	out := make([]metrics.Row, len(rs))
+	for i, r := range rs {
+		out[i] = rowToMetrics(r)
+	}
+	return out
+}
+
+func seriesFromMetrics(m metrics.Series) Series {
+	return Series{Name: m.Name, P: m.P, TP: m.TP}
+}
+
+func seriesToMetrics(s Series) metrics.Series {
+	return metrics.Series{Name: s.Name, P: s.P, TP: s.TP}
+}
+
+func seriesSliceFromMetrics(ms []metrics.Series) []Series {
+	out := make([]Series, len(ms))
+	for i, m := range ms {
+		out[i] = seriesFromMetrics(m)
+	}
+	return out
+}
+
+func seriesSliceToMetrics(ss []Series) []metrics.Series {
+	out := make([]metrics.Series, len(ss))
+	for i, s := range ss {
+		out[i] = seriesToMetrics(s)
+	}
+	return out
+}
+
+func sweepFromMetrics(m metrics.Sweep) SweepCurve {
+	return SweepCurve{Bench: m.Bench, Topology: m.Topology, Sockets: m.Sockets,
+		Cores: m.Cores, P: m.P, TP: m.TP}
+}
+
+func sweepToMetrics(s SweepCurve) metrics.Sweep {
+	return metrics.Sweep{Bench: s.Bench, Topology: s.Topology, Sockets: s.Sockets,
+		Cores: s.Cores, P: s.P, TP: s.TP}
+}
+
+func sweepsFromMetrics(ms []metrics.Sweep) []SweepCurve {
+	out := make([]SweepCurve, len(ms))
+	for i, m := range ms {
+		out[i] = sweepFromMetrics(m)
+	}
+	return out
+}
+
+func sweepsToMetrics(ss []SweepCurve) []metrics.Sweep {
+	out := make([]metrics.Sweep, len(ss))
+	for i, s := range ss {
+		out[i] = sweepToMetrics(s)
+	}
+	return out
+}
+
+// reportFrom flattens a core run report into the facade's RunReport.
+func reportFrom(bench, policy string, rep *core.Report) RunReport {
+	out := RunReport{
+		Bench:   bench,
+		Policy:  policy,
+		Workers: rep.Workers,
+		Time:    rep.Time,
+	}
+	if st := rep.Sched; st != nil {
+		out.Work = st.WorkTotal()
+		out.Sched = st.SchedTotal()
+		out.Idle = st.IdleTotal()
+		out.Steals = st.Steals
+		out.StealAttempts = st.StealAttempts
+		out.Pushes = st.Pushes
+		out.MailboxHits = st.MailboxSteals + st.MailboxSelf
+	}
+	out.Accesses = accessesFrom(rep)
+	return out
+}
+
+func accessesFrom(rep *core.Report) Accesses {
+	c := rep.Cache.Count
+	return Accesses{
+		PrivateHit:  c[cache.KindPrivateHit],
+		LocalLLC:    c[cache.KindLocalLLC],
+		RemoteCache: c[cache.KindRemoteCache],
+		LocalDRAM:   c[cache.KindLocalDRAM],
+		RemoteDRAM:  c[cache.KindRemoteDRAM],
+	}
+}
