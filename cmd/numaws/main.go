@@ -30,10 +30,17 @@
 //	-policy  scheduling policy of the NUMA-aware platform and the sweeps:
 //	         a registered policy name (default numaws); unknown names are
 //	         a usage error listing the registered policies
+//	-bench   comma-separated benchmark names restricting the run to a
+//	         subset of the registered suite, in the given order (default:
+//	         every registered benchmark — the paper's nine plus the
+//	         Cilk-suite additions fib, nqueens, fft, lu, rectmul);
+//	         unknown names are a usage error listing the registered
+//	         benchmarks
 //	-p       parallel worker count for the tables (default: the whole
 //	         machine — every core of the selected topology)
 //	-seed    scheduler seed (default 1)
-//	-seeds   seeds to average each parallel measurement over (default 1)
+//	-seeds   seeds to average each parallel measurement over (default 1;
+//	         values below 1 are a usage error)
 //	-verify  verify every run's computed result (default true)
 //	-jobs    how many simulations to run concurrently on the host
 //	         (default: the number of CPUs). Output is identical for every
@@ -93,6 +100,7 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	scale := fs.String("scale", "full", "input scale: small or full")
 	topoSpec := fs.String("topology", "paper-4x8", "machine topology: a preset name or SOCKETSxCORES")
 	policy := fs.String("policy", "numaws", "scheduling policy of the NUMA-aware platform and the sweeps")
+	bench := fs.String("bench", "", "comma-separated benchmark names (default: the whole registered suite)")
 	p := fs.Int("p", 0, "parallel worker count for tables (0: whole machine)")
 	seed := fs.Int64("seed", 1, "scheduler seed")
 	seeds := fs.Int("seeds", 1, "seeds to average each parallel measurement over")
@@ -124,11 +132,18 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	if *p < 0 {
 		return fail(fmt.Errorf("-p %d must be positive (or 0 for the whole machine)", *p))
 	}
-	// Session construction is the validation point: unknown -topology and
-	// -policy names and out-of-range -p are usage errors here, never a
-	// silent default — a sweep on the wrong machine or scheduler looks
-	// plausible and wastes hours.
-	session, err := numaws.New(
+	if *seeds < 1 {
+		// Unlike -jobs (a host-side knob that cannot change results, so a
+		// clamp-with-warning suffices), -seeds changes what is measured:
+		// the harness would silently treat 0 as 1, and the printed tables
+		// would not be the averaging the caller asked for.
+		return fail(fmt.Errorf("-seeds %d must be at least 1", *seeds))
+	}
+	// Session construction is the validation point: unknown -topology,
+	// -policy and -bench names and out-of-range -p are usage errors here,
+	// never a silent default — a sweep on the wrong machine, scheduler or
+	// benchmark set looks plausible and wastes hours.
+	opts := []numaws.Option{
 		numaws.WithTopology(*topoSpec),
 		numaws.WithPolicy(*policy),
 		numaws.WithScale(sc),
@@ -137,7 +152,11 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		numaws.WithSeeds(*seeds),
 		numaws.WithVerify(*verify),
 		numaws.WithJobs(*jobs),
-	)
+	}
+	if *bench != "" {
+		opts = append(opts, numaws.WithBenchmarks(splitList(*bench)...))
+	}
+	session, err := numaws.New(opts...)
 	if err != nil {
 		return fail(err)
 	}

@@ -3,10 +3,14 @@ package main
 // CLI-level tests. testdata/all-small.golden was captured from the
 // pre-redesign binary (the closed-enum, pre-facade implementation) running
 // `numaws -scale small -topology paper-4x8 all`; the golden test is the
-// acceptance gate that the public facade, the pluggable policy registry
-// and the context-aware harness reproduce the paper pipeline byte for
-// byte under both registered policies (the tables carry the cilk baseline
-// and the numaws columns of every benchmark).
+// acceptance gate that the public facade, the pluggable policy registry,
+// the context-aware harness and now the open workload registry reproduce
+// the paper pipeline byte for byte under both registered policies (the
+// tables carry the cilk baseline and the numaws columns of every
+// benchmark). Since the suite opened up, the golden run selects the
+// paper's nine with -bench; the default suite additionally carries the
+// Cilk-suite benchmarks (fib, nqueens, fft, lu, rectmul), covered by
+// their own tests below.
 
 import (
 	"bytes"
@@ -15,6 +19,9 @@ import (
 	"strings"
 	"testing"
 )
+
+// paperNine is the original nine-benchmark suite the golden output pins.
+const paperNine = "cg,cilksort,heat,hull1,hull2,matmul,matmul-z,strassen,strassen-z"
 
 // runCLI executes a full command line in-process.
 func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
@@ -32,12 +39,58 @@ func TestAllSmallMatchesPinnedOracle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	code, out, errb := runCLI(t, "-scale", "small", "-topology", "paper-4x8", "all")
+	code, out, errb := runCLI(t, "-scale", "small", "-topology", "paper-4x8", "-bench", paperNine, "all")
 	if code != 0 {
 		t.Fatalf("exit %d, stderr:\n%s", code, errb)
 	}
 	if out != string(want) {
-		t.Errorf("`numaws -scale small -topology paper-4x8 all` diverged from the pinned pre-redesign oracle.\nIf the change is intentional, regenerate testdata/all-small.golden.\n--- got\n%s\n--- want\n%s", out, want)
+		t.Errorf("`numaws -scale small -topology paper-4x8 -bench %s all` diverged from the pinned pre-redesign oracle.\nIf the change is intentional, regenerate testdata/all-small.golden.\n--- got\n%s\n--- want\n%s", paperNine, out, want)
+	}
+}
+
+// TestDefaultSuiteCoversCilkAdditions pins the open suite: without -bench
+// the session carries the registered fourteen, and the dag protocol (one
+// verified parallel run per benchmark) covers the five additions.
+func TestDefaultSuiteCoversCilkAdditions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full default-suite run skipped in -short mode")
+	}
+	code, out, errb := runCLI(t, "-scale", "small", "dag")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb)
+	}
+	for _, name := range []string{"fib", "nqueens", "fft", "lu", "rectmul", "cilksort"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("default dag output missing %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestUnknownBenchIsUsageErrorListingNames(t *testing.T) {
+	code, _, errb := runCLI(t, "-bench", "bogus", "fig1")
+	if code == 0 {
+		t.Fatal("unknown -bench exited 0")
+	}
+	for _, want := range []string{`"bogus"`, "cilksort", "fib", "rectmul"} {
+		if !strings.Contains(errb, want) {
+			t.Errorf("unknown -bench stderr missing %q:\n%s", want, errb)
+		}
+	}
+}
+
+func TestSeedsBelowOneIsUsageError(t *testing.T) {
+	for _, v := range []string{"0", "-3"} {
+		code, _, errb := runCLI(t, "-seeds", v, "fig1")
+		if code == 0 {
+			t.Fatalf("-seeds %s exited 0", v)
+		}
+		if !strings.Contains(errb, "at least 1") {
+			t.Errorf("-seeds %s stderr unhelpful:\n%s", v, errb)
+		}
+	}
+	// -seeds 1 (the default) stays accepted.
+	if code, _, errb := runCLI(t, "-seeds", "1", "fig1"); code != 0 {
+		t.Errorf("-seeds 1 rejected: %s", errb)
 	}
 }
 

@@ -18,7 +18,6 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/exec"
-	"repro/internal/memory"
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/topology"
@@ -36,138 +35,30 @@ import (
 var arenas = sync.Pool{New: func() any { return core.NewArena() }}
 
 // Spec describes one benchmark configuration (one row of the paper's
-// tables).
-type Spec struct {
-	Name  string
-	Input string // human-readable "input size / base case" for the table
-	// Make builds a fresh workload instance; aware selects the NUMA-aware
-	// configuration used for NUMA-WS runs.
-	Make func(aware bool) workloads.Workload
-	// InFig3 marks the seven benchmarks of Fig. 3 (the -z variants are
-	// table-only).
-	InFig3 bool
-	// Fig9Name is the series name in Fig. 9 ("" if the benchmark has no
-	// curve; the paper plots matmul and strassen only as their -z
-	// variants).
-	Fig9Name string
-}
+// tables). It is the registry's spec type (see internal/workloads): the
+// harness consumes whatever benchmarks are registered, in-tree or
+// user-registered through the public facade.
+type Spec = workloads.Spec
 
 // Scale selects input sizes.
-type Scale int
+type Scale = workloads.Scale
 
 // Available scales.
 const (
 	// ScaleSmall runs in seconds; used by tests and -short benches.
-	ScaleSmall Scale = iota
+	ScaleSmall = workloads.ScaleSmall
 	// ScaleFull is the EXPERIMENTS.md configuration.
-	ScaleFull
+	ScaleFull = workloads.ScaleFull
 )
 
-// Specs returns the paper's nine benchmark configurations.
-func Specs(s Scale) []Spec {
-	type dims struct {
-		sortN, sortBase             int
-		heatN, heatSteps, heatBands int
-		cgN, cgNZ, cgIters, cgBands int
-		hull1N, hull2N, hullGrain   int
-		hullBands                   int
-		mmN, mmBase                 int
-		stN, stBase                 int
-	}
-	d := dims{
-		sortN: 1 << 20, sortBase: 4096,
-		heatN: 768, heatSteps: 20, heatBands: 128,
-		cgN: 16384, cgNZ: 32, cgIters: 8, cgBands: 128,
-		hull1N: 200_000, hull2N: 50_000, hullGrain: 2048, hullBands: 64,
-		mmN: 512, mmBase: 32,
-		stN: 256, stBase: 16,
-	}
-	if s == ScaleSmall {
-		d = dims{
-			sortN: 1 << 15, sortBase: 1024,
-			heatN: 128, heatSteps: 8, heatBands: 16,
-			cgN: 1024, cgNZ: 16, cgIters: 6, cgBands: 16,
-			hull1N: 20_000, hull2N: 6_000, hullGrain: 512, hullBands: 16,
-			mmN: 128, mmBase: 32,
-			stN: 128, stBase: 32,
-		}
-	}
-	const seed = 20180707 // IISWC 2018 vintage
-	cfg := func(aware bool, base memory.Policy) workloads.Config {
-		return workloads.Config{Aware: aware, Base: base, Seed: seed}
-	}
-	// The baseline placement: first-touch after serial initialization, so
-	// every page lands on socket 0 — the configuration a vanilla Cilk Plus
-	// program gets by default, and the one whose serial elision matches TS.
-	il := memory.BindTo{Socket: 0}
-	return []Spec{
-		{
-			Name: "cg", Input: fmt.Sprintf("%dx%d/n=%d", d.cgN, d.cgNZ, d.cgBands),
-			Make: func(aware bool) workloads.Workload {
-				return workloads.NewCG(d.cgN, d.cgNZ, d.cgIters, d.cgBands, cfg(aware, il))
-			},
-			InFig3: true, Fig9Name: "cg",
-		},
-		{
-			Name: "cilksort", Input: fmt.Sprintf("%d/%d", d.sortN, d.sortBase),
-			Make: func(aware bool) workloads.Workload {
-				return workloads.NewCilksort(d.sortN, d.sortBase, cfg(aware, il))
-			},
-			InFig3: true, Fig9Name: "cilksort",
-		},
-		{
-			Name: "heat", Input: fmt.Sprintf("%dx%dx%d/%d rows", d.heatN, d.heatN, d.heatSteps, d.heatN/d.heatBands),
-			Make: func(aware bool) workloads.Workload {
-				return workloads.NewHeat(d.heatN, d.heatN, d.heatSteps, d.heatBands, cfg(aware, il))
-			},
-			InFig3: true, Fig9Name: "heat",
-		},
-		{
-			Name: "hull1", Input: fmt.Sprintf("%d/%d", d.hull1N, d.hullGrain),
-			Make: func(aware bool) workloads.Workload {
-				return workloads.NewHull(d.hull1N, d.hullGrain, d.hullBands, workloads.InDisk, cfg(aware, il))
-			},
-			InFig3: true, Fig9Name: "hull1",
-		},
-		{
-			Name: "hull2", Input: fmt.Sprintf("%d/%d", d.hull2N, d.hullGrain),
-			Make: func(aware bool) workloads.Workload {
-				return workloads.NewHull(d.hull2N, d.hullGrain, d.hullBands, workloads.OnCircle, cfg(aware, il))
-			},
-			InFig3: true, Fig9Name: "hull2",
-		},
-		{
-			Name: "matmul", Input: fmt.Sprintf("%dx%d/%dx%d", d.mmN, d.mmN, d.mmBase, d.mmBase),
-			// Per the paper, matmul uses no locality hints on either
-			// platform; the aware flag is dropped.
-			Make: func(bool) workloads.Workload {
-				return workloads.NewMatmul(d.mmN, d.mmBase, false, cfg(false, il))
-			},
-			InFig3: true,
-		},
-		{
-			Name: "matmul-z", Input: fmt.Sprintf("%dx%d/%dx%d", d.mmN, d.mmN, d.mmBase, d.mmBase),
-			Make: func(bool) workloads.Workload {
-				return workloads.NewMatmul(d.mmN, d.mmBase, true, cfg(false, il))
-			},
-			Fig9Name: "matmul-z",
-		},
-		{
-			Name: "strassen", Input: fmt.Sprintf("%dx%d/%dx%d", d.stN, d.stN, d.stBase, d.stBase),
-			Make: func(bool) workloads.Workload {
-				return workloads.NewStrassen(d.stN, d.stBase, false, cfg(false, il))
-			},
-			InFig3: true,
-		},
-		{
-			Name: "strassen-z", Input: fmt.Sprintf("%dx%d/%dx%d", d.stN, d.stN, d.stBase, d.stBase),
-			Make: func(bool) workloads.Workload {
-				return workloads.NewStrassen(d.stN, d.stBase, true, cfg(false, il))
-			},
-			Fig9Name: "strassen-z",
-		},
-	}
-}
+// Specs returns every registered benchmark's configuration at the given
+// scale, in name order — the paper's nine plus every other registered
+// benchmark (the Cilk-suite additions of internal/workloads, and anything
+// registered through pkg/numaws.RegisterBenchmark). The paper's nine
+// register in internal/workloads with their exact pre-registry dims, so
+// restricting a run to those names reproduces the pinned golden output
+// byte for byte.
+func Specs(s Scale) []Spec { return workloads.Specs(s) }
 
 // Options configures measurement runs.
 //
@@ -186,7 +77,13 @@ type Options struct {
 	Seed     int64              // scheduler seed; 0 means 1
 	// Seeds averages each parallel measurement over this many scheduler
 	// seeds (Seed, Seed+1, ...), echoing the paper's "each data point is
-	// the average of 10 runs". 0 means 1.
+	// the average of 10 runs". 0 means 1, per the zero-value contract —
+	// and so does any negative count (fill clamps, because the job
+	// decomposition allocates one slot per seed). Front ends that can
+	// tell "absent" from "asked for zero" should reject sub-1 counts
+	// loudly instead of relying on the clamp: cmd/numaws makes -seeds 0
+	// a usage error, matching its unknown -topology/-policy/-bench
+	// handling.
 	Seeds  int
 	Verify bool // verify every run's result
 	// RecordDAG captures the computation dag of parallel runs (see

@@ -7,15 +7,30 @@ import (
 	"repro/internal/topology"
 )
 
+// specByName resolves one benchmark of the registered small-scale suite.
+func specByName(t testing.TB, name string) Spec {
+	t.Helper()
+	for _, s := range Specs(ScaleSmall) {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("no spec named %q", name)
+	return Spec{}
+}
+
 func TestSpecsInventory(t *testing.T) {
 	for _, scale := range []Scale{ScaleSmall, ScaleFull} {
 		specs := Specs(scale)
-		if len(specs) != 9 {
-			t.Fatalf("scale %d: %d specs, want 9", scale, len(specs))
+		// The registered suite: the paper's nine plus the five Cilk-suite
+		// additions (fib, nqueens, fft, lu, rectmul).
+		if len(specs) != 14 {
+			t.Fatalf("scale %d: %d specs, want 14", scale, len(specs))
 		}
 		want := map[string]bool{
 			"cg": true, "cilksort": true, "heat": true, "hull1": true, "hull2": true,
 			"matmul": true, "matmul-z": true, "strassen": true, "strassen-z": true,
+			"fib": true, "nqueens": true, "fft": true, "lu": true, "rectmul": true,
 		}
 		fig3 := 0
 		fig9 := 0
@@ -37,17 +52,19 @@ func TestSpecsInventory(t *testing.T) {
 		if len(want) != 0 {
 			t.Errorf("missing specs: %v", want)
 		}
-		if fig3 != 7 {
-			t.Errorf("%d Fig. 3 benchmarks, want 7", fig3)
+		// The paper's seven Fig. 3 benchmarks plus the five additions.
+		if fig3 != 12 {
+			t.Errorf("%d Fig. 3 benchmarks, want 12", fig3)
 		}
-		if fig9 != 7 {
-			t.Errorf("%d Fig. 9 series, want 7", fig9)
+		// The paper's seven Fig. 9 curves plus the five additions.
+		if fig9 != 12 {
+			t.Errorf("%d Fig. 9 series, want 12", fig9)
 		}
 	}
 }
 
 func TestRunOneAndSerial(t *testing.T) {
-	spec := Specs(ScaleSmall)[1] // cilksort
+	spec := specByName(t, "cilksort")
 	ts, err := RunSerial(t.Context(), spec, Options{Verify: true})
 	if err != nil {
 		t.Fatal(err)
@@ -68,7 +85,7 @@ func TestRunOneAndSerial(t *testing.T) {
 }
 
 func TestMeasureProducesConsistentRow(t *testing.T) {
-	spec := Specs(ScaleSmall)[2] // heat
+	spec := specByName(t, "heat")
 	row, err := Measure(t.Context(), spec, Options{P: 16, Verify: true})
 	if err != nil {
 		t.Fatal(err)
@@ -101,7 +118,7 @@ func TestMeasureProducesConsistentRow(t *testing.T) {
 }
 
 func TestSeedAveraging(t *testing.T) {
-	spec := Specs(ScaleSmall)[2] // heat
+	spec := specByName(t, "heat")
 	one, err := Measure(t.Context(), spec, Options{P: 8, Seeds: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -157,7 +174,7 @@ func TestFig9PointsMatchPaper(t *testing.T) {
 }
 
 func TestOptionsCustomTopology(t *testing.T) {
-	spec := Specs(ScaleSmall)[2]
+	spec := specByName(t, "heat")
 	rep, err := RunOne(t.Context(), spec, sched.NUMAWS, Options{
 		Topology: topology.TwoSocket(4),
 		P:        8,
@@ -172,7 +189,7 @@ func TestOptionsCustomTopology(t *testing.T) {
 }
 
 func TestDeterministicMeasurement(t *testing.T) {
-	spec := Specs(ScaleSmall)[0] // cg
+	spec := specByName(t, "cg")
 	a, err := RunOne(t.Context(), spec, sched.NUMAWS, Options{P: 16, Seed: 9})
 	if err != nil {
 		t.Fatal(err)

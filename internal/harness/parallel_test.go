@@ -131,7 +131,7 @@ func TestMeasureScalabilityParallelMatchesSerial(t *testing.T) {
 
 // TestMeasureParallelMatchesSerial covers the single-spec entry point.
 func TestMeasureParallelMatchesSerial(t *testing.T) {
-	spec := Specs(ScaleSmall)[2] // heat
+	spec := specByName(t, "heat")
 	serial, err := Measure(t.Context(), spec, Options{P: 8, Seeds: 2, Jobs: 1})
 	if err != nil {
 		t.Fatal(err)

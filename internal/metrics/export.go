@@ -122,6 +122,11 @@ func WriteExport(w io.Writer, e Export) error {
 
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
+// writeCSVRecords funnels every CSV table through encoding/csv. This is a
+// contract, not a convenience: benchmark Input strings are free-form
+// (registry benchmarks choose their own), so fields containing commas,
+// quotes or newlines must be quoted per RFC 4180 — pinned by the
+// round-trip tests in csv_roundtrip_test.go.
 func writeCSVRecords(w io.Writer, records [][]string) error {
 	return csv.NewWriter(w).WriteAll(records)
 }

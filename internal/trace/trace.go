@@ -23,6 +23,7 @@ type Timeline struct {
 	workers int
 	spans   []span
 	last    int64
+	dropped int
 }
 
 var _ sched.Tracer = (*Timeline)(nil)
@@ -32,9 +33,15 @@ func New(workers int) *Timeline {
 	return &Timeline{workers: workers}
 }
 
-// Span implements sched.Tracer.
+// Span implements sched.Tracer. Zero-length spans (end == start) are
+// legal instantaneous events: they contribute no cycles to totals or
+// rendering but advance End, so a tracer hookup emitting only markers
+// still produces a non-empty timeline. Malformed spans — a worker outside
+// [0, workers) or end < start — are dropped and counted (Dropped), so a
+// buggy hookup is detectable instead of silently rendering empty.
 func (t *Timeline) Span(worker int, start, end int64, kind sched.TraceKind) {
-	if worker < 0 || worker >= t.workers || end <= start {
+	if worker < 0 || worker >= t.workers || end < start {
+		t.dropped++
 		return
 	}
 	t.spans = append(t.spans, span{worker: worker, start: start, end: end, kind: kind})
@@ -45,6 +52,11 @@ func (t *Timeline) Span(worker int, start, end int64, kind sched.TraceKind) {
 
 // Spans reports the number of recorded spans.
 func (t *Timeline) Spans() int { return len(t.spans) }
+
+// Dropped reports how many malformed spans were rejected (out-of-range
+// worker or end < start). A non-zero count means the tracer hookup is
+// feeding the timeline garbage.
+func (t *Timeline) Dropped() int { return t.dropped }
 
 // End reports the latest recorded time.
 func (t *Timeline) End() int64 { return t.last }

@@ -29,14 +29,43 @@ func TestSpanRecordingAndTotals(t *testing.T) {
 	}
 }
 
-func TestInvalidSpansIgnored(t *testing.T) {
+func TestMalformedSpansDroppedAndCounted(t *testing.T) {
 	tl := New(2)
-	tl.Span(-1, 0, 10, sched.TraceWork)
-	tl.Span(5, 0, 10, sched.TraceWork)
-	tl.Span(0, 10, 10, sched.TraceWork) // zero length
+	tl.Span(-1, 0, 10, sched.TraceWork) // worker below range
+	tl.Span(5, 0, 10, sched.TraceWork)  // worker above range
 	tl.Span(0, 10, 5, sched.TraceWork)  // negative length
 	if tl.Spans() != 0 {
-		t.Errorf("invalid spans were recorded: %d", tl.Spans())
+		t.Errorf("malformed spans were recorded: %d", tl.Spans())
+	}
+	// The drops are counted, so a buggy tracer hookup fails loudly
+	// instead of silently rendering an empty timeline.
+	if tl.Dropped() != 3 {
+		t.Errorf("Dropped() = %d, want 3", tl.Dropped())
+	}
+}
+
+func TestZeroLengthSpansAreLegalInstants(t *testing.T) {
+	tl := New(2)
+	tl.Span(0, 10, 10, sched.TraceWork) // instantaneous event
+	tl.Span(1, 25, 25, sched.TraceIdle)
+	if tl.Spans() != 2 {
+		t.Fatalf("zero-length spans not recorded: %d", tl.Spans())
+	}
+	if tl.Dropped() != 0 {
+		t.Errorf("zero-length spans counted as dropped: %d", tl.Dropped())
+	}
+	// Instants carry no cycles but do advance the timeline's end.
+	if work, book, idle := tl.Totals(-1); work != 0 || book != 0 || idle != 0 {
+		t.Errorf("instants contributed cycles: (%d,%d,%d)", work, book, idle)
+	}
+	if tl.End() != 25 {
+		t.Errorf("End() = %d, want 25", tl.End())
+	}
+	// Rendering stays well-formed (no panic, one row per worker) even
+	// when instants land at bucket boundaries.
+	tl.Span(0, 0, 100, sched.TraceWork)
+	if out := tl.Render(10); !strings.Contains(out, "w0") || !strings.Contains(out, "w1") {
+		t.Errorf("render malformed:\n%s", out)
 	}
 }
 

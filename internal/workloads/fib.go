@@ -1,0 +1,89 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Fib is the classic Cilk fib benchmark: the doubly recursive Fibonacci
+// computation, the canonical spawn-overhead stress test. Its dag is a pure
+// binary spawn tree with no memory footprint at all — every strand is
+// spawn bookkeeping plus a little arithmetic — so it isolates the
+// scheduler's per-spawn and per-steal costs from the memory system.
+//
+// Like matmul and strassen, fib takes no locality hints on either
+// platform: there is no data to co-locate with, so the aware flag is
+// dropped.
+type Fib struct {
+	n, base int
+	result  uint64
+}
+
+// NewFib builds a fib(n) computation that spawns recursively down to
+// fib(base), below which it computes serially. Config is accepted for
+// suite uniformity; fib has no inputs to seed and no placement to choose.
+func NewFib(n, base int, _ Config) *Fib {
+	if base < 2 {
+		base = 2
+	}
+	if n < 0 {
+		n = 0
+	}
+	return &Fib{n: n, base: base}
+}
+
+// Name implements Workload.
+func (f *Fib) Name() string { return "fib" }
+
+// Prepare implements Workload: fib allocates nothing.
+func (f *Fib) Prepare(*core.Runtime) {}
+
+// Root implements Workload.
+func (f *Fib) Root() core.Task {
+	return func(ctx core.Context) {
+		f.result = fibRec(ctx, f.n, f.base)
+	}
+}
+
+// fibRec is the Cilk fib recursion: spawn fib(n-1), call fib(n-2), sync,
+// add. Below base the subtree runs serially.
+func fibRec(ctx core.Context, n, base int) uint64 {
+	if n < base {
+		return fibLeaf(ctx, n)
+	}
+	var a, b uint64
+	ctx.Spawn(func(c core.Context) { a = fibRec(c, n-1, base) })
+	ctx.Call(func(c core.Context) { b = fibRec(c, n-2, base) })
+	ctx.Sync()
+	ctx.Compute(4) // the two returns and the add
+	return a + b
+}
+
+// fibLeaf is the serial base case. The value is computed iteratively (so
+// the host cost stays linear) while the strand is charged what the serial
+// doubly recursive fib(n) would cost: one visit per call-tree node, and the
+// recursive serial fib(n) makes 2*fib(n+1)-1 calls.
+func fibLeaf(ctx core.Context, n int) uint64 {
+	calls := 2*fibValue(n+1) - 1
+	ctx.Compute(int64(calls) * 3)
+	return fibValue(n)
+}
+
+// fibValue is the iterative reference (exact in uint64 for n <= 93).
+func fibValue(n int) uint64 {
+	var a, b uint64 = 0, 1
+	for i := 0; i < n; i++ {
+		a, b = b, a+b
+	}
+	return a
+}
+
+// Verify implements Workload: the spawned recursion must agree with the
+// iterative serial reference.
+func (f *Fib) Verify() error {
+	if want := fibValue(f.n); f.result != want {
+		return fmt.Errorf("fib: fib(%d) = %d, want %d", f.n, f.result, want)
+	}
+	return nil
+}

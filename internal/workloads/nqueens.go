@@ -1,0 +1,134 @@
+package workloads
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/core"
+)
+
+// NQueens is the classic Cilk nqueens benchmark: count every placement of
+// n non-attacking queens on an n x n board by backtracking search. The
+// parallel dag is highly irregular — each branch point has a
+// data-dependent number of children and subtree sizes vary by orders of
+// magnitude — which exercises the scheduler's load balancing in a way the
+// regular divide-and-conquer benchmarks do not.
+//
+// Like fib, nqueens carries no data arrays, so it is hint-free on both
+// platforms: the aware flag is dropped.
+type NQueens struct {
+	n     int
+	depth int // spawn per row down to this depth, then search serially
+	count int64
+}
+
+// NewNQueens builds an n-queens counting search that spawns a task per
+// viable queen placement for the first depth rows. Config is accepted for
+// suite uniformity; the search has no inputs to seed.
+func NewNQueens(n, depth int, _ Config) *NQueens {
+	if n < 1 {
+		n = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	if depth > n {
+		depth = n
+	}
+	return &NQueens{n: n, depth: depth}
+}
+
+// Name implements Workload.
+func (q *NQueens) Name() string { return "nqueens" }
+
+// Prepare implements Workload: the board state is three bitmasks passed
+// down the recursion; nothing is allocated.
+func (q *NQueens) Prepare(*core.Runtime) {}
+
+// Root implements Workload.
+func (q *NQueens) Root() core.Task {
+	return func(ctx core.Context) {
+		q.count = q.search(ctx, 0, 0, 0, 0)
+	}
+}
+
+// search counts completions from a partial placement: row queens placed,
+// cols/diag1/diag2 the attacked sets as bitmasks. Above the spawn depth
+// each viable column spawns a child counting into its own slot (no shared
+// state, so the same code is race-free under real parallelism); below it
+// the search runs serially, charging one cycle-triple per visited node.
+func (q *NQueens) search(ctx core.Context, row int, cols, d1, d2 uint32) int64 {
+	if row == q.n {
+		return 1
+	}
+	if row >= q.depth {
+		nodes := int64(0)
+		total := q.serial(row, cols, d1, d2, &nodes)
+		// Eight cycles per visited node: the candidate-mask arithmetic,
+		// the branch, and the call overhead of the serial recursion.
+		ctx.Compute(nodes * 8)
+		return total
+	}
+	free := ^(cols | d1 | d2) & (1<<uint(q.n) - 1)
+	// One slot per candidate column: children write disjoint slots and the
+	// parent sums after the sync, keeping the count deterministic.
+	counts := make([]int64, q.n)
+	spawned := 0
+	for f := free; f != 0; f &= f - 1 {
+		bit := f & -f
+		col := bits.TrailingZeros32(bit)
+		ncols, nd1, nd2 := cols|bit, (d1|bit)<<1&(1<<uint(q.n)-1), (d2|bit)>>1
+		slot := &counts[col]
+		last := f == bit // final candidate runs in place, Cilk style
+		body := func(c core.Context) { *slot = q.search(c, row+1, ncols, nd1, nd2) }
+		if last {
+			ctx.Call(body)
+		} else {
+			ctx.Spawn(body)
+		}
+		spawned++
+	}
+	ctx.Sync()
+	ctx.Compute(int64(spawned) * 4)
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// serial is the sequential backtracking base case, counting visited nodes
+// so the caller can charge the strand.
+func (q *NQueens) serial(row int, cols, d1, d2 uint32, nodes *int64) int64 {
+	*nodes++
+	if row == q.n {
+		return 1
+	}
+	var total int64
+	mask := uint32(1<<uint(q.n) - 1)
+	for f := ^(cols | d1 | d2) & mask; f != 0; f &= f - 1 {
+		bit := f & -f
+		total += q.serial(row+1, cols|bit, (d1|bit)<<1&mask, (d2|bit)>>1, nodes)
+	}
+	return total
+}
+
+// Verify implements Workload: recount serially (an independent walk of the
+// same search space) and, for board sizes with published solution counts,
+// cross-check against the known value.
+func (q *NQueens) Verify() error {
+	var nodes int64
+	want := q.serial(0, 0, 0, 0, &nodes)
+	if q.count != want {
+		return fmt.Errorf("nqueens: counted %d solutions for n=%d, serial recount says %d", q.count, q.n, want)
+	}
+	// Known counts (OEIS A000170) for the sizes the suite uses.
+	known := map[int]int64{
+		4: 2, 5: 10, 6: 4, 7: 40, 8: 92, 9: 352, 10: 724,
+		11: 2680, 12: 14200, 13: 73712,
+	}
+	if k, ok := known[q.n]; ok && q.count != k {
+		return fmt.Errorf("nqueens: counted %d solutions for n=%d, the published count is %d", q.count, q.n, k)
+	}
+	return nil
+}

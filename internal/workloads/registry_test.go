@@ -1,0 +1,151 @@
+package workloads
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// suiteNames is the in-tree suite: the paper's nine plus the five
+// Cilk-suite additions, in registry (sorted) order.
+var suiteNames = []string{
+	"cg", "cilksort", "fft", "fib", "heat", "hull1", "hull2", "lu",
+	"matmul", "matmul-z", "nqueens", "rectmul", "strassen", "strassen-z",
+}
+
+func TestNamesSortedAndStable(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+	if len(names) != len(suiteNames) {
+		t.Fatalf("%d registered benchmarks, want %d: %v", len(names), len(suiteNames), names)
+	}
+	for i, want := range suiteNames {
+		if names[i] != want {
+			t.Errorf("Names()[%d] = %q, want %q", i, names[i], want)
+		}
+	}
+	// Stable across calls.
+	again := Names()
+	for i := range names {
+		if names[i] != again[i] {
+			t.Fatalf("Names() changed between calls: %v vs %v", names, again)
+		}
+	}
+}
+
+func TestLookupUnknownNameErrors(t *testing.T) {
+	_, err := Lookup("bogus")
+	if err == nil {
+		t.Fatal("Lookup of an unknown benchmark succeeded")
+	}
+	// The error is a usable usage error: it names the offender and lists
+	// what is registered.
+	for _, want := range []string{`"bogus"`, "cilksort", "fib"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("Lookup error missing %q: %v", want, err)
+		}
+	}
+}
+
+func TestDuplicateRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register("cilksort", func(Scale) Spec { return Spec{Name: "cilksort"} })
+}
+
+func TestRegisterRejectsBadEntries(t *testing.T) {
+	if err := TryRegister("", func(Scale) Spec { return Spec{} }); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := TryRegister("nilbuilder", nil); err == nil {
+		t.Error("nil builder accepted")
+		Unregister("nilbuilder")
+	}
+	if err := TryRegister("cilksort", func(Scale) Spec { return Spec{Name: "cilksort"} }); err == nil ||
+		!strings.Contains(err.Error(), "already registered") {
+		t.Errorf("duplicate TryRegister err = %v, want already-registered", err)
+	}
+}
+
+func TestRegisterLookupRoundTrip(t *testing.T) {
+	name := "registry-roundtrip-test"
+	Register(name, func(s Scale) Spec {
+		return Spec{
+			Name:  name,
+			Input: "tiny",
+			Make:  func(bool) Workload { return NewFib(10, 4, Config{}) },
+		}
+	})
+	defer Unregister(name)
+	b, err := Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := b(ScaleSmall)
+	if sp.Name != name || sp.Input != "tiny" {
+		t.Errorf("round-tripped spec = %+v", sp)
+	}
+	found := false
+	for _, s := range Specs(ScaleSmall) {
+		if s.Name == name {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("registered benchmark missing from Specs")
+	}
+	if !Unregister(name) {
+		t.Error("Unregister of a registered name reported false")
+	}
+	if Unregister(name) {
+		t.Error("second Unregister reported true")
+	}
+	if _, err := Lookup(name); err == nil {
+		t.Error("Lookup after Unregister succeeded")
+	}
+}
+
+// TestSpecsBuildsRegisteredSuiteInNameOrder pins the canonical measurement
+// order: Specs returns one spec per registered name, sorted, with each
+// spec named for its registry key and a working Make.
+func TestSpecsBuildsRegisteredSuiteInNameOrder(t *testing.T) {
+	for _, scale := range []Scale{ScaleSmall, ScaleFull} {
+		specs := Specs(scale)
+		if len(specs) != len(suiteNames) {
+			t.Fatalf("scale %d: %d specs, want %d", scale, len(specs), len(suiteNames))
+		}
+		for i, sp := range specs {
+			if sp.Name != suiteNames[i] {
+				t.Errorf("scale %d: Specs[%d] = %q, want %q", scale, i, sp.Name, suiteNames[i])
+			}
+			if sp.Input == "" {
+				t.Errorf("%s: empty Input", sp.Name)
+			}
+			if sp.Make == nil {
+				t.Errorf("%s: nil Make", sp.Name)
+			}
+		}
+	}
+}
+
+// TestMisnamedBuilderPanicsInSpecs pins the registry contract that a
+// Builder's Spec.Name must equal its registry key — a mismatch would make
+// measurements unattributable, so Specs fails loudly.
+func TestMisnamedBuilderPanicsInSpecs(t *testing.T) {
+	name := "misnamed-builder-test"
+	Register(name, func(Scale) Spec {
+		return Spec{Name: "something-else", Make: func(bool) Workload { return NewFib(4, 2, Config{}) }}
+	})
+	defer Unregister(name)
+	defer func() {
+		if recover() == nil {
+			t.Error("Specs with a misnamed builder did not panic")
+		}
+	}()
+	Specs(ScaleSmall)
+}

@@ -1,0 +1,98 @@
+package workloads
+
+// Five DAG-diverse additions from the classic Cilk benchmark suite,
+// registered alongside the paper's nine: fib (pure spawn tree), nqueens
+// (irregular data-dependent search), fft (phase-changing banded passes),
+// lu (shrinking-frontier elimination) and rectmul (shape-dependent
+// fan-out). fft and lu take the full aware-vs-baseline placement
+// treatment (partitioned bands plus hints); fib, nqueens and rectmul are
+// hint-free like matmul and strassen — fib and nqueens carry no data at
+// all, and rectmul follows the paper's matmul protocol.
+
+import "fmt"
+
+// cilkDims is one scale's input configuration for the Cilk-suite
+// additions.
+type cilkDims struct {
+	fibN, fibBase         int
+	nqN, nqDepth          int
+	fftN, fftBands        int
+	luN, luBase           int
+	rmM, rmP, rmN, rmBase int
+}
+
+func cilkDimsOf(s Scale) cilkDims {
+	if s == ScaleSmall {
+		return cilkDims{
+			fibN: 27, fibBase: 12,
+			nqN: 10, nqDepth: 3,
+			fftN: 1 << 12, fftBands: 16,
+			luN: 128, luBase: 16,
+			rmM: 96, rmP: 64, rmN: 128, rmBase: 16,
+		}
+	}
+	return cilkDims{
+		fibN: 35, fibBase: 14,
+		nqN: 13, nqDepth: 4,
+		fftN: 1 << 18, fftBands: 128,
+		luN: 512, luBase: 32,
+		rmM: 512, rmP: 256, rmN: 384, rmBase: 32,
+	}
+}
+
+func init() {
+	Register("fib", func(s Scale) Spec {
+		d := cilkDimsOf(s)
+		return Spec{
+			Name: "fib", Input: fmt.Sprintf("%d/%d", d.fibN, d.fibBase),
+			// fib has no data: hint-free on both platforms, aware dropped.
+			Make: func(bool) Workload {
+				return NewFib(d.fibN, d.fibBase, paperCfg(false))
+			},
+			InFig3: true, Fig9Name: "fib",
+		}
+	})
+	Register("nqueens", func(s Scale) Spec {
+		d := cilkDimsOf(s)
+		return Spec{
+			Name: "nqueens", Input: fmt.Sprintf("%d/depth=%d", d.nqN, d.nqDepth),
+			// nqueens has no data either: aware dropped.
+			Make: func(bool) Workload {
+				return NewNQueens(d.nqN, d.nqDepth, paperCfg(false))
+			},
+			InFig3: true, Fig9Name: "nqueens",
+		}
+	})
+	Register("fft", func(s Scale) Spec {
+		d := cilkDimsOf(s)
+		return Spec{
+			Name: "fft", Input: fmt.Sprintf("%d/%d bands", d.fftN, d.fftBands),
+			Make: func(aware bool) Workload {
+				return NewFFT(d.fftN, d.fftBands, paperCfg(aware))
+			},
+			InFig3: true, Fig9Name: "fft",
+		}
+	})
+	Register("lu", func(s Scale) Spec {
+		d := cilkDimsOf(s)
+		return Spec{
+			Name: "lu", Input: fmt.Sprintf("%dx%d/%d", d.luN, d.luN, d.luBase),
+			Make: func(aware bool) Workload {
+				return NewLU(d.luN, d.luBase, paperCfg(aware))
+			},
+			InFig3: true, Fig9Name: "lu",
+		}
+	})
+	Register("rectmul", func(s Scale) Spec {
+		d := cilkDimsOf(s)
+		return Spec{
+			Name: "rectmul", Input: fmt.Sprintf("%dx%dx%d/%d", d.rmM, d.rmP, d.rmN, d.rmBase),
+			// rectmul follows matmul's protocol: no hints on either
+			// platform, aware dropped.
+			Make: func(bool) Workload {
+				return NewRectmul(d.rmM, d.rmP, d.rmN, d.rmBase, paperCfg(false))
+			},
+			InFig3: true, Fig9Name: "rectmul",
+		}
+	})
+}

@@ -1,7 +1,14 @@
-// Package workloads implements the paper's seven evaluation benchmarks —
-// cg, cilksort, heat, hull (two inputs), matmul, strassen, plus the
-// blocked-Z-Morton variants matmul-z and strassen-z — against the platform's
-// Context API.
+// Package workloads implements the evaluation benchmarks and the
+// name-keyed registry that makes the suite an open experiment axis.
+//
+// The in-tree suite is the paper's nine configurations — cg, cilksort,
+// heat, hull (two inputs), matmul, strassen, plus the blocked-Z-Morton
+// variants matmul-z and strassen-z — and five DAG-diverse additions from
+// the classic Cilk suite: fib, nqueens, fft, lu and rectmul. All register
+// at init (suite.go, suite_cilk.go); the harness, the public facade and
+// the CLI derive their suites from the registry (Register/Lookup/Names/
+// Specs), and pkg/numaws.RegisterBenchmark opens registration to
+// embedding programs.
 //
 // Each benchmark performs the real computation on real Go slices (so results
 // are verifiable against independent serial references) while annotating its
@@ -10,7 +17,8 @@
 // the baseline (what the paper runs on Cilk Plus: best-of first-touch or
 // interleave allocation, no hints) and the NUMA-aware configuration
 // (partitioned allocation plus locality hints, what the paper runs on
-// NUMA-WS).
+// NUMA-WS). Benchmarks with no data to place (fib, nqueens) or that the
+// paper runs unhinted (matmul, strassen, rectmul) drop the aware flag.
 package workloads
 
 import (

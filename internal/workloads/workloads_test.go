@@ -23,6 +23,11 @@ func factories(aware bool) map[string]func() Workload {
 		"strassen-z": func() Workload {
 			return NewStrassen(64, 16, true, cfg)
 		},
+		"fib":     func() Workload { return NewFib(20, 8, cfg) },
+		"nqueens": func() Workload { return NewNQueens(8, 2, cfg) },
+		"fft":     func() Workload { return NewFFT(1<<10, 8, cfg) },
+		"lu":      func() Workload { return NewLU(64, 16, cfg) },
+		"rectmul": func() Workload { return NewRectmul(48, 32, 64, 16, cfg) },
 	}
 }
 
@@ -228,6 +233,7 @@ func TestWorkloadNames(t *testing.T) {
 		"cilksort": true, "heat": true, "cg": true, "hull1": true,
 		"hull2": true, "matmul": true, "matmul-z": true,
 		"strassen": true, "strassen-z": true,
+		"fib": true, "nqueens": true, "fft": true, "lu": true, "rectmul": true,
 	}
 	for key, mk := range factories(false) {
 		if !want[mk().Name()] {

@@ -1,0 +1,8 @@
+package numaws
+
+import "repro/internal/workloads"
+
+// UnregisterBenchmarkForTest removes a benchmark registered during a test
+// so registrations do not leak between tests. Compiled into test binaries
+// only; production registrations are permanent (see RegisterBenchmark).
+func UnregisterBenchmarkForTest(name string) { workloads.Unregister(name) }

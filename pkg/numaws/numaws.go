@@ -51,6 +51,28 @@ const (
 	ScaleSmall
 )
 
+// The facade's Scale and the engine's have inverted zero values (the
+// facade defaults to ScaleFull, the engine to ScaleSmall), so every
+// boundary crossing must convert through this one helper pair — a
+// re-derived ad-hoc conversion that forgets the inversion would silently
+// run full-scale inputs where small was asked, or vice versa.
+
+// engineScale converts a facade Scale for the harness/workloads layer.
+func engineScale(s Scale) harness.Scale {
+	if s == ScaleSmall {
+		return harness.ScaleSmall
+	}
+	return harness.ScaleFull
+}
+
+// facadeScale converts an engine scale to the facade's.
+func facadeScale(hs harness.Scale) Scale {
+	if hs == harness.ScaleSmall {
+		return ScaleSmall
+	}
+	return ScaleFull
+}
+
 // config collects the option values; New validates it as a whole.
 type config struct {
 	topology string
@@ -178,7 +200,10 @@ func WithVerify(v bool) Option {
 }
 
 // WithBenchmarks restricts the session to the named benchmarks (in the
-// given order) instead of the paper's full set. New rejects unknown names.
+// given order) instead of the full registered suite — the paper's nine,
+// the Cilk-suite additions, and anything added through RegisterBenchmark
+// before the session was built. New rejects unknown names with an error
+// listing the available ones.
 func WithBenchmarks(names ...string) Option {
 	return option(func(c *config) error {
 		if len(names) == 0 {
@@ -193,7 +218,9 @@ func WithBenchmarks(names ...string) Option {
 // scheduling policy, one benchmark suite. Sessions are immutable after New
 // and safe for concurrent use; every method that simulates takes a
 // context.Context and honors its cancellation at per-simulation
-// granularity.
+// granularity. The suite is captured at New: benchmarks registered later
+// (RegisterBenchmark) appear in sessions built afterwards, never in
+// existing ones.
 type Session struct {
 	top    *topology.Topology
 	policy sched.Policy
@@ -237,11 +264,7 @@ func New(opts ...Option) (*Session, error) {
 		return nil, fmt.Errorf("numaws: %d workers out of range [1,%d] for topology %s",
 			c.workers, top.Cores(), c.topology)
 	}
-	scale := harness.ScaleFull
-	if c.scale == ScaleSmall {
-		scale = harness.ScaleSmall
-	}
-	all := harness.Specs(scale)
+	all := harness.Specs(engineScale(c.scale))
 	specs := all
 	if len(c.benches) > 0 {
 		specs, err = selectSpecs(all, c.benches)
@@ -329,7 +352,9 @@ type Benchmark struct {
 	Curve string
 }
 
-// Benchmarks lists the session's benchmark suite in measurement order.
+// Benchmarks lists the session's benchmark suite in measurement order:
+// the registered suite in name order, or the WithBenchmarks selection in
+// its given order.
 func (s *Session) Benchmarks() []Benchmark {
 	out := make([]Benchmark, len(s.specs))
 	for i, sp := range s.specs {

@@ -61,9 +61,12 @@ func TestSessionDescribesItsConfiguration(t *testing.T) {
 	if got := small(t, numaws.WithTopology("8x16")).Workers(); got != 128 {
 		t.Errorf("default workers on 8x16 = %d, want 128", got)
 	}
+	// The default suite is the registered one: the paper's nine plus the
+	// five Cilk-suite additions. (Tests registering their own benchmarks
+	// unregister on cleanup, so the count is stable.)
 	benches := small(t).Benchmarks()
-	if len(benches) != 9 {
-		t.Fatalf("%d benchmarks, want 9", len(benches))
+	if len(benches) != 14 {
+		t.Fatalf("%d benchmarks, want 14", len(benches))
 	}
 	sub := small(t, numaws.WithBenchmarks("heat", "cg")).Benchmarks()
 	if len(sub) != 2 || sub[0].Name != "heat" || sub[1].Name != "cg" {
@@ -194,7 +197,7 @@ func TestMeasureAllMidRunCancellation(t *testing.T) {
 	if rows != nil {
 		t.Errorf("cancelled Each returned aggregated rows: %+v", rows)
 	}
-	// The grid is 9 specs x 7 runs = 63 simulations; cancelling after 3
+	// The grid is 14 specs x 7 runs = 98 simulations; cancelling after 3
 	// must stop the sweep long before it completes.
 	mu.Lock()
 	got := len(partial)

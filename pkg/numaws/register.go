@@ -1,0 +1,119 @@
+package numaws
+
+// The benchmark registration hook: embedders add their own benchmarks to
+// the global registry and they flow through every session surface —
+// WithBenchmarks, Measure/MeasureAll/Each, Scalability, Sweep, DAGs, the
+// renderers and the exporters — exactly like the built-in suite. The hook
+// is expressed entirely in facade types (Task/Context, Scale): a user
+// benchmark describes its computation against the simulated machine's
+// Context and never sees an engine type, the same layering contract as
+// RunTask.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// BenchmarkRun is one prepared, single-use instance of a registered
+// benchmark: the timed computation plus an optional result check.
+type BenchmarkRun struct {
+	// Root is the timed computation; it must be non-nil (a Make that
+	// returns a nil Root panics at workload construction, with the
+	// benchmark named). It must also be deterministic: the registry
+	// contract is that the same (scale, aware) instance replays the same
+	// dag, so measurements are attributable and seed-reproducible.
+	Root Task
+	// Verify, if non-nil, checks the computed result after the run
+	// against a serial reference (run with WithVerify(true), the
+	// default). Returning an error fails the measurement.
+	Verify func() error
+}
+
+// BenchmarkDef describes a user benchmark for RegisterBenchmark.
+type BenchmarkDef struct {
+	// Name is the registry key and table name. It must be non-empty and
+	// not collide with a registered benchmark (the built-in suite
+	// included).
+	Name string
+	// Input, if non-nil, describes the input at each scale — the
+	// "input size / base case" column of the tables.
+	Input func(scale Scale) string
+	// Fig3 includes the benchmark in the Fig. 3 normalized-time plot.
+	Fig3 bool
+	// Curve, if non-empty, is the benchmark's series name in the Fig. 9
+	// scalability protocol (Session.Scalability and the sweeps' default
+	// set). Conventionally the benchmark's own name.
+	Curve string
+	// Make builds a fresh single-use instance: scale selects input sizes
+	// and aware selects the NUMA-aware configuration (locality hints via
+	// Context.SpawnAt/SetPlace — hint-free benchmarks simply ignore it).
+	// Make is called once per simulation; instances must not share
+	// mutable state.
+	Make func(scale Scale, aware bool) BenchmarkRun
+}
+
+// RegisterBenchmark adds a benchmark to the global registry under
+// def.Name. Registered benchmarks join the suite of every Session built
+// afterwards (sessions already built are immutable) and are selectable by
+// name everywhere built-in benchmarks are: WithBenchmarks, the
+// measurement methods, and the numaws CLI's -bench flag. Registration is
+// permanent for the process: names cannot be reused or replaced, so every
+// measurement stays attributable to a stable name.
+func RegisterBenchmark(def BenchmarkDef) error {
+	if def.Name == "" {
+		return fmt.Errorf("numaws: RegisterBenchmark: empty benchmark name")
+	}
+	if def.Make == nil {
+		return fmt.Errorf("numaws: RegisterBenchmark: benchmark %q has a nil Make", def.Name)
+	}
+	mk, input, fig3, curve := def.Make, def.Input, def.Fig3, def.Curve
+	name := def.Name
+	err := workloads.TryRegister(name, func(ws workloads.Scale) workloads.Spec {
+		scale := facadeScale(ws)
+		in := ""
+		if input != nil {
+			in = input(scale)
+		}
+		return workloads.Spec{
+			Name:  name,
+			Input: in,
+			Make: func(aware bool) workloads.Workload {
+				run := mk(scale, aware)
+				if run.Root == nil {
+					// Make runs per simulation, long after RegisterBenchmark
+					// could have reported an error; failing here with an
+					// attributable message beats the alternative — a nil
+					// task dereference deep inside the simulator.
+					panic(fmt.Sprintf("numaws: benchmark %q: Make returned a BenchmarkRun with nil Root", name))
+				}
+				return &userWorkload{name: name, run: run}
+			},
+			InFig3:   fig3,
+			Fig9Name: curve,
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("numaws: %w", err)
+	}
+	return nil
+}
+
+// userWorkload adapts a facade BenchmarkRun to the engine's workload
+// interface. User computations express everything through the facade
+// Context, so there is nothing to prepare on the runtime.
+type userWorkload struct {
+	name string
+	run  BenchmarkRun
+}
+
+func (u *userWorkload) Name() string          { return u.name }
+func (u *userWorkload) Prepare(*core.Runtime) {}
+func (u *userWorkload) Root() core.Task       { return adapt(u.run.Root) }
+func (u *userWorkload) Verify() error {
+	if u.run.Verify == nil {
+		return nil
+	}
+	return u.run.Verify()
+}

@@ -1,0 +1,176 @@
+package numaws_test
+
+// End-to-end test of the registration hook: a benchmark registered
+// through the public facade must flow through session construction,
+// WithBenchmarks, the measurement protocol, the renderers and the
+// exporters exactly like a built-in benchmark — without the test ever
+// importing an internal package.
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/pkg/numaws"
+)
+
+// spinTask burns n charged cycles as a binary spawn tree and counts leaf
+// executions so verification has something real to check.
+func spinTask(n int64, grain int64, leaves *atomic.Int64) numaws.Task {
+	return func(ctx numaws.Context) {
+		if n <= grain {
+			ctx.Compute(n)
+			leaves.Add(1)
+			return
+		}
+		half := n / 2
+		ctx.Spawn(spinTask(half, grain, leaves))
+		ctx.Call(spinTask(n-half, grain, leaves))
+		ctx.Sync()
+	}
+}
+
+func TestRegisterBenchmarkFlowsEndToEnd(t *testing.T) {
+	const name = "userbench-e2e"
+	defer numaws.UnregisterBenchmarkForTest(name)
+	// Make runs on pool-worker goroutines (one per simulation of the
+	// grid), so observations must be atomic.
+	var sawScale atomic.Int64
+	sawScale.Store(-1)
+	err := numaws.RegisterBenchmark(numaws.BenchmarkDef{
+		Name:  name,
+		Input: func(s numaws.Scale) string { return "spin/64" },
+		Fig3:  true,
+		Curve: name,
+		Make: func(scale numaws.Scale, aware bool) numaws.BenchmarkRun {
+			sawScale.Store(int64(scale))
+			var leaves atomic.Int64
+			total := int64(1 << 16)
+			return numaws.BenchmarkRun{
+				Root: spinTask(total, 64, &leaves),
+				Verify: func() error {
+					if leaves.Load() == 0 {
+						return errors.New("user benchmark executed no leaves")
+					}
+					return nil
+				},
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The registered name joins new sessions' default suites and resolves
+	// through WithBenchmarks.
+	s, err := numaws.New(
+		numaws.WithScale(numaws.ScaleSmall),
+		numaws.WithWorkers(8),
+		numaws.WithBenchmarks("cilksort", name),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	benches := s.Benchmarks()
+	if len(benches) != 2 || benches[1].Name != name {
+		t.Fatalf("session suite = %+v", benches)
+	}
+	if benches[1].Input != "spin/64" || !benches[1].Fig3 || benches[1].Curve != name {
+		t.Errorf("registered metadata lost: %+v", benches[1])
+	}
+
+	// The full comparison protocol runs it like any built-in benchmark.
+	rows, err := s.MeasureAll(t.Context(), name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Name != name {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if got := numaws.Scale(sawScale.Load()); got != numaws.ScaleSmall {
+		t.Errorf("Make saw scale %v, want ScaleSmall", got)
+	}
+	row := rows[0]
+	if row.TS <= 0 || row.Cilk.T1 <= 0 || row.NUMAWS.TP <= 0 {
+		t.Errorf("missing measurements: %+v", row)
+	}
+	if row.NUMAWS.Scalability() <= 1 {
+		t.Errorf("no speedup at P=8: %.2f", row.NUMAWS.Scalability())
+	}
+
+	// Renderers and exporters carry it through.
+	if table := numaws.Table7(rows); !strings.Contains(table, name) {
+		t.Errorf("Table7 missing %q:\n%s", name, table)
+	}
+	var b strings.Builder
+	if err := numaws.WriteExport(&b, numaws.Export{Rows: rows}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"`+name+`"`) {
+		t.Errorf("JSON export missing %q:\n%s", name, b.String())
+	}
+	b.Reset()
+	if err := numaws.WriteRowsCSV(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), name) {
+		t.Errorf("CSV export missing %q:\n%s", name, b.String())
+	}
+
+	// The scalability protocol picks up the registered curve.
+	series, err := s.Scalability(t.Context(), []int{1, 4}, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 || series[0].Name != name {
+		t.Errorf("series = %+v", series)
+	}
+}
+
+func TestRegisterBenchmarkValidates(t *testing.T) {
+	if err := numaws.RegisterBenchmark(numaws.BenchmarkDef{}); err == nil {
+		t.Error("empty definition accepted")
+	}
+	if err := numaws.RegisterBenchmark(numaws.BenchmarkDef{Name: "nomake"}); err == nil {
+		t.Error("nil Make accepted")
+		numaws.UnregisterBenchmarkForTest("nomake")
+	}
+	// A Make returning a nil Root fails at workload construction with the
+	// benchmark named, not as a nil dereference inside the simulator.
+	const nilRoot = "nilroot-test"
+	defer numaws.UnregisterBenchmarkForTest(nilRoot)
+	if err := numaws.RegisterBenchmark(numaws.BenchmarkDef{
+		Name: nilRoot,
+		Make: func(numaws.Scale, bool) numaws.BenchmarkRun { return numaws.BenchmarkRun{} },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := numaws.New(numaws.WithScale(numaws.ScaleSmall), numaws.WithBenchmarks(nilRoot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Error("nil Root did not panic at workload construction")
+			} else if msg, ok := r.(string); !ok || !strings.Contains(msg, nilRoot) || !strings.Contains(msg, "nil Root") {
+				t.Errorf("nil-Root panic not attributable: %v", r)
+			}
+		}()
+		s.RunSerial(t.Context(), nilRoot) //nolint:errcheck // panics before returning
+	}()
+
+	// A collision with a built-in benchmark is an error, not a silent
+	// replacement.
+	err = numaws.RegisterBenchmark(numaws.BenchmarkDef{
+		Name: "cilksort",
+		Make: func(numaws.Scale, bool) numaws.BenchmarkRun {
+			return numaws.BenchmarkRun{Root: func(ctx numaws.Context) { ctx.Compute(1) }}
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Errorf("collision err = %v, want already-registered", err)
+	}
+}
