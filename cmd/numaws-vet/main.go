@@ -1,0 +1,25 @@
+// Command numaws-vet is the repro module's static-analysis suite: five
+// repo-specific analyzers that hold the simulator to the invariants
+// DESIGN.md promises in prose — determinism (no wall clock, no global
+// rand, no unordered map iteration in simulation packages), alloc-free
+// hot paths, a facade whose exported surface names no internal type,
+// context-first plumbing, and init-time-only registry population.
+//
+// Build it once, then run it through go vet:
+//
+//	go build -o numaws-vet ./cmd/numaws-vet
+//	go vet -vettool=$(pwd)/numaws-vet ./...
+//
+// CI runs exactly that in the lint step. The same suite also runs
+// in-process as a regular test (internal/lint's selfcheck), so `go test
+// ./...` catches violations without the extra build.
+package main
+
+import (
+	"repro/internal/lint"
+	"repro/internal/lint/unit"
+)
+
+func main() {
+	unit.Main(lint.Analyzers()...)
+}

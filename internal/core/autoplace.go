@@ -36,6 +36,7 @@ func AutoPlace(ctx Context, r *memory.Region, off, n int64) int {
 	}
 	counts[r.HomeOf(last)] += 0 // ensure the final page is represented
 	bestSocket, bestCount := memory.SocketUnbound, 0
+	//numaws:nondet-ok max-reduction with a total-order tie-break (higher count, then higher socket id) visits every entry; the winner is independent of range order
 	for s, c := range counts {
 		if c > bestCount || (c == bestCount && s > bestSocket) {
 			bestSocket, bestCount = s, c

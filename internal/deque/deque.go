@@ -46,6 +46,8 @@ func New[T any](capacity int) *Deque[T] {
 
 // PushTail adds x at the tail. Owner-only. It panics if the deque is full
 // (spawn depth exceeded capacity).
+//
+//numaws:alloc-free
 func (d *Deque[T]) PushTail(x T) {
 	t := d.tail.Load()
 	if int(t) == len(d.tasks) {
@@ -70,6 +72,8 @@ func (d *Deque[T]) PushTail(x T) {
 // PopTail removes and returns the item at the tail. Owner-only. The fast
 // path takes no lock; the owner locks only when it races a thief for the
 // final item, per the THE protocol.
+//
+//numaws:alloc-free
 func (d *Deque[T]) PopTail() (T, bool) {
 	t := d.tail.Load() - 1
 	d.tail.Store(t)
@@ -96,6 +100,8 @@ func (d *Deque[T]) PopTail() (T, bool) {
 
 // StealHead removes and returns the item at the head. Thief side: always
 // locks.
+//
+//numaws:alloc-free
 func (d *Deque[T]) StealHead() (T, bool) {
 	d.lock.Lock()
 	defer d.lock.Unlock()
@@ -112,6 +118,8 @@ func (d *Deque[T]) StealHead() (T, bool) {
 
 // PeekHead returns the head item without removing it, for diagnostics and
 // the simulator's deterministic inspection. It takes the lock.
+//
+//numaws:alloc-free
 func (d *Deque[T]) PeekHead() (T, bool) {
 	d.lock.Lock()
 	defer d.lock.Unlock()
@@ -124,6 +132,8 @@ func (d *Deque[T]) PeekHead() (T, bool) {
 
 // Len reports the current number of items. Racy under concurrency; exact
 // when used single-threaded (as in the simulator).
+//
+//numaws:alloc-free
 func (d *Deque[T]) Len() int {
 	n := int(d.tail.Load() - d.head.Load())
 	if n < 0 {
@@ -133,4 +143,6 @@ func (d *Deque[T]) Len() int {
 }
 
 // Empty reports whether the deque has no items (same caveat as Len).
+//
+//numaws:alloc-free
 func (d *Deque[T]) Empty() bool { return d.Len() == 0 }

@@ -47,7 +47,6 @@ type job struct {
 // the jobs that ran, or the context's error when cancellation cut the sweep
 // short.
 type Pool struct {
-	ctx     context.Context
 	workers int
 	ch      chan job
 	wg      sync.WaitGroup
@@ -59,7 +58,9 @@ type Pool struct {
 
 // NewPool starts a pool with the given number of workers; counts below one
 // are treated as one. ctx bounds every job not yet started: cancelling it
-// makes the pool skip the rest of the sweep. A nil ctx means Background.
+// makes the pool skip the rest of the sweep. The context is call-scoped —
+// handed to each worker goroutine, never stored — and the same context
+// must flow through Submit and Wait. A nil ctx means Background.
 func NewPool(ctx context.Context, workers int) *Pool {
 	if ctx == nil {
 		ctx = context.Background()
@@ -67,23 +68,23 @@ func NewPool(ctx context.Context, workers int) *Pool {
 	if workers < 1 {
 		workers = 1
 	}
-	p := &Pool{ctx: ctx, workers: workers, errIdx: -1}
+	p := &Pool{workers: workers, errIdx: -1}
 	if workers > 1 {
 		// A small buffer keeps workers fed without letting the submitter
 		// race arbitrarily far ahead of execution.
 		p.ch = make(chan job, 2*workers)
 		for i := 0; i < workers; i++ {
 			p.wg.Add(1)
-			go p.worker()
+			go p.worker(ctx)
 		}
 	}
 	return p
 }
 
-func (p *Pool) worker() {
+func (p *Pool) worker(ctx context.Context) {
 	defer p.wg.Done()
 	for j := range p.ch {
-		if p.skip() {
+		if p.skip(ctx) {
 			continue
 		}
 		if err := j.fn(); err != nil {
@@ -93,9 +94,9 @@ func (p *Pool) worker() {
 }
 
 // skip reports whether jobs not yet started should be dropped: a previous
-// job failed, or the pool's context is done.
-func (p *Pool) skip() bool {
-	if p.ctx.Err() != nil {
+// job failed, or the context is done.
+func (p *Pool) skip(ctx context.Context) bool {
+	if ctx.Err() != nil {
 		return true
 	}
 	p.mu.Lock()
@@ -111,15 +112,20 @@ func (p *Pool) record(idx int, err error) {
 	p.mu.Unlock()
 }
 
-// Submit schedules one job. idx is the job's position in the caller's
+// Submit schedules one job. ctx is the same context the pool was started
+// with (a serial pool consults it inline; a parallel pool's workers hold
+// their own reference). idx is the job's position in the caller's
 // canonical serial order; it determines which error Wait reports when
 // several jobs fail. Submit blocks when all workers are busy and the
 // buffer is full (backpressure; cancellation unblocks it, because workers
 // keep draining the channel); it must not be called after Wait, nor from
 // inside a job.
-func (p *Pool) Submit(idx int, fn func() error) {
+func (p *Pool) Submit(ctx context.Context, idx int, fn func() error) {
 	if p.workers == 1 {
-		if p.skip() {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		if p.skip(ctx) {
 			return
 		}
 		if err := fn(); err != nil {
@@ -136,7 +142,7 @@ func (p *Pool) Submit(idx int, fn func() error) {
 // The pool cannot be reused after Wait. Jobs already running when the
 // context is cancelled run to completion before Wait returns — the pool
 // never abandons a goroutine.
-func (p *Pool) Wait() error {
+func (p *Pool) Wait(ctx context.Context) error {
 	if p.workers > 1 {
 		close(p.ch)
 		p.wg.Wait()
@@ -144,16 +150,22 @@ func (p *Pool) Wait() error {
 	if p.err != nil {
 		return p.err
 	}
-	return p.ctx.Err()
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // ForEach runs fn(0) … fn(n-1) on a pool with the given worker count and
 // returns the lowest-indexed error (or ctx's error on cancellation).
 func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	p := NewPool(ctx, workers)
 	for i := 0; i < n; i++ {
 		i := i
-		p.Submit(i, func() error { return fn(i) })
+		p.Submit(ctx, i, func() error { return fn(i) })
 	}
-	return p.Wait()
+	return p.Wait(ctx)
 }

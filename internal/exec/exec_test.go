@@ -92,11 +92,12 @@ func TestWaitReportsLowestIndexedError(t *testing.T) {
 }
 
 func TestSerialPoolRunsInlineInOrderAndShortCircuits(t *testing.T) {
-	p := NewPool(context.Background(), 1)
+	ctx := context.Background()
+	p := NewPool(ctx, 1)
 	var order []int
 	for i := 0; i < 10; i++ {
 		i := i
-		p.Submit(i, func() error {
+		p.Submit(ctx, i, func() error {
 			order = append(order, i) // inline: no locking needed
 			if i == 4 {
 				return fmt.Errorf("boom at %d", i)
@@ -104,7 +105,7 @@ func TestSerialPoolRunsInlineInOrderAndShortCircuits(t *testing.T) {
 			return nil
 		})
 	}
-	if err := p.Wait(); err == nil || err.Error() != "boom at 4" {
+	if err := p.Wait(ctx); err == nil || err.Error() != "boom at 4" {
 		t.Fatalf("Wait = %v, want boom at 4", err)
 	}
 	want := []int{0, 1, 2, 3, 4}
@@ -120,9 +121,10 @@ func TestSerialPoolRunsInlineInOrderAndShortCircuits(t *testing.T) {
 
 func TestParallelPoolSkipsJobsAfterFailure(t *testing.T) {
 	const n = 256
-	p := NewPool(context.Background(), 4)
+	ctx := context.Background()
+	p := NewPool(ctx, 4)
 	failed := make(chan struct{})
-	p.Submit(0, func() error {
+	p.Submit(ctx, 0, func() error {
 		close(failed)
 		return errors.New("early failure")
 	})
@@ -132,13 +134,13 @@ func TestParallelPoolSkipsJobsAfterFailure(t *testing.T) {
 	time.Sleep(20 * time.Millisecond)
 	var ran atomic.Int32
 	for i := 1; i < n; i++ {
-		p.Submit(i, func() error {
+		p.Submit(ctx, i, func() error {
 			ran.Add(1)
 			time.Sleep(time.Millisecond)
 			return nil
 		})
 	}
-	if err := p.Wait(); err == nil || err.Error() != "early failure" {
+	if err := p.Wait(ctx); err == nil || err.Error() != "early failure" {
 		t.Fatalf("Wait = %v, want early failure", err)
 	}
 	// The skip is an optimization, not a hard contract, so allow a few

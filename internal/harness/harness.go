@@ -274,7 +274,7 @@ func MeasureAll(ctx context.Context, specs []Spec, opt Options) ([]metrics.Row, 
 	for i := range specs {
 		runs[i].submit(ctx, pool, em, &idx, specs[i], opt)
 	}
-	if err := pool.Wait(); err != nil {
+	if err := pool.Wait(ctx); err != nil {
 		return nil, err
 	}
 	rows := make([]metrics.Row, len(specs))

@@ -39,7 +39,7 @@ type specRuns struct {
 // baseline seeds, policy T1, policy seeds).
 func (r *specRuns) submit(ctx context.Context, pool *exec.Pool, em *emitter, idx *int, spec Spec, opt Options) {
 	submit := func(slot **core.Report, meta RunMeta, run func() (*core.Report, error)) {
-		pool.Submit(*idx, func() error {
+		pool.Submit(ctx, *idx, func() error {
 			rep, err := run()
 			if err != nil {
 				return err

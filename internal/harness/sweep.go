@@ -129,7 +129,7 @@ func MeasureTopologies(ctx context.Context, specs []Spec, machines []Machine, op
 					o.Topology = mach.Top
 					o.P = p
 					o.Seed = opt.Seed + int64(sd)
-					pool.Submit(idx, func() error {
+					pool.Submit(ctx, idx, func() error {
 						rep, err := RunOne(ctx, spec, o.Policy, o)
 						if err != nil {
 							return err
@@ -144,7 +144,7 @@ func MeasureTopologies(ctx context.Context, specs []Spec, machines []Machine, op
 			}
 		}
 	}
-	if err := pool.Wait(); err != nil {
+	if err := pool.Wait(ctx); err != nil {
 		return nil, err
 	}
 	out := make([]metrics.Sweep, 0, len(machines)*len(specs))

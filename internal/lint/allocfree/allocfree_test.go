@@ -1,0 +1,16 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/allocfree"
+	"repro/internal/lint/lintest"
+)
+
+func TestAllocFree(t *testing.T) {
+	lintest.Run(t, "testdata", allocfree.Analyzer,
+		"repro/internal/allocfix", // construct-by-construct annotation checks
+		"repro/internal/sim",      // coverage: hot-path function lacking the annotation
+		"repro/internal/deque",    // coverage: hot-path function missing outright
+	)
+}

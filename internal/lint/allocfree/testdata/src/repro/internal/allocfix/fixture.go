@@ -1,0 +1,185 @@
+// Package allocfix exercises the allocfree checker construct by
+// construct: every heap-allocating shape it promises to flag, every
+// exemption it promises to honor.
+package allocfix
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+type counter struct {
+	mu  sync.Mutex
+	n   int
+	buf []int
+}
+
+// helper is annotated and clean: legal callee for other annotated code.
+//
+//numaws:alloc-free
+func helper(x int) int { return x * 2 }
+
+// notAnnotated is a same-package callee without the annotation.
+func notAnnotated() int { return 1 }
+
+//numaws:alloc-free
+func makes() []int {
+	return make([]int, 4) // want `make allocates`
+}
+
+//numaws:alloc-free
+func news() *counter {
+	return new(counter) // want `new allocates`
+}
+
+//numaws:alloc-free
+func (c *counter) push(v int) {
+	c.buf = append(c.buf, v) // want `append may grow its backing array`
+}
+
+//numaws:alloc-free
+func (c *counter) pushWaived(v int) {
+	c.buf = append(c.buf, v) //numaws:alloc-ok capacity reserved at construction; steady state never grows
+}
+
+//numaws:alloc-free
+func (c *counter) pushLazyWaiver(v int) {
+	//numaws:alloc-ok
+	c.buf = append(c.buf, v) // want `numaws:alloc-ok suppression is missing its mandatory reason`
+}
+
+//numaws:alloc-free
+func closure() func() int {
+	return func() int { return 1 } // want `function literal captures its closure`
+}
+
+//numaws:alloc-free
+func sliceLit() []int {
+	return []int{1, 2, 3} // want `slice literal allocates its backing array`
+}
+
+//numaws:alloc-free
+func mapLit() map[string]int {
+	return map[string]int{} // want `map literal allocates`
+}
+
+//numaws:alloc-free
+func addrLit() *counter {
+	return &counter{} // want `&composite literal escapes to the heap`
+}
+
+// Value struct literals stay on the stack.
+//
+//numaws:alloc-free
+func structLit() counter {
+	return counter{n: 1}
+}
+
+//numaws:alloc-free
+func spawns() {
+	go notAnnotated() // want `go statement spawns a goroutine`
+}
+
+//numaws:alloc-free
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+// Constant folding happens at compile time: no allocation.
+//
+//numaws:alloc-free
+func constConcat() string {
+	return "alloc" + "free"
+}
+
+//numaws:alloc-free
+func convert(s string) []byte {
+	return []byte(s) // want `string<->slice conversion copies`
+}
+
+//numaws:alloc-free
+func convertBack(b []byte) string {
+	return string(b) // want `string<->slice conversion copies`
+}
+
+// Numeric conversions are free.
+//
+//numaws:alloc-free
+func widen(x int32) int64 {
+	return int64(x)
+}
+
+//numaws:alloc-free
+func dynamic(f func() int) int {
+	return f() // want `dynamic call`
+}
+
+type sink interface{ use() }
+
+type small struct{ n int }
+
+func (s small) use() {}
+
+//numaws:alloc-free
+func callIface(s sink) {
+	s.use() // want `interface method call allocfix\.use`
+}
+
+//numaws:alloc-free
+func box(s small) sink {
+	var i sink = s // want `value of type repro/internal/allocfix\.small is boxed into interface`
+	return i
+}
+
+// Pointer-shaped values fit the interface data word directly.
+//
+//numaws:alloc-free
+func boxPtr(p *small) {
+	var i any = p
+	_ = i
+}
+
+//numaws:alloc-free
+func callsUnannotated() int {
+	return notAnnotated() // want `call to notAnnotated, which is not annotated`
+}
+
+//numaws:alloc-free
+func callsHelper() int {
+	return helper(3)
+}
+
+// Whitelisted stdlib: sync never allocates on lock/unlock.
+//
+//numaws:alloc-free
+func (c *counter) incr() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+//numaws:alloc-free
+func format() string {
+	return fmt.Sprintf("hi") // want `call to fmt\.Sprintf, which is not allocation-free`
+}
+
+// Branches that unconditionally panic are the validated failure path:
+// their allocations are exempt.
+//
+//numaws:alloc-free
+func guard(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("allocfix: negative %d", n))
+	}
+	return n
+}
+
+// Cross-package hot-path functions from the analyzer's table are legal
+// callees.
+//
+//numaws:alloc-free
+func enqueue(q *sim.Queue) {
+	q.Push(1, 2)
+}

@@ -1,0 +1,15 @@
+// Package deque shadows the real THE-protocol deque with StealHead
+// deleted: the coverage check must notice the documented hot-path
+// function is gone rather than silently retiring the contract.
+package deque // want `hot-path function Deque\.StealHead named by EXPERIMENTS\.md is missing from repro/internal/deque`
+
+// Deque is a stand-in for the work-stealing deque.
+type Deque struct{ items []int }
+
+//numaws:alloc-free
+func (d *Deque) PushTail(v int) {
+	d.items[0] = v
+}
+
+//numaws:alloc-free
+func (d *Deque) PopTail() (int, bool) { return 0, false }

@@ -1,0 +1,88 @@
+// Package analysis is the repo's in-tree miniature of
+// golang.org/x/tools/go/analysis: just enough framework to express the
+// numaws-vet analyzers as (name, doc, run) triples over a type-checked
+// package and drive them from both `go vet -vettool` (internal/lint/unit)
+// and in-process tests (internal/lint/lintest).
+//
+// The repo vendors no third-party code, so the x/tools module is not
+// available; this package deliberately mirrors its shape — Analyzer, Pass,
+// Diagnostic, Pass.Reportf — so that the analyzers read like standard
+// go/analysis code and could be ported to the real framework by swapping
+// one import. Facts, analyzer dependencies and suggested fixes are omitted:
+// every numaws contract below is checkable one package at a time.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ModulePath is the module all contracts apply to. Analyzers no-op on any
+// package outside it (go vet runs the vettool over the whole dependency
+// graph, standard library included), and the unit driver skips loading
+// such packages entirely.
+const ModulePath = "repro"
+
+// InModule reports whether pkgpath belongs to the repo module, including
+// the test variants and synthesized test-main packages go vet analyzes
+// ("repro/pkg/numaws.test").
+func InModule(pkgpath string) bool {
+	return pkgpath == ModulePath || strings.HasPrefix(pkgpath, ModulePath+"/") ||
+		strings.HasPrefix(pkgpath, ModulePath+".")
+}
+
+// InPackage reports whether pkgpath is exactly pkg or one of its
+// subpackages.
+func InPackage(pkgpath, pkg string) bool {
+	return pkgpath == pkg || strings.HasPrefix(pkgpath, pkg+"/")
+}
+
+// An Analyzer is one statically checkable contract.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the multichecker
+	// command line. Lower-case, no spaces.
+	Name string
+
+	// Doc states the contract the analyzer enforces and its suppression
+	// mechanism, first sentence first.
+	Doc string
+
+	// Run applies the analyzer to one package. Diagnostics go through
+	// pass.Report; the error return is for operational failures only
+	// (it aborts the whole run, not just this package).
+	Run func(pass *Pass) error
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. Set by the driver.
+	Report func(Diagnostic)
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Every numaws
+// contract exempts test code: tests may freely use wall clocks, late
+// registration and internal types — they run under `go test`, not in an
+// embedder's binary.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression and annotation comments. All numaws-vet markers share the
+// machine-readable `//numaws:<verb>` prefix (the same convention as
+// `//go:build` — no space after the slashes):
+//
+//	//numaws:alloc-free            annotates a function as hot-path
+//	                               allocation-free (checked by allocfree)
+//	//numaws:nondet-ok <reason>    suppresses one determinism diagnostic
+//	//numaws:alloc-ok <reason>     suppresses one allocfree diagnostic
+//	//numaws:ctx-ok <reason>       suppresses one ctxfirst diagnostic
+//	//numaws:register-ok <reason>  suppresses one registryinit diagnostic
+//
+// A suppression applies to the line it sits on, or — as a standalone
+// comment line — to the line directly below it. The reason is mandatory:
+// a suppression without one is itself reported, so every waiver in the
+// tree explains itself.
+
+// Suppressions indexes one file's numaws suppression comments by line.
+type Suppressions struct {
+	fset *token.FileSet
+	// byLine maps a source line to the marker comment covering it.
+	byLine map[int]markerComment
+}
+
+type markerComment struct {
+	verb   string // e.g. "nondet-ok"
+	reason string
+	pos    token.Pos
+}
+
+// NewSuppressions indexes every `//numaws:` marker comment in file.
+func NewSuppressions(fset *token.FileSet, file *ast.File) *Suppressions {
+	s := &Suppressions{fset: fset, byLine: map[int]markerComment{}}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			verb, reason, ok := parseMarker(c.Text)
+			if !ok || verb == "alloc-free" {
+				continue
+			}
+			line := fset.Position(c.Slash).Line
+			m := markerComment{verb: verb, reason: reason, pos: c.Slash}
+			s.byLine[line] = m
+			// A standalone marker comment covers the next line. Column 1
+			// is not required — the marker may be indented with the code
+			// it waives.
+			s.byLine[line+1] = m
+		}
+	}
+	return s
+}
+
+// Suppressed reports whether a diagnostic with the given verb at pos is
+// waived by a marker comment, and whether that marker carries the
+// mandatory reason.
+func (s *Suppressions) Suppressed(verb string, pos token.Pos) (ok, hasReason bool) {
+	m, found := s.byLine[s.fset.Position(pos).Line]
+	if !found || m.verb != verb {
+		return false, false
+	}
+	return true, m.reason != ""
+}
+
+// parseMarker splits a `//numaws:verb reason...` comment.
+func parseMarker(text string) (verb, reason string, ok bool) {
+	const prefix = "//numaws:"
+	if !strings.HasPrefix(text, prefix) {
+		return "", "", false
+	}
+	rest := strings.TrimPrefix(text, prefix)
+	verb, reason, _ = strings.Cut(rest, " ")
+	return strings.TrimSpace(verb), strings.TrimSpace(reason), verb != ""
+}
+
+// HasAnnotation reports whether the function declaration's doc comment
+// carries the given `//numaws:<verb>` annotation.
+func HasAnnotation(decl *ast.FuncDecl, verb string) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if v, _, ok := parseMarker(c.Text); ok && v == verb {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,149 @@
+// Package ctxfirst enforces the context discipline PR 4 threaded through
+// the tree (DESIGN.md: every entry point takes a context.Context and
+// honors cancellation):
+//
+//   - a function or method that accepts a context.Context takes it as its
+//     first parameter — mixed orders make call sites unreadable and break
+//     the "is this cancellable?" at-a-glance check;
+//   - no struct stores a context.Context field: a stored context outlives
+//     the call it scoped, hides cancellation from signatures, and is the
+//     standard library's own documented anti-pattern. Contexts flow
+//     through parameters (goroutines launched by a constructor receive it
+//     as an argument);
+//   - code in the entry-point packages internal/harness and pkg/numaws
+//     never mints its own context with context.Background or context.TODO
+//     in non-test code — entry points must honor the caller's context,
+//     not replace it.
+//
+// Scope: every package in the module, _test.go files excluded. A
+// deliberate exception is waived with `//numaws:ctx-ok <reason>`.
+package ctxfirst
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the context-discipline checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxfirst",
+	Doc: "context.Context parameters come first, are never stored in structs, and entry-point " +
+		"packages never substitute Background/TODO for the caller's context; waive with //numaws:ctx-ok <reason>",
+	Run: run,
+}
+
+// noMintPackages are the entry-point packages where calling
+// context.Background/TODO outside tests hides the caller's context.
+var noMintPackages = []string{
+	"repro/internal/harness",
+	"repro/pkg/numaws",
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InModule(pass.Pkg.Path()) {
+		return nil
+	}
+	noMint := false
+	for _, p := range noMintPackages {
+		if analysis.InPackage(pass.Pkg.Path(), p) {
+			noMint = true
+		}
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		sup := analysis.NewSuppressions(pass.Fset, file)
+		report := func(pos ast.Node, format string, args ...any) {
+			ok, hasReason := sup.Suppressed("ctx-ok", pos.Pos())
+			if ok && hasReason {
+				return
+			}
+			if ok {
+				pass.Reportf(pos.Pos(), "numaws:ctx-ok suppression is missing its mandatory reason")
+				return
+			}
+			pass.Reportf(pos.Pos(), format, args...)
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkParams(pass, report, n.Type)
+			case *ast.FuncLit:
+				checkParams(pass, report, n.Type)
+			case *ast.StructType:
+				checkFields(pass, report, n)
+			case *ast.CallExpr:
+				if noMint {
+					checkMint(pass, report, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isContext reports whether the type expression denotes context.Context.
+func isContext(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkParams flags a context.Context parameter that is not the first.
+func checkParams(pass *analysis.Pass, report func(ast.Node, string, ...any), ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	// Position counts named parameters individually: f(a int, ctx
+	// context.Context) has ctx at index 1.
+	index := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContext(pass, field.Type) && index != 0 {
+			report(field, "context.Context must be the first parameter, not parameter %d", index+1)
+		}
+		index += n
+	}
+}
+
+// checkFields flags struct fields of type context.Context.
+func checkFields(pass *analysis.Pass, report func(ast.Node, string, ...any), st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if isContext(pass, field.Type) {
+			report(field, "struct stores a context.Context: contexts are call-scoped and flow "+
+				"through parameters, not fields")
+		}
+	}
+}
+
+// checkMint flags context.Background()/context.TODO() calls in the
+// entry-point packages.
+func checkMint(pass *analysis.Pass, report func(ast.Node, string, ...any), call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return
+	}
+	if fn.Name() != "Background" && fn.Name() != "TODO" {
+		return
+	}
+	report(call, "entry-point package calls context.%s: accept the caller's context instead of minting one",
+		fn.Name())
+}

@@ -1,0 +1,15 @@
+package ctxfirst_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/ctxfirst"
+	"repro/internal/lint/lintest"
+)
+
+func TestCtxFirst(t *testing.T) {
+	lintest.Run(t, "testdata", ctxfirst.Analyzer,
+		"repro/internal/ctxfix",  // ordering and struct-storage defects
+		"repro/internal/harness", // entry-point package: Background/TODO minting
+	)
+}

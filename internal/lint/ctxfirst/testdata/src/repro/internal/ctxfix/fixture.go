@@ -1,0 +1,45 @@
+// Package ctxfix seeds ctxfirst defects: misplaced context parameters
+// and contexts stored in struct fields.
+package ctxfix
+
+import "context"
+
+// Correct: context first, in functions, methods and literals.
+func RunOne(ctx context.Context, n int) error { return ctx.Err() }
+
+type Engine struct {
+	workers int
+}
+
+func (e *Engine) Run(ctx context.Context, n int) error { return ctx.Err() }
+
+var _ = func(ctx context.Context, n int) error { return ctx.Err() }
+
+// Misplaced: context is not the first parameter.
+func RunLate(n int, ctx context.Context) error { // want `context\.Context must be the first parameter, not parameter 2`
+	return ctx.Err()
+}
+
+func (e *Engine) RunLate(a, b int, ctx context.Context) error { // want `context\.Context must be the first parameter, not parameter 3`
+	return ctx.Err()
+}
+
+// Stored: the field hides cancellation from every method signature.
+type pool struct {
+	ctx     context.Context // want `struct stores a context\.Context`
+	workers int
+}
+
+// A deliberate, documented exception is waived with a reason.
+type request struct {
+	//numaws:ctx-ok call-scoped carrier struct, freed before the call returns
+	ctx context.Context
+}
+
+// A reasonless waiver is itself a finding.
+type lazyRequest struct {
+	//numaws:ctx-ok
+	ctx context.Context // want `numaws:ctx-ok suppression is missing its mandatory reason`
+}
+
+func use(p pool, r request, l lazyRequest) (any, any, any) { return p, r, l }

@@ -1,0 +1,16 @@
+// Package harness impersonates the entry-point package: minting a
+// context here hides the caller's cancellation.
+package harness
+
+import "context"
+
+func Measure(ctx context.Context) error { return ctx.Err() }
+
+func MeasureAllowingNoCancel() error {
+	ctx := context.Background() // want `entry-point package calls context\.Background`
+	return Measure(ctx)
+}
+
+func measureLazy() error {
+	return Measure(context.TODO()) // want `entry-point package calls context\.TODO`
+}

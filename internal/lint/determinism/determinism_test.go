@@ -1,0 +1,15 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/determinism"
+	"repro/internal/lint/lintest"
+)
+
+func TestDeterminism(t *testing.T) {
+	lintest.Run(t, "testdata", determinism.Analyzer,
+		"repro/internal/sim",    // seeded defects: clocks, global rand, map ranges
+		"repro/internal/trace2", // out-of-scope package: same code, no diagnostics
+	)
+}

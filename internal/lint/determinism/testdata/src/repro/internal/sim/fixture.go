@@ -1,0 +1,125 @@
+// Package sim is a determinism fixture impersonating the scoped package
+// repro/internal/sim. Lines marked `want` must be flagged; everything
+// else must pass — in particular the seeded-rand and collect-then-sort
+// false-positive cases the contract legalizes.
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// --- wall clock ---
+
+func wallClock() int64 {
+	t := time.Now()             // want `call to time\.Now reads the wall clock`
+	return int64(time.Until(t)) // want `call to time\.Until reads the wall clock`
+}
+
+func wallClockSince(t time.Time) time.Duration {
+	return time.Since(t) // want `call to time\.Since reads the wall clock`
+}
+
+func wallClockUntil(t time.Time) time.Duration {
+	return time.Until(t) // want `call to time\.Until reads the wall clock`
+}
+
+// Virtual-time arithmetic on time.Duration values is fine: only the
+// wall-clock reads are banned.
+func durations(a, b time.Duration) time.Duration { return a + b }
+
+// --- global math/rand ---
+
+func globalRand() int {
+	return rand.Intn(4) // want `call to math/rand\.Intn draws from the shared global stream`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `call to math/rand\.Shuffle`
+}
+
+// Seeded sources are the sanctioned form: rand.New and the methods on the
+// resulting *rand.Rand must pass.
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(4)
+}
+
+// --- map iteration ---
+
+func unorderedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `unordered iteration over map\[string\]int`
+		out = append(out, k+"!")
+	}
+	return out
+}
+
+func unorderedSum(m map[string]int) int {
+	// Even a commutative-looking body is flagged: the analyzer cannot
+	// prove float summation or early returns order-independent.
+	sum := 0
+	for _, v := range m { // want `unordered iteration over map\[string\]int`
+		sum += v
+	}
+	return sum
+}
+
+// The collect-then-sort idiom is recognized: append keys, sort after.
+func sortedKeys(m map[string]int) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// sort.Slice counts as establishing an order too.
+func sortedValues(m map[string]int) []int {
+	vals := make([]int, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// Collecting without sorting afterwards is still unordered.
+func collectedUnsorted(m map[string]int) []string {
+	var names []string
+	for name := range m { // want `unordered iteration over map\[string\]int`
+		names = append(names, name)
+	}
+	return names
+}
+
+// A provably order-independent reduction is waived with a reasoned
+// suppression.
+func maxValue(m map[int]int) int {
+	best := -1
+	//numaws:nondet-ok max-reduction with deterministic tie-break on the key
+	for k, v := range m {
+		if v > best || (v == best && k > 0) {
+			best = v
+		}
+	}
+	return best
+}
+
+// A suppression without its reason is itself a finding.
+func lazyWaiver(m map[int]int) {
+	//numaws:nondet-ok
+	for range m { // want `numaws:nondet-ok suppression is missing its mandatory reason`
+	}
+}
+
+// Ranging over slices stays silent.
+func sliceRange(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

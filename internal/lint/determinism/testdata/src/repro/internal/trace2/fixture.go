@@ -1,0 +1,16 @@
+// Package trace2 impersonates a package outside the determinism scope:
+// host-side tooling may read clocks and iterate maps freely, so none of
+// these lines carries a want comment.
+package trace2
+
+import "time"
+
+func hostClock() time.Time { return time.Now() }
+
+func hostKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

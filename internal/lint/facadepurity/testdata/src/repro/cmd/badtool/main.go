@@ -1,0 +1,11 @@
+// Command badtool couples to the engine directly instead of building
+// against the facade.
+package main
+
+import (
+	"repro/internal/engine" // want `repro/cmd/badtool imports repro/internal/engine`
+)
+
+func main() {
+	_ = engine.Run()
+}

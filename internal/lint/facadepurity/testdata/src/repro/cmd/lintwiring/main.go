@@ -1,0 +1,9 @@
+// Command lintwiring imports the lint infrastructure — the one internal
+// subtree binaries may couple to (developer tooling, not engine).
+package main
+
+import "repro/internal/lint/fake"
+
+func main() {
+	_ = fake.Analyzer{Name: "determinism"}
+}

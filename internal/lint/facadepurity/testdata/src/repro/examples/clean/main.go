@@ -1,0 +1,8 @@
+// Command clean builds against the facade only.
+package main
+
+import "repro/pkg/numaws"
+
+func main() {
+	_, _ = numaws.Run("fib")
+}

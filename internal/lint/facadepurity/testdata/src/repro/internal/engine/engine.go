@@ -1,0 +1,9 @@
+// Package engine stands in for the simulator internals a facade must not
+// leak.
+package engine
+
+type Report struct{ Cycles int64 }
+
+type Policy interface{ Name() string }
+
+func Run() *Report { return &Report{} }

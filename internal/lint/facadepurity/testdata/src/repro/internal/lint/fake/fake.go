@@ -1,0 +1,5 @@
+// Package fake stands in for the lint infrastructure, which binaries may
+// import: numaws-vet wires the analyzers up.
+package fake
+
+type Analyzer struct{ Name string }

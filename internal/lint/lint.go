@@ -1,0 +1,28 @@
+// Package lint assembles the numaws-vet analyzer suite: the five
+// repo-specific analyzers that turn DESIGN.md's prose invariants —
+// determinism, alloc-free hot paths, facade purity, context discipline,
+// init-time registration — into compile-time checks. The suite runs two
+// ways: `go vet -vettool=numaws-vet ./...` in CI (see internal/lint/unit
+// for the driver protocol), and in-process via the selfcheck test in
+// this package.
+package lint
+
+import (
+	"repro/internal/lint/allocfree"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/ctxfirst"
+	"repro/internal/lint/determinism"
+	"repro/internal/lint/facadepurity"
+	"repro/internal/lint/registryinit"
+)
+
+// Analyzers returns the full numaws-vet suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		allocfree.Analyzer,
+		ctxfirst.Analyzer,
+		determinism.Analyzer,
+		facadepurity.Analyzer,
+		registryinit.Analyzer,
+	}
+}

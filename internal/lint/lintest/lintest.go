@@ -1,0 +1,404 @@
+// Package lintest is the in-process test driver for the numaws-vet
+// analyzers: the repo's miniature of golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixture packages live under each analyzer's testdata/src directory,
+// keyed by import path (testdata/src/repro/internal/sim holds a package
+// whose import path is repro/internal/sim — analyzers scope their
+// contracts by path, so fixtures impersonate real packages). Expected
+// diagnostics are `// want "regexp"` comments on the offending line,
+// exactly as in analysistest; a fixture line with no want comment must
+// produce no diagnostic.
+//
+// The loader type-checks fixtures from source with a three-root importer —
+// testdata/src first, then the real module, then GOROOT/src — so fixtures
+// may import small stdlib packages (time, math/rand, context, sort) and
+// stub out repro packages by shadowing their path under testdata/src. No
+// export data, no go command, no network: `go test` is the only driver.
+package lintest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and type-checks packages from source, memoizing shared
+// dependencies (the stdlib closure in particular) across loads.
+type Loader struct {
+	// TestdataSrc, when non-empty, is the <testdata>/src directory
+	// searched first for every import path.
+	TestdataSrc string
+
+	once sync.Once
+	fset *token.FileSet
+	mu   sync.Mutex
+	pkgs map[string]*loadResult
+}
+
+type loadResult struct {
+	pkg *types.Package
+	err error
+}
+
+// sharedLoader memoizes the stdlib and module closure across every test
+// in the process; per-testdata loaders chain to it for non-fixture paths.
+var sharedLoader = &Loader{}
+
+// SharedLoader returns the process-wide loader with no fixture shadowing:
+// every path resolves to the real module or GOROOT source. The selfcheck
+// test uses it to analyze the repo itself.
+func SharedLoader() *Loader { return sharedLoader }
+
+// NewLoader returns a loader rooted at the given testdata directory
+// (usually "testdata" relative to the test). Fixture paths shadow module
+// and stdlib paths.
+func NewLoader(testdata string) *Loader {
+	abs, err := filepath.Abs(filepath.Join(testdata, "src"))
+	if err != nil {
+		abs = filepath.Join(testdata, "src")
+	}
+	return &Loader{TestdataSrc: abs}
+}
+
+func (l *Loader) init() {
+	l.once.Do(func() {
+		l.fset = token.NewFileSet()
+		l.pkgs = map[string]*loadResult{}
+	})
+}
+
+// moduleRoot locates the repo checkout so fixture and selfcheck loads can
+// resolve "repro/..." imports from source. The test binary runs somewhere
+// inside the module, so walk up from the working directory to go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lintest: no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// dirFor resolves an import path to the directory holding its source, in
+// shadowing order: testdata/src, the module checkout, GOROOT/src.
+func (l *Loader) dirFor(path string) (string, error) {
+	if l.TestdataSrc != "" {
+		dir := filepath.Join(l.TestdataSrc, filepath.FromSlash(path))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir, nil
+		}
+	}
+	if analysis.InModule(path) {
+		root, err := moduleRoot()
+		if err != nil {
+			return "", err
+		}
+		rel := strings.TrimPrefix(path, analysis.ModulePath)
+		return filepath.Join(root, filepath.FromSlash(rel)), nil
+	}
+	dir := filepath.Join(runtime.GOROOT(), "src", filepath.FromSlash(path))
+	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+		return dir, nil
+	}
+	return "", fmt.Errorf("lintest: cannot resolve import %q", path)
+}
+
+// Import implements types.Importer: dependencies are loaded without test
+// files or type-checking info retention. Fixture-shadowed paths load from
+// this loader; everything else goes through the process-wide shared
+// loader so the stdlib is type-checked once per test binary.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	l.init()
+	if l != sharedLoader && !l.shadowed(path) {
+		return sharedLoader.Import(path)
+	}
+	l.mu.Lock()
+	if r, ok := l.pkgs[path]; ok {
+		l.mu.Unlock()
+		return r.pkg, r.err
+	}
+	// Reserve the slot to fail fast on import cycles instead of
+	// recursing forever.
+	l.pkgs[path] = &loadResult{err: fmt.Errorf("lintest: import cycle through %q", path)}
+	l.mu.Unlock()
+
+	pkg, _, _, err := l.load(path, false)
+	l.mu.Lock()
+	l.pkgs[path] = &loadResult{pkg: pkg, err: err}
+	l.mu.Unlock()
+	return pkg, err
+}
+
+func (l *Loader) shadowed(path string) bool {
+	if l.TestdataSrc == "" {
+		return false
+	}
+	fi, err := os.Stat(filepath.Join(l.TestdataSrc, filepath.FromSlash(path)))
+	return err == nil && fi.IsDir()
+}
+
+// load parses and type-checks one package. includeTests merges in-package
+// _test.go files (fixture targets only). The returned Info is populated
+// only when includeInfo… callers needing analysis use LoadPackage.
+func (l *Loader) load(path string, includeTests bool) (*types.Package, []*ast.File, *types.Info, error) {
+	l.init()
+	dir, err := l.dirFor(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	names, err := sourceFiles(dir, includeTests)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("lintest: %s: %w", path, err)
+	}
+	if len(names) == 0 {
+		return nil, nil, nil, fmt.Errorf("lintest: %s: no Go source in %s", path, dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer:  l,
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		GoVersion: "go1.24",
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if firstErr != nil {
+		err = firstErr
+	}
+	if err != nil {
+		return pkg, files, info, fmt.Errorf("lintest: type-checking %s: %w", path, err)
+	}
+	return pkg, files, info, nil
+}
+
+// sourceFiles lists the buildable Go files of dir via go/build's tag and
+// suffix matching, in stable order.
+func sourceFiles(dir string, includeTests bool) ([]string, error) {
+	ctxt := build.Default
+	// Pure type-checking: exclude cgo files so `import "C"` never reaches
+	// go/types (cgo-using stdlib packages carry !cgo fallbacks).
+	ctxt.CgoEnabled = false
+	bp, err := ctxt.ImportDir(dir, 0)
+	if err != nil {
+		if _, nogo := err.(*build.NoGoError); nogo {
+			return nil, nil
+		}
+		return nil, err
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	if includeTests {
+		names = append(names, bp.TestGoFiles...)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// LoadPackage loads path as an analysis target: in-package test files
+// included, full type-checking info retained.
+func (l *Loader) LoadPackage(path string) (*Package, error) {
+	l.init()
+	pkg, files, info, err := l.load(path, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: path, Fset: l.fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// Analyze runs one analyzer over a loaded package and returns its
+// diagnostics in position order.
+func Analyze(a *analysis.Analyzer, p *Package) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      p.Fset,
+		Files:     p.Files,
+		Pkg:       p.Pkg,
+		TypesInfo: p.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// Run loads each fixture package under testdata, applies the analyzer,
+// and matches diagnostics against the fixtures' `// want "re"` comments:
+// every diagnostic must land on a line expecting it, and every
+// expectation must be met.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	l := NewLoader(testdata)
+	for _, path := range paths {
+		p, err := l.LoadPackage(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		diags, err := Analyze(a, p)
+		if err != nil {
+			t.Errorf("%s: analyzer %s: %v", path, a.Name, err)
+			continue
+		}
+		checkWants(t, l.fset, p, diags)
+	}
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)`)
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// checkWants compares diagnostics against want comments, both keyed by
+// (file, line).
+func checkWants(t *testing.T, fset *token.FileSet, p *Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := map[string][]*expectation{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				posn := fset.Position(c.Slash)
+				key := fmt.Sprintf("%s:%d", posn.Filename, posn.Line)
+				for _, lit := range splitQuoted(m[1]) {
+					pattern, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %s: %v", key, lit, err)
+						continue
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", key, pattern, err)
+						continue
+					}
+					wants[key] = append(wants[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", posn.Filename, posn.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched, found = true, true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	keys := make([]string, 0, len(wants))
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, w.re)
+			}
+		}
+	}
+}
+
+// splitQuoted extracts the quoted string literals from a want comment's
+// payload ("re1" `re2` → the two literals, quotes kept). Both
+// double-quoted and backquoted forms are legal, as in analysistest;
+// strconv.Unquote handles either.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		start := strings.IndexAny(s, "\"`")
+		if start < 0 {
+			return out
+		}
+		rest := s[start:]
+		if rest[0] == '`' {
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return out
+			}
+			out = append(out, rest[:end+2])
+			s = rest[end+2:]
+			continue
+		}
+		end := 1
+		for end < len(rest) {
+			if rest[end] == '\\' {
+				end += 2
+				continue
+			}
+			if rest[end] == '"' {
+				break
+			}
+			end++
+		}
+		if end >= len(rest) {
+			return out
+		}
+		out = append(out, rest[:end+1])
+		s = rest[end+1:]
+	}
+}

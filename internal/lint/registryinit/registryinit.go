@@ -1,0 +1,111 @@
+// Package registryinit pins when the three name-keyed registries — the
+// policy axis (sched.Register), the benchmark axis (workloads.Register)
+// and the facade's embedder hook (numaws.RegisterBenchmark) — may be
+// populated: from init functions, from TestMain, or from test code.
+//
+// All three registries panic on a duplicate name and are read by
+// name-sorted snapshots; registration after the program is up races both
+// the duplicate-name panic and any in-flight snapshot. Confining
+// registration to initialization time makes the registries effectively
+// immutable for the life of the process, which is what the planned
+// long-running sweep service requires before external code plugs in.
+//
+// Scope: every package in the module; _test.go files are exempt
+// wholesale (tests register fakes and tear them down). A deliberate
+// exception is waived with `//numaws:register-ok <reason>`.
+package registryinit
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the registration-time checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "registryinit",
+	Doc: "registry Register calls happen only in init functions, TestMain or tests; " +
+		"waive with //numaws:register-ok <reason>",
+	Run: run,
+}
+
+// registerFuncs are the guarded registration entry points, by defining
+// package path.
+var registerFuncs = map[string]map[string]bool{
+	"repro/internal/sched":     {"Register": true},
+	"repro/internal/workloads": {"Register": true},
+	"repro/pkg/numaws":         {"RegisterBenchmark": true},
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InModule(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		sup := analysis.NewSuppressions(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if allowedContext(fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := callee(pass, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				names, ok := registerFuncs[fn.Pkg().Path()]
+				if !ok || !names[fn.Name()] {
+					return true
+				}
+				ok, hasReason := sup.Suppressed("register-ok", call.Pos())
+				if ok && hasReason {
+					return true
+				}
+				if ok {
+					pass.Reportf(call.Pos(), "numaws:register-ok suppression is missing its mandatory reason")
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"%s.%s called from %s: registries are populated in init functions (or TestMain/tests) — "+
+						"late registration races the duplicate-name panic and name-sorted snapshots",
+					fn.Pkg().Name(), fn.Name(), fd.Name.Name)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// allowedContext reports whether fd is an initialization-time function:
+// init or TestMain.
+func allowedContext(fd *ast.FuncDecl) bool {
+	if fd.Recv != nil {
+		return false
+	}
+	return fd.Name.Name == "init" || fd.Name.Name == "TestMain"
+}
+
+func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,15 @@
+package registryinit_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/lintest"
+	"repro/internal/lint/registryinit"
+)
+
+func TestRegistryInit(t *testing.T) {
+	lintest.Run(t, "testdata", registryinit.Analyzer,
+		"repro/internal/regfix",
+		"repro/cmd/regtool",
+	)
+}

@@ -1,0 +1,15 @@
+// Command regtool seeds the defect the real tree contained: registering
+// an embedder benchmark from main instead of init.
+package main
+
+import "repro/pkg/numaws"
+
+func init() {
+	if err := numaws.RegisterBenchmark(numaws.BenchmarkDef{Name: "scan"}); err != nil {
+		panic(err)
+	}
+}
+
+func main() {
+	_ = numaws.RegisterBenchmark(numaws.BenchmarkDef{Name: "late"}) // want `numaws\.RegisterBenchmark called from main`
+}

@@ -1,0 +1,42 @@
+// Package regfix seeds registration-time defects against the stub
+// registries.
+package regfix
+
+import (
+	"repro/internal/sched"
+	"repro/internal/workloads"
+)
+
+type steal struct{}
+
+func (steal) Name() string { return "steal" }
+
+// Registration from init is the sanctioned form.
+func init() {
+	sched.Register(steal{})
+	workloads.Register("fib", func(workloads.Scale) workloads.Spec {
+		return workloads.Spec{Name: "fib"}
+	})
+}
+
+// Late registration races the duplicate-name panic and the name-sorted
+// snapshots.
+func EnablePolicy() {
+	sched.Register(steal{}) // want `sched\.Register called from EnablePolicy`
+}
+
+func enableBench(name string) {
+	workloads.Register(name, nil) // want `workloads\.Register called from enableBench`
+}
+
+// A deliberate exception carries its reason.
+func reloadPolicies() {
+	//numaws:register-ok re-registration behind the config-reload mutex, names pre-validated
+	sched.Register(steal{})
+}
+
+// A reasonless waiver is itself a finding.
+func reloadLazily() {
+	//numaws:register-ok
+	sched.Register(steal{}) // want `numaws:register-ok suppression is missing its mandatory reason`
+}

@@ -1,0 +1,10 @@
+// Package workloads stubs the benchmark registry.
+package workloads
+
+type Spec struct{ Name string }
+
+type Scale int
+
+type Builder func(Scale) Spec
+
+func Register(name string, b Builder) {}

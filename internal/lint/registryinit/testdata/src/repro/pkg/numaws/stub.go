@@ -1,0 +1,6 @@
+// Package numaws stubs the facade's embedder registration hook.
+package numaws
+
+type BenchmarkDef struct{ Name string }
+
+func RegisterBenchmark(def BenchmarkDef) error { return nil }

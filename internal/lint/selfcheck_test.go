@@ -1,0 +1,109 @@
+package lint_test
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintest"
+)
+
+// TestRepoIsClean runs the full numaws-vet suite over every package in
+// the module — the in-process twin of CI's
+// `go vet -vettool=numaws-vet ./...`. The repo must be clean: every
+// invariant the analyzers encode either holds or carries a reasoned
+// waiver at the offending line.
+func TestRepoIsClean(t *testing.T) {
+	paths, err := modulePackages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 10 {
+		t.Fatalf("suspiciously few packages found: %v", paths)
+	}
+	l := lintest.SharedLoader()
+	for _, path := range paths {
+		p, err := l.LoadPackage(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		for _, a := range lint.Analyzers() {
+			diags, err := lintest.Analyze(a, p)
+			if err != nil {
+				t.Errorf("%s on %s: %v", a.Name, path, err)
+				continue
+			}
+			for _, d := range diags {
+				t.Errorf("%s: %s: %s", a.Name, p.Fset.Position(d.Pos), d.Message)
+			}
+		}
+	}
+}
+
+// modulePackages walks the checkout for every directory holding Go
+// source, skipping fixtures and VCS metadata.
+func modulePackages() ([]string, error) {
+	root, err := moduleRoot()
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				rel, err := filepath.Rel(root, path)
+				if err != nil {
+					return err
+				}
+				if rel == "." {
+					paths = append(paths, analysis.ModulePath)
+				} else {
+					paths = append(paths, analysis.ModulePath+"/"+filepath.ToSlash(rel))
+				}
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

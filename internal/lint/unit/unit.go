@@ -1,0 +1,247 @@
+// Package unit is the go-vet driver for the numaws-vet suite: a
+// stdlib-only miniature of golang.org/x/tools/go/analysis/unitchecker
+// (which this module deliberately does not depend on).
+//
+// `go vet -vettool=numaws-vet ./...` speaks a three-part protocol:
+//
+//   - `numaws-vet -V=full` describes the executable (name, hash) so the
+//     go command can key its build cache on the tool's content;
+//   - `numaws-vet -flags` reports the tool's flags as JSON so the go
+//     command knows what it may forward (none);
+//   - `numaws-vet <unit>.cfg` analyzes one compilation unit described by
+//     a JSON config: source files, the import map, and the export-data
+//     file of every dependency. Diagnostics go to stderr in
+//     file:line:col form with exit status 1.
+//
+// The go command invokes the tool over every dependency of the target
+// packages — the stdlib included — to collect analysis facts. The
+// numaws analyzers are fact-free and purely intramodular, so those
+// invocations (VetxOnly, or any import path outside the repro module)
+// write their required empty facts file and return without parsing a
+// single Go file; only repro packages pay for type-checking.
+package unit
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// config mirrors the JSON schema of the go command's vet config files
+// (x/tools unitchecker.Config); fields the suite does not use are
+// omitted and ignored by the decoder.
+type config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for cmd/numaws-vet.
+func Main(analyzers ...*analysis.Analyzer) {
+	log.SetFlags(0)
+	log.SetPrefix("numaws-vet: ")
+	args := os.Args[1:]
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		code, err := runUnit(args[0], analyzers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Exit(code)
+	}
+	for _, arg := range args {
+		switch arg {
+		case "-V=full", "--V=full":
+			printVersion()
+			return
+		case "-flags", "--flags":
+			// No flags of our own: the go command forwards nothing.
+			fmt.Println("[]")
+			return
+		}
+	}
+	usage(analyzers)
+	os.Exit(2)
+}
+
+// printVersion implements -V=full: the go command hashes this line into
+// the build cache key, so it must change whenever the binary does.
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", os.Args[0], string(h.Sum(nil)))
+}
+
+func usage(analyzers []*analysis.Analyzer) {
+	fmt.Fprintf(os.Stderr, "numaws-vet: the repro module's analysis suite; run it via\n\n"+
+		"\tgo build -o numaws-vet ./cmd/numaws-vet\n"+
+		"\tgo vet -vettool=$(pwd)/numaws-vet ./...\n\nAnalyzers:\n\n")
+	for _, a := range analyzers {
+		fmt.Fprintf(os.Stderr, "\t%s: %s\n", a.Name, a.Doc)
+	}
+}
+
+// basePath strips the go command's test-variant marker: the unit for a
+// package compiled with its in-package test files carries an ID like
+// "repro/internal/sim [repro/internal/sim.test]", but the analyzers
+// scope their contracts by plain import path.
+func basePath(importPath string) string {
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+type diag struct {
+	posn    token.Position
+	message string
+}
+
+func runUnit(cfgFile string, analyzers []*analysis.Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return 0, err
+	}
+	cfg := new(config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return 0, fmt.Errorf("cannot decode JSON config file %s: %v", cfgFile, err)
+	}
+	// The go command caches a facts file per unit; the suite computes no
+	// facts, so write it empty up front — then dependency units (VetxOnly,
+	// or anything outside the module) are done without parsing a file.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly || !analysis.InModule(basePath(cfg.ImportPath)) {
+		return 0, nil
+	}
+	diags, err := analyze(cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, err
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.posn, d.message)
+	}
+	if len(diags) > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// analyze type-checks one unit against its dependencies' export data
+// and runs every analyzer over it.
+func analyze(cfg *config, analyzers []*analysis.Analyzer) ([]diag, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	// Two-step import: the config's ImportMap canonicalizes the path as
+	// written in source, then PackageFile locates that package's export
+	// data for the compiler-specific importer.
+	gcImporter := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("cannot resolve import %q", importPath)
+		}
+		return gcImporter.Import(path)
+	})
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(compiler, runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	pkg, err := tc.Check(basePath(cfg.ImportPath), fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	var out []diag
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				out = append(out, diag{posn: fset.Position(d.Pos), message: d.Message})
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].posn.Filename != out[j].posn.Filename {
+			return out[i].posn.Filename < out[j].posn.Filename
+		}
+		return out[i].posn.Offset < out[j].posn.Offset
+	})
+	return out, nil
+}

@@ -3,8 +3,8 @@ package numaws
 // The facade's result types. They mirror the engine's internal metrics
 // types field for field, but belong to this package: the public API must
 // not name internal types in exported signatures (the layering contract in
-// DESIGN.md, enforced by TestFacadeLeaksNoInternalTypes and the CI facade
-// job), so measurements cross the boundary by value conversion.
+// DESIGN.md, enforced by the facadepurity analyzer in numaws-vet and the
+// CI facade job), so measurements cross the boundary by value conversion.
 
 import (
 	"repro/internal/cache"
