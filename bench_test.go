@@ -363,6 +363,44 @@ func BenchmarkMeasureAllJobs(b *testing.B) {
 	}
 }
 
+// BenchmarkGrid times one full MeasureAll over a small measurement grid —
+// the paper nine, two seeds, verification on — on the pooled path
+// (default) and on the fully unamortized path (FreshInputs). Each
+// iteration re-runs the whole grid, so the pooled variant shows what the
+// input pool, the shared TS memo, and the verify-reference caches save
+// across the (policy, P, seed) cells; the fresh variant is the control.
+// The committed BENCH_grid.json entry gates simulated cycles and allocs/op
+// in CI (cmd/benchgate).
+func BenchmarkGrid(b *testing.B) {
+	specs := make([]harness.Spec, len(allNames))
+	for i, name := range allNames {
+		specs[i] = specByName(b, name)
+	}
+	for _, fresh := range []bool{false, true} {
+		name := "pooled"
+		if fresh {
+			name = "fresh"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var total int64
+			for i := 0; i < b.N; i++ {
+				rows, err := harness.MeasureAll(context.Background(), specs, harness.Options{
+					P: 8, Seeds: 2, Verify: true, Jobs: 1, FreshInputs: fresh,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = 0
+				for _, r := range rows {
+					total += r.NUMAWS.TP
+				}
+			}
+			b.ReportMetric(float64(total), "gridTP-cycles")
+		})
+	}
+}
+
 // --- Microbenchmarks of the substrates ---
 
 func BenchmarkDequePushPop(b *testing.B) {

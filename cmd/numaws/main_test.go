@@ -48,6 +48,30 @@ func TestAllSmallMatchesPinnedOracle(t *testing.T) {
 	}
 }
 
+// cilkFive is the Cilk-suite addition pinned by testdata/cilk-small.golden.
+const cilkFive = "fib,nqueens,fft,lu,rectmul"
+
+// TestCilkSmallMatchesPinnedOracle is the all-small golden test for the
+// five Cilk-suite benchmarks: the full paper pipeline over fib, nqueens,
+// fft, lu and rectmul must reproduce testdata/cilk-small.golden byte for
+// byte.
+func TestCilkSmallMatchesPinnedOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full small-scale pipeline skipped in -short mode")
+	}
+	want, err := os.ReadFile("testdata/cilk-small.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, out, errb := runCLI(t, "-scale", "small", "-topology", "paper-4x8", "-bench", cilkFive, "all")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb)
+	}
+	if out != string(want) {
+		t.Errorf("`numaws -scale small -topology paper-4x8 -bench %s all` diverged from the pinned oracle.\nIf the change is intentional, regenerate testdata/cilk-small.golden.\n--- got\n%s\n--- want\n%s", cilkFive, out, want)
+	}
+}
+
 // TestDefaultSuiteCoversCilkAdditions pins the open suite: without -bench
 // the session carries the registered fourteen, and the dag protocol (one
 // verified parallel run per benchmark) covers the five additions.

@@ -264,6 +264,16 @@ func (c *setAssoc) flush() {
 	}
 }
 
+// reset returns the cache to its just-constructed state: every way invalid,
+// LRU clock at zero.
+func (c *setAssoc) reset() {
+	for i := range c.tag {
+		c.tag[i] = -1
+		c.use[i] = 0
+	}
+	c.tick = 0
+}
+
 // bitset is a fixed-width bitmask over entity ids (cores or sockets), sized
 // once at hierarchy construction. It replaces the old uint64/uint32 masks so
 // the directory scales to machines of any shape instead of panicking past
@@ -328,10 +338,14 @@ type Hierarchy struct {
 	priv []*setAssoc // indexed by core
 	llc  []*setAssoc // indexed by socket
 	dir  map[int64]*lineInfo
-	// slab carves directory entries out of block allocations: entries are
+	// Directory entries are carved out of block allocations: entries are
 	// the simulator's dominant allocation count, and handing them out from
-	// a block turns ~256 allocations into one.
-	slab []lineInfo
+	// a block turns ~256 allocations into one. The blocks are kept and the
+	// cursor rewound on Reset, so a reused hierarchy re-hands the same
+	// memory instead of allocating fresh blocks every run.
+	slabs   [][]lineInfo
+	slabI   int // block the cursor is in
+	slabOff int // next free entry within that block
 	// perCore statistics, indexed by core.
 	perCore []Stats
 	// Congestion tracking: per socket, line-fill counts per virtual-time
@@ -374,6 +388,36 @@ func NewHierarchy(top *topology.Topology, geo Geometry, lat Latency) *Hierarchy 
 	return h
 }
 
+// Matches reports whether h models exactly the machine described by the
+// arguments, so a caller holding a used hierarchy can tell if Reset-and-reuse
+// is equivalent to building a fresh one. Topologies are compared by shape,
+// not pointer: preset constructors return fresh values per call.
+func (h *Hierarchy) Matches(top *topology.Topology, geo Geometry, lat Latency) bool {
+	return h.geo == geo && h.lat == lat && h.top.SameShape(top)
+}
+
+// Reset returns the hierarchy to its just-constructed state — every cache
+// empty, directory empty, statistics and congestion history zeroed — while
+// keeping the backing arrays, so a reused hierarchy costs no construction
+// allocations. A Reset hierarchy is behaviorally indistinguishable from
+// NewHierarchy with the same arguments (pinned by tests).
+func (h *Hierarchy) Reset() {
+	for _, c := range h.priv {
+		c.reset()
+	}
+	for _, c := range h.llc {
+		c.reset()
+	}
+	clear(h.dir)
+	h.slabI, h.slabOff = 0, 0
+	clear(h.perCore)
+	for i := range h.epochCount {
+		h.epochCount[i] = [congestionRing]int64{}
+		h.epochTag[i] = [congestionRing]int64{}
+	}
+	h.QueueCycles = 0
+}
+
 // Latency exposes the cost table (for reports and tests).
 func (h *Hierarchy) Latency() Latency { return h.lat }
 
@@ -395,11 +439,15 @@ func (h *Hierarchy) info(line int64) *lineInfo {
 		// Entries come from the slab; use the inline backing when the
 		// machine fits, and carve both spilled bitsets out of one
 		// allocation when it does not.
-		if len(h.slab) == 0 {
-			h.slab = make([]lineInfo, 256)
+		if h.slabI == len(h.slabs) {
+			h.slabs = append(h.slabs, make([]lineInfo, 256))
 		}
-		li = &h.slab[0]
-		h.slab = h.slab[1:]
+		li = &h.slabs[h.slabI][h.slabOff]
+		if h.slabOff++; h.slabOff == len(h.slabs[h.slabI]) {
+			h.slabI++
+			h.slabOff = 0
+		}
+		*li = lineInfo{} // may hold stale bits from before a Reset
 		pw, lw := bitsetWords(h.top.Cores()), bitsetWords(h.top.Sockets())
 		if pw == 1 && lw == 1 {
 			li.priv = li.inline[:1]

@@ -35,14 +35,31 @@ type Config struct {
 
 // Arena carries the allocation-heavy state a Runtime can reuse from a
 // previous run on the same machine shape. See sched.Arena for the
-// scheduler half; the core half pools the per-frame task records.
+// scheduler half; the core half pools the per-frame task records and the
+// cache-hierarchy model (the largest per-run construction: per-core private
+// caches, per-socket LLCs, and the coherence directory's entry slabs).
 type Arena struct {
 	sched *sched.Arena
 	tasks []*simTask
+	hier  *cache.Hierarchy
 }
 
 // NewArena returns an empty arena.
 func NewArena() *Arena { return &Arena{sched: sched.NewArena()} }
+
+// hierarchyFor returns a cache model for the given machine: the arena's
+// retained hierarchy Reset to pristine when it models exactly this machine,
+// or a freshly built one (retained for next time) when it does not. A Reset
+// hierarchy is behaviorally identical to a new one, so reuse never changes
+// simulation results.
+func (a *Arena) hierarchyFor(top *topology.Topology, geo cache.Geometry, lat cache.Latency) *cache.Hierarchy {
+	if a.hier != nil && a.hier.Matches(top, geo, lat) {
+		a.hier.Reset()
+		return a.hier
+	}
+	a.hier = cache.NewHierarchy(top, geo, lat)
+	return a.hier
+}
 
 // DefaultConfig returns a platform on the paper's 4x8 machine with the given
 // worker count and policy.
@@ -116,7 +133,7 @@ func NewRuntime(cfg Config) *Runtime {
 	rt := &Runtime{
 		cfg:    cfg,
 		alloc:  memory.NewAllocator(cfg.Sched.Topology.Sockets()),
-		caches: cache.NewHierarchy(cfg.Sched.Topology, cfg.Geometry, cfg.Latency),
+		caches: cfg.Arena.hierarchyFor(cfg.Sched.Topology, cfg.Geometry, cfg.Latency),
 		arena:  cfg.Arena,
 	}
 	return rt

@@ -41,7 +41,7 @@ func TestOptionsZeroValuesMeanDefaults(t *testing.T) {
 	if f.Jobs != 1 {
 		t.Errorf("zero Jobs filled to %d, want 1 (serial)", f.Jobs)
 	}
-	if f.Verify || f.RecordDAG {
+	if f.Verify || f.RecordDAG || f.FreshInputs {
 		t.Error("zero booleans must stay false")
 	}
 
@@ -154,7 +154,10 @@ func (failingWorkload) Verify() error { return errors.New("forced verification f
 // propagate through the pool on both the serial and the parallel path.
 func TestMeasureAllErrorSurfaces(t *testing.T) {
 	specs := Specs(ScaleSmall)[:3]
-	bad := specs[1]
+	// Overriding Make requires clearing the spec's pool identity: the pool
+	// keys on the registry entry, not the builder, and would otherwise hand
+	// back instances the original builder constructed.
+	bad := workloads.Unpooled(specs[1])
 	make1 := bad.Make
 	bad.Make = func(aware bool) workloads.Workload {
 		return failingWorkload{make1(aware)}

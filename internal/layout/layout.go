@@ -118,6 +118,15 @@ func NewMatrix(a *memory.Allocator, name string, n int, kind Kind, block int, po
 	}
 }
 
+// Rebind re-registers the matrix's region with a fresh allocator, keeping
+// its data and layout. Pooled workloads call it during Prepare to carry a
+// constructed matrix into a new run: regions hold run-scoped first-touch
+// state, so each run needs its own, but the expensive part — the data and
+// its layout — is layout-validated once and reused.
+func (m *Matrix) Rebind(a *memory.Allocator, name string, pol memory.Policy) {
+	m.R = a.Alloc(name, int64(m.N)*int64(m.N)*8, pol)
+}
+
 // Index maps (row, col) to the linear element index under the matrix's
 // layout.
 func (m *Matrix) Index(row, col int) int {

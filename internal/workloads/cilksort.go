@@ -13,6 +13,8 @@ import (
 // the four quarters in place (each earmarked for a virtual place in the
 // aware configuration), merge pairs of quarters, then merge the halves.
 type Cilksort struct {
+	reusable
+	refShared
 	cfg  Config
 	n    int
 	base int
@@ -47,14 +49,21 @@ func (s *Cilksort) Prepare(rt *core.Runtime) {
 		}
 		pol = memory.BindBlocks{Blocks: 4, Sockets: sockets}
 	}
-	s.in = memory.NewI64(rt.Allocator(), "cilksort.in", s.n, pol)
+	first := s.in == nil
+	s.in = memory.ReuseI64(s.in, rt.Allocator(), "cilksort.in", s.n, pol)
 	// tmp is never touched before the timed region: real first-touch under
 	// the baseline, banded like `in` under the aware configuration.
 	tmpPol := pol
 	if !s.cfg.Aware {
 		tmpPol = memory.FirstTouch{}
 	}
-	s.tmp = memory.NewI64(rt.Allocator(), "cilksort.tmp", s.n, tmpPol)
+	s.tmp = memory.ReuseI64(s.tmp, rt.Allocator(), "cilksort.tmp", s.n, tmpPol)
+	if !first {
+		// The run sorts in place; restore the pristine keys. tmp needs no
+		// reset — every merge writes its segment before it is read.
+		copy(s.in.Data, s.orig)
+		return
+	}
 	r := newRNG(s.cfg.Seed)
 	for i := range s.in.Data {
 		s.in.Data[i] = r.int63()
@@ -249,8 +258,12 @@ func (s *Cilksort) seqmerge(ctx core.Context, alo, ahi, blo, bhi int, src, dst *
 // Verify implements Workload: the result must equal the independently
 // sorted input, element for element.
 func (s *Cilksort) Verify() error {
-	want := append([]int64(nil), s.orig...)
-	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	v, _ := s.refCache().Do("cilksort.sorted", func() (any, error) {
+		w := append([]int64(nil), s.orig...)
+		sort.Slice(w, func(i, j int) bool { return w[i] < w[j] })
+		return w, nil
+	})
+	want := v.([]int64)
 	for i, v := range s.in.Data {
 		if v != want[i] {
 			return fmt.Errorf("cilksort: element %d is %d, want %d", i, v, want[i])

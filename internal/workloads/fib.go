@@ -16,6 +16,7 @@ import (
 // platform: there is no data to co-locate with, so the aware flag is
 // dropped.
 type Fib struct {
+	reusable
 	n, base int
 	result  uint64
 }

@@ -15,6 +15,8 @@ import (
 // earmarked for the matching places, co-locating each band's computation
 // with its rows across all time steps.
 type Heat struct {
+	reusable
+	refShared
 	cfg    Config
 	ny, nx int
 	steps  int
@@ -23,7 +25,6 @@ type Heat struct {
 	grid   [2]*memory.F64
 	places int
 	cur    int // which grid holds the latest values after the run
-	ref    []float64
 }
 
 // NewHeat builds an ny x nx Jacobi diffusion over the given number of time
@@ -42,8 +43,10 @@ func (h *Heat) Name() string { return "heat" }
 func (h *Heat) Prepare(rt *core.Runtime) {
 	h.places = rt.Places()
 	pol := h.cfg.bandPolicy(h.places)
-	h.grid[0] = memory.NewF64(rt.Allocator(), "heat.u0", h.ny*h.nx, pol)
-	h.grid[1] = memory.NewF64(rt.Allocator(), "heat.u1", h.ny*h.nx, pol)
+	h.grid[0] = memory.ReuseF64(h.grid[0], rt.Allocator(), "heat.u0", h.ny*h.nx, pol)
+	h.grid[1] = memory.ReuseF64(h.grid[1], rt.Allocator(), "heat.u1", h.ny*h.nx, pol)
+	// The sweeps overwrite both grids; re-seeding restores the initial
+	// condition whether this is a first or a reused preparation.
 	h.initGrid(h.grid[0].Data)
 	copy(h.grid[1].Data, h.grid[0].Data)
 }
@@ -105,9 +108,10 @@ func (h *Heat) sweepBand(ctx core.Context, band int, from, to *memory.F64) {
 }
 
 // Verify implements Workload: compare against a plain serial reference
-// computed from the same initial grid.
+// computed from the same initial grid (computed once per input, shared by
+// pooled instances).
 func (h *Heat) Verify() error {
-	if h.ref == nil {
+	v, _ := h.refCache().Do("heat.ref", func() (any, error) {
 		a := make([]float64, h.ny*h.nx)
 		b := make([]float64, h.ny*h.nx)
 		h.initGrid(a)
@@ -121,12 +125,13 @@ func (h *Heat) Verify() error {
 			}
 			a, b = b, a
 		}
-		h.ref = a
-	}
+		return a, nil
+	})
+	ref := v.([]float64)
 	got := h.grid[h.cur].Data
-	for i := range h.ref {
-		if math.Abs(got[i]-h.ref[i]) > 1e-9 {
-			return fmt.Errorf("heat: cell %d is %g, want %g", i, got[i], h.ref[i])
+	for i := range ref {
+		if math.Abs(got[i]-ref[i]) > 1e-9 {
+			return fmt.Errorf("heat: cell %d is %g, want %g", i, got[i], ref[i])
 		}
 	}
 	return nil

@@ -29,6 +29,8 @@ import (
 // deviation: the paper's modest hull gains come from bandwidth spreading,
 // which the substitution does not model.
 type Hull struct {
+	reusable
+	refShared
 	cfg     Config
 	n       int
 	grain   int
@@ -85,14 +87,21 @@ func (h *Hull) Prepare(rt *core.Runtime) {
 	h.places = rt.Places()
 	alloc := rt.Allocator()
 	pol := h.cfg.bandPolicy(h.places)
-	h.x = memory.NewF64(alloc, h.nameStr+".x", h.n, pol)
-	h.y = memory.NewF64(alloc, h.nameStr+".y", h.n, pol)
+	first := h.x == nil
+	h.x = memory.ReuseF64(h.x, alloc, h.nameStr+".x", h.n, pol)
+	h.y = memory.ReuseF64(h.y, alloc, h.nameStr+".y", h.n, pol)
 	// The index and flag buffers are pure scratch: first-touch under the
 	// baseline, banded when aware.
 	scratch := h.cfg.scratchPolicy(h.places)
-	h.idx[0] = memory.NewI32(alloc, h.nameStr+".idx0", h.n, scratch)
-	h.idx[1] = memory.NewI32(alloc, h.nameStr+".idx1", h.n, scratch)
-	h.flags = memory.NewI32(alloc, h.nameStr+".flags", h.n, scratch)
+	h.idx[0] = memory.ReuseI32(h.idx[0], alloc, h.nameStr+".idx0", h.n, scratch)
+	h.idx[1] = memory.ReuseI32(h.idx[1], alloc, h.nameStr+".idx1", h.n, scratch)
+	h.flags = memory.ReuseI32(h.flags, alloc, h.nameStr+".flags", h.n, scratch)
+	if !first {
+		// The points are read-only and the scratch buffers are written
+		// before being read; only the accumulated hull marks need clearing.
+		clear(h.hullMark)
+		return
+	}
 	h.hullMark = make([]bool, h.n)
 	h.partialCnt = make([][2]int, h.bands)
 
@@ -454,10 +463,14 @@ func (h *Hull) packParallel(ctx core.Context, in, out *memory.I32, lo, hi int, a
 // Verify implements Workload: the marked points must be exactly the hull of
 // the input, as computed by an independent Andrew's monotone chain.
 func (h *Hull) Verify() error {
-	want := map[int32]bool{}
-	for _, i := range monotoneChain(h.x.Data, h.y.Data) {
-		want[i] = true
-	}
+	v, _ := h.refCache().Do(h.nameStr+".hull", func() (any, error) {
+		want := map[int32]bool{}
+		for _, i := range monotoneChain(h.x.Data, h.y.Data) {
+			want[i] = true
+		}
+		return want, nil
+	})
+	want := v.(map[int32]bool) // read-only once cached
 	var got []int32
 	for i, m := range h.hullMark {
 		if m {

@@ -23,6 +23,7 @@ import (
 // rows across the elimination; the baseline gets serial-first-touch
 // placement.
 type LU struct {
+	reusable
 	cfg  Config
 	n    int // matrix dimension, a multiple of base
 	base int // tile size
@@ -57,7 +58,13 @@ func (l *LU) nb() int { return l.n / l.base }
 // row-banded over sockets in the aware configuration.
 func (l *LU) Prepare(rt *core.Runtime) {
 	l.places = rt.Places()
-	l.a = memory.NewF64(rt.Allocator(), "lu.A", l.n*l.n, l.cfg.bandPolicy(l.places))
+	first := l.a == nil
+	l.a = memory.ReuseF64(l.a, rt.Allocator(), "lu.A", l.n*l.n, l.cfg.bandPolicy(l.places))
+	if !first {
+		// The elimination factors A in place; restore the pristine matrix.
+		copy(l.a.Data, l.orig)
+		return
+	}
 	r := newRNG(l.cfg.Seed)
 	for i := 0; i < l.n; i++ {
 		for j := 0; j < l.n; j++ {

@@ -18,13 +18,14 @@ import (
 // base case, so every base-case tile is one contiguous, streamable,
 // socket-bindable span.
 type Matmul struct {
+	reusable
+	refShared
 	cfg    Config
 	n      int
 	base   int
 	zkind  bool
 	a, b   *layout.Matrix
 	c      *layout.Matrix
-	ref    *layout.Matrix
 	places int
 }
 
@@ -51,9 +52,18 @@ func (m *Matmul) Prepare(rt *core.Runtime) {
 		kind, block = layout.BlockedMorton, m.base
 	}
 	pol := m.cfg.basePolicy()
-	m.a = layout.NewMatrix(alloc, m.Name()+".A", m.n, kind, block, pol)
-	m.b = layout.NewMatrix(alloc, m.Name()+".B", m.n, kind, block, pol)
-	m.c = layout.NewMatrix(alloc, m.Name()+".C", m.n, kind, block, pol)
+	first := m.a == nil
+	if first {
+		m.a = layout.NewMatrix(alloc, m.Name()+".A", m.n, kind, block, pol)
+		m.b = layout.NewMatrix(alloc, m.Name()+".B", m.n, kind, block, pol)
+		m.c = layout.NewMatrix(alloc, m.Name()+".C", m.n, kind, block, pol)
+	} else {
+		m.a.Rebind(alloc, m.Name()+".A", pol)
+		m.b.Rebind(alloc, m.Name()+".B", pol)
+		m.c.Rebind(alloc, m.Name()+".C", pol)
+		// The base case accumulates into C; reuse starts from zero again.
+		clear(m.c.Data)
+	}
 	if m.cfg.Aware && m.zkind {
 		// Co-locate quadrants with the places that compute them; only the
 		// Z layout makes quadrants page-contiguous.
@@ -65,8 +75,10 @@ func (m *Matmul) Prepare(rt *core.Runtime) {
 		m.b.BindQuadrantsToSockets(sockets)
 		m.c.BindQuadrantsToSockets(sockets)
 	}
-	m.a.FillRandom(m.cfg.Seed)
-	m.b.FillRandom(m.cfg.Seed + 1)
+	if first {
+		m.a.FillRandom(m.cfg.Seed)
+		m.b.FillRandom(m.cfg.Seed + 1)
+	}
 }
 
 // Root implements Workload.
@@ -165,7 +177,10 @@ func chargeTile(ctx core.Context, mat *layout.Matrix, r, c, n int, write bool) {
 // Verify implements Workload: compare against a straightforward triple-loop
 // product in a row-major reference matrix.
 func (m *Matmul) Verify() error {
-	ref := naiveMul(m.a, m.b)
+	v, _ := m.refCache().Do(m.Name()+".ref", func() (any, error) {
+		return naiveMul(m.a, m.b), nil
+	})
+	ref := v.([]float64)
 	for r := 0; r < m.n; r++ {
 		for c := 0; c < m.n; c++ {
 			got := m.c.At(r, c)

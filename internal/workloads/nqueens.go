@@ -17,6 +17,8 @@ import (
 // Like fib, nqueens carries no data arrays, so it is hint-free on both
 // platforms: the aware flag is dropped.
 type NQueens struct {
+	reusable
+	refShared
 	n     int
 	depth int // spawn per row down to this depth, then search serially
 	count int64
@@ -117,8 +119,11 @@ func (q *NQueens) serial(row int, cols, d1, d2 uint32, nodes *int64) int64 {
 // same search space) and, for board sizes with published solution counts,
 // cross-check against the known value.
 func (q *NQueens) Verify() error {
-	var nodes int64
-	want := q.serial(0, 0, 0, 0, &nodes)
+	v, _ := q.refCache().Do("nqueens.want", func() (any, error) {
+		var nodes int64
+		return q.serial(0, 0, 0, 0, &nodes), nil
+	})
+	want := v.(int64)
 	if q.count != want {
 		return fmt.Errorf("nqueens: counted %d solutions for n=%d, serial recount says %d", q.count, q.n, want)
 	}

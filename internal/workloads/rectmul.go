@@ -19,6 +19,8 @@ import (
 // Like matmul and strassen, rectmul uses no locality hints on either
 // platform; the aware flag is dropped by the suite registration.
 type Rectmul struct {
+	reusable
+	refShared
 	cfg     Config
 	m, p, n int // C is m x n, A is m x p, B is p x n
 	base    int
@@ -52,9 +54,15 @@ func (r *Rectmul) Name() string { return "rectmul" }
 func (r *Rectmul) Prepare(rt *core.Runtime) {
 	r.places = rt.Places()
 	pol := r.cfg.basePolicy()
-	r.a = memory.NewF64(rt.Allocator(), "rectmul.A", r.m*r.p, pol)
-	r.b = memory.NewF64(rt.Allocator(), "rectmul.B", r.p*r.n, pol)
-	r.c = memory.NewF64(rt.Allocator(), "rectmul.C", r.m*r.n, pol)
+	first := r.a == nil
+	r.a = memory.ReuseF64(r.a, rt.Allocator(), "rectmul.A", r.m*r.p, pol)
+	r.b = memory.ReuseF64(r.b, rt.Allocator(), "rectmul.B", r.p*r.n, pol)
+	r.c = memory.ReuseF64(r.c, rt.Allocator(), "rectmul.C", r.m*r.n, pol)
+	if !first {
+		// C += A*B accumulates; reuse starts from zero again.
+		clear(r.c.Data)
+		return
+	}
 	rng := newRNG(r.cfg.Seed)
 	for i := range r.a.Data {
 		r.a.Data[i] = 2*rng.float64() - 1
@@ -125,17 +133,21 @@ func (r *Rectmul) baseMul(ctx core.Context, cr, cc, ak, m, p, n int) {
 // Verify implements Workload: compare against a plain serial triple loop
 // over the same inputs.
 func (r *Rectmul) Verify() error {
-	ref := make([]float64, r.m*r.n)
-	for i := 0; i < r.m; i++ {
-		for k := 0; k < r.p; k++ {
-			av := r.a.Data[i*r.p+k]
-			brow := r.b.Data[k*r.n:]
-			refRow := ref[i*r.n:]
-			for j := 0; j < r.n; j++ {
-				refRow[j] += av * brow[j]
+	v, _ := r.refCache().Do("rectmul.ref", func() (any, error) {
+		ref := make([]float64, r.m*r.n)
+		for i := 0; i < r.m; i++ {
+			for k := 0; k < r.p; k++ {
+				av := r.a.Data[i*r.p+k]
+				brow := r.b.Data[k*r.n:]
+				refRow := ref[i*r.n:]
+				for j := 0; j < r.n; j++ {
+					refRow[j] += av * brow[j]
+				}
 			}
 		}
-	}
+		return ref, nil
+	})
+	ref := v.([]float64)
 	tol := 1e-10 * float64(r.p)
 	for i := 0; i < r.m; i++ {
 		for j := 0; j < r.n; j++ {

@@ -44,6 +44,13 @@ type Spec struct {
 	// curve; the paper plots matmul and strassen only as their -z
 	// variants).
 	Fig9Name string
+
+	// scale and poolGen are stamped by Specs: the scale the builder ran at
+	// and the registry generation it was snapshotted under. Together with
+	// Name and Input they are the spec's pool identity (see pool.go).
+	// Hand-built Spec literals have poolGen 0 — no identity, never pooled.
+	scale   Scale
+	poolGen uint64
 }
 
 // Builder constructs a benchmark's Spec at the given scale. The returned
@@ -56,7 +63,14 @@ type Builder func(Scale) Spec
 var registry = struct {
 	sync.RWMutex
 	byName map[string]Builder
-}{byName: map[string]Builder{}}
+	// gen counts registry mutations, starting at 1 so a stamped spec's
+	// generation is always nonzero. Every Register/Unregister bumps it and
+	// flushes the workload pool: specs stamped under an older generation
+	// keep working but repool under their own keys, so a name re-registered
+	// with a different builder can never be served another builder's
+	// pooled instances.
+	gen uint64
+}{byName: map[string]Builder{}, gen: 1}
 
 // Register adds a benchmark builder under name. It panics on an empty
 // name, a nil builder, or a duplicate registration: all are programming
@@ -86,6 +100,8 @@ func TryRegister(name string, b Builder) error {
 		return fmt.Errorf("workloads: Register: benchmark %q already registered", name)
 	}
 	registry.byName[name] = b
+	registry.gen++
+	flushPools()
 	return nil
 }
 
@@ -98,6 +114,10 @@ func Unregister(name string) bool {
 	defer registry.Unlock()
 	_, ok := registry.byName[name]
 	delete(registry.byName, name)
+	if ok {
+		registry.gen++
+		flushPools()
+	}
 	return ok
 }
 
@@ -144,6 +164,7 @@ func Specs(s Scale) []Spec {
 	for i, name := range names {
 		builders[i] = registry.byName[name]
 	}
+	gen := registry.gen
 	registry.RUnlock()
 	out := make([]Spec, len(names))
 	for i, b := range builders {
@@ -152,6 +173,8 @@ func Specs(s Scale) []Spec {
 			panic(fmt.Sprintf("workloads: benchmark registered as %q built a spec named %q",
 				names[i], out[i].Name))
 		}
+		out[i].scale = s
+		out[i].poolGen = gen
 	}
 	return out
 }

@@ -20,6 +20,8 @@ import (
 // the inputs. The Z variant (strassen-z) applies the blocked Z-Morton
 // layout to inputs, output, and temporaries.
 type Strassen struct {
+	reusable
+	refShared
 	cfg   Config
 	n     int
 	base  int
@@ -30,6 +32,13 @@ type Strassen struct {
 	places  int
 	alloc   *memory.Allocator
 	nameCtr int
+
+	// mats records every matrix in first-build order so a reused instance
+	// can rebind the same matrices to a fresh allocator: newMatrix is
+	// deterministic, so replaying it yields the same names in the same
+	// order and the pooled instance reproduces the first run's layout.
+	mats []*layout.Matrix
+	matI int
 }
 
 // stNode holds one recursion level's temporaries: five A-side sums, five
@@ -59,12 +68,20 @@ func (s *Strassen) Name() string {
 func (s *Strassen) Prepare(rt *core.Runtime) {
 	s.places = rt.Places()
 	s.alloc = rt.Allocator()
+	first := len(s.mats) == 0
+	s.nameCtr = 0
+	s.matI = 0
 	s.a = s.newMatrix("A", s.n)
 	s.b = s.newMatrix("B", s.n)
 	s.c = s.newMatrix("C", s.n)
 	s.temps = s.buildTemps(s.n)
-	s.a.FillRandom(s.cfg.Seed)
-	s.b.FillRandom(s.cfg.Seed + 1)
+	// No data reset on reuse: A and B are read-only during the run, and
+	// every cell of C and of the temporaries is written (set, not
+	// accumulated) before it is read.
+	if first {
+		s.a.FillRandom(s.cfg.Seed)
+		s.b.FillRandom(s.cfg.Seed + 1)
+	}
 }
 
 func (s *Strassen) newMatrix(what string, n int) *layout.Matrix {
@@ -80,7 +97,16 @@ func (s *Strassen) newMatrix(what string, n int) *layout.Matrix {
 		// the worker that computes them — naturally distributed.
 		pol = memory.FirstTouch{}
 	}
-	return layout.NewMatrix(s.alloc, name, n, kind, block, pol)
+	if s.matI < len(s.mats) {
+		m := s.mats[s.matI]
+		s.matI++
+		m.Rebind(s.alloc, name, pol)
+		return m
+	}
+	m := layout.NewMatrix(s.alloc, name, n, kind, block, pol)
+	s.mats = append(s.mats, m)
+	s.matI++
+	return m
 }
 
 func (s *Strassen) buildTemps(n int) *stNode {
@@ -360,7 +386,10 @@ func (s *Strassen) baseMul(ctx core.Context, c, a, b view, acc bool) {
 // Verify implements Workload: Strassen's result must match the naive
 // product within numerical tolerance.
 func (s *Strassen) Verify() error {
-	ref := naiveMul(s.a, s.b)
+	v, _ := s.refCache().Do(s.Name()+".ref", func() (any, error) {
+		return naiveMul(s.a, s.b), nil
+	})
+	ref := v.([]float64)
 	for r := 0; r < s.n; r++ {
 		for c := 0; c < s.n; c++ {
 			got := s.c.At(r, c)

@@ -83,6 +83,7 @@ type config struct {
 	seeds    int
 	jobs     int
 	verify   bool
+	fresh    bool
 	benches  []string
 }
 
@@ -199,6 +200,20 @@ func WithVerify(v bool) Option {
 	})
 }
 
+// WithFreshInputs forces every simulation to construct its workload input
+// from scratch instead of drawing on the session-wide input pool and the
+// shared serial-reference cache (default false: pooled). Input data is a
+// pure function of benchmark, scale, and input seed, so pooling never
+// changes any measurement — this switch exists for callers that want to
+// bound peak memory or to cross-check the pooled path against an
+// unamortized run.
+func WithFreshInputs(fresh bool) Option {
+	return option(func(c *config) error {
+		c.fresh = fresh
+		return nil
+	})
+}
+
 // WithBenchmarks restricts the session to the named benchmarks (in the
 // given order) instead of the full registered suite — the paper's nine,
 // the Cilk-suite additions, and anything added through RegisterBenchmark
@@ -303,13 +318,14 @@ func selectSpecs(all []harness.Spec, names []string) ([]harness.Spec, error) {
 // options assembles the harness options for one measurement call.
 func (s *Session) options() harness.Options {
 	return harness.Options{
-		Topology: s.top,
-		P:        s.cfg.workers,
-		Seed:     s.cfg.seed,
-		Seeds:    s.cfg.seeds,
-		Verify:   s.cfg.verify,
-		Jobs:     s.cfg.jobs,
-		Policy:   s.policy,
+		Topology:    s.top,
+		P:           s.cfg.workers,
+		Seed:        s.cfg.seed,
+		Seeds:       s.cfg.seeds,
+		Verify:      s.cfg.verify,
+		Jobs:        s.cfg.jobs,
+		Policy:      s.policy,
+		FreshInputs: s.cfg.fresh,
 	}
 }
 
