@@ -56,10 +56,26 @@
 //	         name), so perf investigation of the simulator is self-serve
 //	-memprofile  write a pprof heap profile taken after the measurement
 //	         runs to this file
+//	-timeout  per-run deadline: a simulation exceeding it is interrupted
+//	         and reported as its benchmark's error row (default 0: no
+//	         deadline, the fully deterministic configuration)
+//	-retries re-run a timed-out simulation up to this many extra attempts;
+//	         panics and verification failures are deterministic and never
+//	         retried (default 0)
+//	-journal append every completed run to this crash-safe JSONL file as
+//	         it finishes, so a killed grid can be resumed
+//	-resume  replay completed runs from the -journal file instead of
+//	         re-simulating them; only the missing runs simulate, and the
+//	         rows are identical to an uninterrupted grid's (requires
+//	         -journal)
 //
 // Interrupting a run (Ctrl-C) cancels the measurement context: simulations
 // not yet started are skipped, in-flight ones finish, and the command
 // exits with an error instead of leaving hours of sweep unaccounted for.
+// A single benchmark's failure (panic, deadline, verification mismatch)
+// does not abort the grid: its row becomes an error row — printed in the
+// tables, carried by the exports — and the command exits 1 after
+// completing and exporting everything else.
 package main
 
 import (
@@ -110,6 +126,10 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	csvPath := fs.String("csv", "", "write measured rows/series as CSV to this file (\"-\" for stdout)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the runs to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile after the runs to this file")
+	timeout := fs.Duration("timeout", 0, "per-run deadline; exceeding runs become error rows (0: none)")
+	retries := fs.Int("retries", 0, "extra attempts for timed-out runs (deterministic failures are never retried)")
+	journalPath := fs.String("journal", "", "append every completed run to this crash-safe JSONL file")
+	resume := fs.Bool("resume", false, "replay completed runs from the -journal file instead of re-simulating")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0 // -h/-help: usage printed, healthy exit
@@ -139,6 +159,9 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		// would not be the averaging the caller asked for.
 		return fail(fmt.Errorf("-seeds %d must be at least 1", *seeds))
 	}
+	if *resume && *journalPath == "" {
+		return fail(fmt.Errorf("-resume requires -journal (the file to replay from)"))
+	}
 	// Session construction is the validation point: unknown -topology,
 	// -policy and -bench names and out-of-range -p are usage errors here,
 	// never a silent default — a sweep on the wrong machine, scheduler or
@@ -156,10 +179,29 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	if *bench != "" {
 		opts = append(opts, numaws.WithBenchmarks(splitList(*bench)...))
 	}
+	if *timeout != 0 {
+		opts = append(opts, numaws.WithRunTimeout(*timeout))
+	}
+	if *retries != 0 {
+		opts = append(opts, numaws.WithRetry(*retries))
+	}
+	if *journalPath != "" {
+		opts = append(opts, numaws.WithJournal(*journalPath))
+	}
+	if *resume {
+		opts = append(opts, numaws.WithResume())
+	}
 	session, err := numaws.New(opts...)
 	if err != nil {
 		return fail(err)
 	}
+	defer func() {
+		// The journal is fsync'd per record, so a close failure loses no
+		// data; report it without disturbing the exit code already chosen.
+		if cerr := session.Close(); cerr != nil {
+			fmt.Fprintln(stderr, "numaws:", strings.TrimPrefix(cerr.Error(), "numaws: "))
+		}
+	}()
 	if *policy != "numaws" {
 		// The tables' column headers and export field names say NWS/numaws
 		// regardless of -policy (schema stability); flag the substitution
@@ -250,6 +292,20 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	}
 	if profErr != nil {
 		fmt.Fprintln(stderr, "numaws: profile (measurements and exports are intact):", profErr)
+		return 1
+	}
+	// Contained benchmark failures surfaced as error rows: the tables and
+	// exports above carry them, but the exit code must still say the run
+	// was not fully healthy.
+	failed := 0
+	for _, r := range app.ex.rows {
+		if r.Err != nil {
+			failed++
+			fmt.Fprintln(stderr, "numaws: failed:", r.Err.Error())
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "numaws: %d of %d benchmark rows failed (tables and exports carry the error rows)\n", failed, len(app.ex.rows))
 		return 1
 	}
 	return 0

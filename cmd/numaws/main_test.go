@@ -202,3 +202,51 @@ func TestHelpExitsZero(t *testing.T) {
 		t.Errorf("numaws sweep -h exited %d, want 0", code)
 	}
 }
+
+func TestResumeRequiresJournal(t *testing.T) {
+	code, _, errb := runCLI(t, "-resume", "table7")
+	if code == 0 {
+		t.Fatal("-resume without -journal exited 0")
+	}
+	if !strings.Contains(errb, "-resume requires -journal") {
+		t.Errorf("stderr: %s", errb)
+	}
+}
+
+// TestJournalResumeRoundTrip runs a small grid twice: once writing a
+// journal, once resuming from it. The resumed run replays every record
+// instead of re-simulating, and its printed tables are byte-identical.
+func TestJournalResumeRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/cli.jsonl"
+	code, out1, errb := runCLI(t, "-scale", "small", "-bench", "heat", "-journal", path, "table7")
+	if code != 0 {
+		t.Fatalf("journaled run exited %d, stderr:\n%s", code, errb)
+	}
+	if st, err := os.Stat(path); err != nil || st.Size() == 0 {
+		t.Fatalf("journal not written: %v", err)
+	}
+	code, out2, errb := runCLI(t, "-scale", "small", "-bench", "heat", "-journal", path, "-resume", "table7")
+	if code != 0 {
+		t.Fatalf("resumed run exited %d, stderr:\n%s", code, errb)
+	}
+	if out1 != out2 {
+		t.Errorf("resumed run's output diverged:\n--- first\n%s\n--- resumed\n%s", out1, out2)
+	}
+}
+
+// TestTimeoutFlagAccepted pins that a generous -timeout (with -retries)
+// never changes a healthy run's output: the deadline hook is pure
+// observation until it fires.
+func TestTimeoutFlagAccepted(t *testing.T) {
+	code, out1, errb := runCLI(t, "-scale", "small", "-bench", "heat", "table7")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb)
+	}
+	code, out2, errb := runCLI(t, "-scale", "small", "-bench", "heat", "-timeout", "5m", "-retries", "2", "table7")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb)
+	}
+	if out1 != out2 {
+		t.Errorf("-timeout changed a healthy run's output:\n--- without\n%s\n--- with\n%s", out1, out2)
+	}
+}

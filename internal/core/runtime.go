@@ -221,19 +221,44 @@ type serialCtx struct {
 	rt    *Runtime
 	clock int64
 	place int
+	polls int
 }
 
 var _ Context = (*serialCtx)(nil)
 
-func (c *serialCtx) Spawn(t Task)          { t(c) }
-func (c *serialCtx) SpawnAt(p int, t Task) { old := c.place; c.place = p; t(c); c.place = old }
-func (c *serialCtx) Sync()                 {}
-func (c *serialCtx) Call(t Task)           { t(c) }
-func (c *serialCtx) Compute(n int64)       { c.clock += n }
-func (c *serialCtx) NumPlaces() int        { return c.rt.cfg.Sched.Topology.Sockets() }
-func (c *serialCtx) Place() int            { return c.place }
-func (c *serialCtx) SetPlace(p int)        { c.place = p }
-func (c *serialCtx) Worker() int           { return 0 }
+// serialPollInterval amortizes the serial elision's interrupt poll the way
+// interruptPollInterval amortizes the engine's: one check every power-of-two
+// calls. Must be a power of two.
+const serialPollInterval = 1024
+
+// poll checks the run's interrupt hook. Serial runs execute inline on the
+// caller's goroutine with no event loop in between, so the elision itself
+// polls at its Spawn/Compute edges; the panic unwinds to the harness
+// containment boundary exactly like the engine's.
+func (c *serialCtx) poll() {
+	c.polls++
+	if c.polls&(serialPollInterval-1) == 0 {
+		if f := c.rt.cfg.Sched.Interrupt; f != nil && f() {
+			panic(sched.ErrInterrupted)
+		}
+	}
+}
+
+func (c *serialCtx) Spawn(t Task) { c.poll(); t(c) }
+func (c *serialCtx) SpawnAt(p int, t Task) {
+	c.poll()
+	old := c.place
+	c.place = p
+	t(c)
+	c.place = old
+}
+func (c *serialCtx) Sync()           {}
+func (c *serialCtx) Call(t Task)     { c.poll(); t(c) }
+func (c *serialCtx) Compute(n int64) { c.poll(); c.clock += n }
+func (c *serialCtx) NumPlaces() int  { return c.rt.cfg.Sched.Topology.Sockets() }
+func (c *serialCtx) Place() int      { return c.place }
+func (c *serialCtx) SetPlace(p int)  { c.place = p }
+func (c *serialCtx) Worker() int     { return 0 }
 
 func (c *serialCtx) Read(r *memory.Region, off, n int64) {
 	c.clock += c.rt.caches.AccessRange(c.clock, 0, r, off, n, false)
@@ -370,6 +395,7 @@ func (rt *Runtime) putTask(t *simTask) {
 // sync (every Cilk function syncs before returning), then yield Return.
 func (t *simTask) main() {
 	defer func() {
+		//numaws:recover-ok goroutine relay, not containment: the panic is re-raised on the engine goroutine by simRunner.Resume
 		if p := recover(); p != nil {
 			t.err = p
 			t.u.yield <- sched.Yield{Kind: sched.YieldReturn, Cost: t.ctx.cost}

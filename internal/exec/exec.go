@@ -19,7 +19,9 @@ package exec
 
 import (
 	"context"
+	"errors"
 	"runtime"
+	"sort"
 	"sync"
 )
 
@@ -43,17 +45,31 @@ type job struct {
 // completion, but once a failure is recorded or the context is cancelled,
 // workers skip jobs they have not started yet: every caller discards all
 // results on error, so finishing the sweep after a failure would only burn
-// cycles. Wait reports the failure with the lowest submission index among
-// the jobs that ran, or the context's error when cancellation cut the sweep
-// short.
+// cycles.
+//
+// Multi-error contract: every failure that does run to completion is
+// retained. Wait returns a single failure unwrapped, and aggregates several
+// with errors.Join in ascending submission-index order — deterministic no
+// matter which workers observed the failures, and transparent to errors.Is/
+// errors.As callers either way. With no job failure, Wait returns the
+// context's error. Note that skip-after-first-error makes "several failures"
+// a race-dependent set (jobs in flight when the first failure lands may
+// still fail); only the lowest-indexed failure is guaranteed present, which
+// is why callers that need one canonical error inspect Join's first operand.
 type Pool struct {
 	workers int
 	ch      chan job
 	wg      sync.WaitGroup
 
-	mu     sync.Mutex
-	err    error
-	errIdx int
+	mu   sync.Mutex
+	errs []indexedErr
+}
+
+// indexedErr pairs a job failure with the job's submission index, so Wait
+// can order aggregated failures canonically.
+type indexedErr struct {
+	idx int
+	err error
 }
 
 // NewPool starts a pool with the given number of workers; counts below one
@@ -68,7 +84,7 @@ func NewPool(ctx context.Context, workers int) *Pool {
 	if workers < 1 {
 		workers = 1
 	}
-	p := &Pool{workers: workers, errIdx: -1}
+	p := &Pool{workers: workers}
 	if workers > 1 {
 		// A small buffer keeps workers fed without letting the submitter
 		// race arbitrarily far ahead of execution.
@@ -101,21 +117,19 @@ func (p *Pool) skip(ctx context.Context) bool {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.err != nil
+	return len(p.errs) > 0
 }
 
 func (p *Pool) record(idx int, err error) {
 	p.mu.Lock()
-	if p.err == nil || idx < p.errIdx {
-		p.err, p.errIdx = err, idx
-	}
+	p.errs = append(p.errs, indexedErr{idx: idx, err: err})
 	p.mu.Unlock()
 }
 
 // Submit schedules one job. ctx is the same context the pool was started
 // with (a serial pool consults it inline; a parallel pool's workers hold
 // their own reference). idx is the job's position in the caller's
-// canonical serial order; it determines which error Wait reports when
+// canonical serial order; it orders the failures Wait aggregates when
 // several jobs fail. Submit blocks when all workers are busy and the
 // buffer is full (backpressure; cancellation unblocks it, because workers
 // keep draining the channel); it must not be called after Wait, nor from
@@ -137,8 +151,9 @@ func (p *Pool) Submit(ctx context.Context, idx int, fn func() error) {
 }
 
 // Wait blocks until every submitted job has finished or been skipped and
-// returns the lowest-indexed job error; with no job error it returns the
-// context's error, so a cancelled sweep surfaces ctx.Err() to its caller.
+// returns the pool's failures per the multi-error contract above: one
+// failure unwrapped, several joined in submission-index order, else the
+// context's error (so a cancelled sweep surfaces ctx.Err() to its caller).
 // The pool cannot be reused after Wait. Jobs already running when the
 // context is cancelled run to completion before Wait returns — the pool
 // never abandons a goroutine.
@@ -147,8 +162,17 @@ func (p *Pool) Wait(ctx context.Context) error {
 		close(p.ch)
 		p.wg.Wait()
 	}
-	if p.err != nil {
-		return p.err
+	switch len(p.errs) {
+	case 0:
+	case 1:
+		return p.errs[0].err
+	default:
+		sort.Slice(p.errs, func(i, j int) bool { return p.errs[i].idx < p.errs[j].idx })
+		joined := make([]error, len(p.errs))
+		for i, e := range p.errs {
+			joined[i] = e.err
+		}
+		return errors.Join(joined...)
 	}
 	if ctx == nil {
 		return nil
@@ -157,7 +181,7 @@ func (p *Pool) Wait(ctx context.Context) error {
 }
 
 // ForEach runs fn(0) … fn(n-1) on a pool with the given worker count and
-// returns the lowest-indexed error (or ctx's error on cancellation).
+// returns Wait's aggregate error (or ctx's error on cancellation).
 func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if ctx == nil {
 		ctx = context.Background()

@@ -52,32 +52,37 @@ func TestBoundedConcurrency(t *testing.T) {
 	}
 }
 
-func TestWaitReportsLowestIndexedError(t *testing.T) {
+func TestWaitReportsErrors(t *testing.T) {
 	errs := map[int]error{
 		7:  errors.New("err7"),
 		3:  errors.New("err3"),
 		50: errors.New("err50"),
 	}
 
-	// Serial pools short-circuit: job 3 fails first and 7/50 never run.
+	// Serial pools short-circuit: job 3 fails first and 7/50 never run,
+	// so the single failure comes back unwrapped.
 	err := ForEach(context.Background(), 1, 64, func(i int) error { return errs[i] })
-	if err == nil || err.Error() != "err3" {
+	if !errors.Is(err, errs[3]) {
 		t.Errorf("workers=1: got %v, want err3", err)
 	}
+	if err.Error() != "err3" {
+		t.Errorf("workers=1: single failure should be unwrapped, got %q", err.Error())
+	}
 
-	// Parallel pools report the lowest index among the failures that
-	// ran; the skip-after-failure optimization means any of the three
-	// may be it, but never a fabricated error.
+	// Parallel pools retain every failure that ran (the skip-after-failure
+	// optimization makes the set race-dependent, but the lowest index is
+	// always among them) and join them in index order — never a fabricated
+	// error.
 	err = ForEach(context.Background(), 4, 64, func(i int) error { return errs[i] })
-	switch {
-	case err == nil:
-		t.Error("workers=4: got nil, want one of the injected errors")
-	case err.Error() != "err3" && err.Error() != "err7" && err.Error() != "err50":
-		t.Errorf("workers=4: got %v, want one of the injected errors", err)
+	if err == nil {
+		t.Fatal("workers=4: got nil, want at least one injected error")
+	}
+	if !errors.Is(err, errs[3]) && !errors.Is(err, errs[7]) && !errors.Is(err, errs[50]) {
+		t.Errorf("workers=4: got %v, want (a join of) the injected errors", err)
 	}
 
 	// With exactly one failing job, the reported error is deterministic
-	// regardless of worker count.
+	// and unwrapped regardless of worker count.
 	for _, workers := range []int{2, 8} {
 		err := ForEach(context.Background(), workers, 64, func(i int) error {
 			if i == 7 {
@@ -87,6 +92,69 @@ func TestWaitReportsLowestIndexedError(t *testing.T) {
 		})
 		if err == nil || err.Error() != "err7" {
 			t.Errorf("workers=%d: got %v, want err7", workers, err)
+		}
+	}
+}
+
+func TestWaitJoinsMultipleErrorsInIndexOrder(t *testing.T) {
+	// Hold all four failing jobs at a barrier until each has started, so
+	// every one of them runs (none is skipped) no matter how the workers
+	// race — then Wait must retain all four, joined in ascending
+	// submission-index order regardless of completion order.
+	const workers = 4
+	ctx := context.Background()
+	p := NewPool(ctx, workers)
+	var started sync.WaitGroup
+	started.Add(workers)
+	errAt := make(map[int]error, workers)
+	for _, idx := range []int{9, 2, 31, 17} {
+		errAt[idx] = fmt.Errorf("job %d failed", idx)
+	}
+	for idx, e := range errAt {
+		idx, e := idx, e
+		p.Submit(ctx, idx, func() error {
+			started.Done()
+			started.Wait()
+			return e
+		})
+	}
+	err := p.Wait(ctx)
+	if err == nil {
+		t.Fatal("Wait = nil, want joined errors")
+	}
+	for _, e := range errAt {
+		if !errors.Is(err, e) {
+			t.Errorf("errors.Is(err, %v) = false; every completed failure must be retained", e)
+		}
+	}
+	want := "job 2 failed\njob 9 failed\njob 17 failed\njob 31 failed"
+	if err.Error() != want {
+		t.Errorf("joined error not in submission-index order:\ngot  %q\nwant %q", err.Error(), want)
+	}
+}
+
+func TestSubmitAfterCancelSkipsJob(t *testing.T) {
+	// Submitting after the pool's context is cancelled must neither run
+	// the job nor wedge the submitter: workers keep draining the channel,
+	// and Wait reports the cancellation.
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		p := NewPool(ctx, workers)
+		var ran atomic.Int32
+		p.Submit(ctx, 0, func() error { ran.Add(1); return nil })
+		cancel()
+		// Post-cancel submissions: enough of them to overflow the channel
+		// buffer if workers stopped draining.
+		for i := 1; i <= 64; i++ {
+			p.Submit(ctx, i, func() error { ran.Add(1); return nil })
+		}
+		if err := p.Wait(ctx); !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: Wait = %v, want context.Canceled", workers, err)
+		}
+		// Job 0 may or may not have beaten the cancellation; the 64
+		// post-cancel jobs must all have been skipped.
+		if got := ran.Load(); got > 1 {
+			t.Errorf("workers=%d: %d jobs ran after cancellation, want <= 1", workers, got)
 		}
 	}
 }

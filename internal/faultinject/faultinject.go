@@ -1,0 +1,227 @@
+// Package faultinject deterministically breaks chosen simulation runs so
+// tests can prove the harness's failure-containment invariants: panic
+// isolation, quarantine of pooled resources, deadline interrupts,
+// transient-only retry, and journal resume. It is a no-op unless armed —
+// the disarmed fast path in the harness is a single atomic load — and every
+// injected fault is a pure function of the armed Plan and the run key, so
+// an injected grid misbehaves identically on every execution and under
+// -race.
+//
+// The package is compiled into the harness but reachable only through Arm,
+// which only tests call; production grids never trip it.
+package faultinject
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Kind selects the injected failure.
+type Kind int
+
+// The injectable faults.
+const (
+	// PanicAtTask panics with an Injected value when the run enters its
+	// Target.N'th task — the "buggy registered benchmark" case. A
+	// deterministic failure: never retried.
+	PanicAtTask Kind = iota
+	// HangAtTask turns the N'th task into an endless spawn loop. The run
+	// keeps generating scheduler events, so the engine's amortized
+	// interrupt poll fires once the run deadline expires — modelling a
+	// wedged-but-live computation, the transient (retryable) failure.
+	HangAtTask
+	// FailVerify makes the run's verification report a mismatch even
+	// though the computation is correct. Deterministic: never retried.
+	FailVerify
+	// CancelGrid calls Plan.Cancel when the run enters its N'th task,
+	// cancelling the whole grid mid-flight — the killed-sweep case the
+	// journal's resume path exists for.
+	CancelGrid
+)
+
+// Mode restricts a Target to one execution mode.
+type Mode int
+
+// Target modes.
+const (
+	AnyMode      Mode = iota // parallel and serial runs alike
+	ParallelOnly             // simulated parallel runs
+	SerialOnly               // serial-elision (reference) runs
+)
+
+// Target selects which runs a Plan affects. Zero-valued fields are
+// wildcards: the zero Target matches every run.
+type Target struct {
+	Bench  string // benchmark name; "" matches all
+	Policy string // policy name; "" matches all (serial runs carry "")
+	P      int    // worker count; 0 matches all
+	Seed   int64  // scheduler seed; 0 matches all
+	Mode   Mode
+}
+
+func (t Target) matches(bench, policy string, p int, seed int64, serial bool) bool {
+	if t.Bench != "" && t.Bench != bench {
+		return false
+	}
+	if t.Policy != "" && t.Policy != policy {
+		return false
+	}
+	if t.P != 0 && t.P != p {
+		return false
+	}
+	if t.Seed != 0 && t.Seed != seed {
+		return false
+	}
+	switch t.Mode {
+	case ParallelOnly:
+		return !serial
+	case SerialOnly:
+		return serial
+	}
+	return true
+}
+
+// Plan is one armed fault: which runs to affect, how, and how often.
+type Plan struct {
+	Target
+	Kind Kind
+	// N is the zero-based task-entry index the fault trips at (PanicAtTask,
+	// HangAtTask, CancelGrid). Use TaskIndexFor for a seeded choice.
+	N int
+	// Trips bounds how many matching runs are affected; 0 means every one.
+	// Trips=1 is the transient-failure shape: the first attempt hangs, the
+	// retry runs clean.
+	Trips int
+	// Cancel is invoked by CancelGrid; typically a context.CancelFunc.
+	Cancel func()
+}
+
+// armed pairs the active plan with its consumed-trip count.
+type armed struct {
+	plan    Plan
+	matched atomic.Int64
+}
+
+var current atomic.Pointer[armed]
+
+// Arm activates a plan, replacing any previous one. Tests must pair it
+// with a deferred Disarm; plans must not be armed concurrently.
+func Arm(p Plan) { current.Store(&armed{plan: p}) }
+
+// Disarm deactivates injection; every run is clean again.
+func Disarm() { current.Store(nil) }
+
+// ForRun reports the plan affecting the given run, or nil. A plan with a
+// trip budget is consumed per matching call: once the budget is spent,
+// later matches — retries of the faulted run included — run clean.
+func ForRun(bench, policy string, p int, seed int64, serial bool) *Plan {
+	a := current.Load()
+	if a == nil {
+		return nil
+	}
+	if !a.plan.matches(bench, policy, p, seed, serial) {
+		return nil
+	}
+	if a.plan.Trips > 0 && a.matched.Add(1) > int64(a.plan.Trips) {
+		return nil
+	}
+	return &a.plan
+}
+
+// Injected is the panic value PanicAtTask raises. On parallel runs the
+// core layer relays task panics as strings, so tests match on the message
+// (errors.As is not available across the relay); Error keeps it
+// recognizable either way.
+type Injected struct {
+	Task int
+}
+
+// Error implements error, making the raw panic value classifiable too.
+func (i Injected) Error() string {
+	return fmt.Sprintf("faultinject: injected panic at task %d", i.Task)
+}
+
+// Instrument wraps root so the plan's task-indexed fault trips during the
+// run. A nil plan, and kinds that act elsewhere (FailVerify), return root
+// unchanged. The task counter needs no lock: the simulator's strict
+// handoff (and the serial elision's single goroutine) run exactly one task
+// at a time.
+func Instrument(plan *Plan, root core.Task) core.Task {
+	if plan == nil {
+		return root
+	}
+	switch plan.Kind {
+	case PanicAtTask, HangAtTask, CancelGrid:
+		in := &injector{plan: plan}
+		return in.wrap(root)
+	}
+	return root
+}
+
+// injector counts task entries across one instrumented run.
+type injector struct {
+	plan  *Plan
+	tasks int
+}
+
+func (in *injector) wrap(t core.Task) core.Task {
+	return func(ctx core.Context) {
+		wc := ictx{Context: ctx, in: in}
+		in.enter(wc)
+		t(wc)
+	}
+}
+
+// enter trips the fault when the counter reaches the plan's task index.
+func (in *injector) enter(ctx core.Context) {
+	idx := in.tasks
+	in.tasks++
+	if idx != in.plan.N {
+		return
+	}
+	switch in.plan.Kind {
+	case PanicAtTask:
+		panic(Injected{Task: idx})
+	case HangAtTask:
+		// An endless spawn loop, not a compute spin: task bodies yield to
+		// the engine only at spawn/sync edges, so spinning inside Compute
+		// would wedge the engine itself. Spawning keeps events (and the
+		// serial elision's Spawn-edge polls) flowing, which is exactly
+		// what lets the deadline interrupt abort the run.
+		for {
+			ctx.Spawn(func(core.Context) {})
+			ctx.Sync()
+		}
+	case CancelGrid:
+		if in.plan.Cancel != nil {
+			in.plan.Cancel()
+		}
+	}
+}
+
+// ictx wraps every child task of an instrumented task, so the entry
+// counter sees the whole computation in deterministic execution order.
+type ictx struct {
+	core.Context
+	in *injector
+}
+
+func (c ictx) Spawn(t core.Task)          { c.Context.Spawn(c.in.wrap(t)) }
+func (c ictx) SpawnAt(p int, t core.Task) { c.Context.SpawnAt(p, c.in.wrap(t)) }
+func (c ictx) Call(t core.Task)           { c.Context.Call(c.in.wrap(t)) }
+
+// TaskIndexFor derives a deterministic task index in [0, max) from a seed
+// (splitmix64), so a suite of injection tests can spread fault sites
+// across runs without hand-picking indexes.
+func TaskIndexFor(seed int64, max int) int {
+	if max <= 0 {
+		return 0
+	}
+	z := uint64(seed) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4b290
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(max))
+}

@@ -1,0 +1,146 @@
+package faultinject
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// tree spawns a binary tree of tasks: 2^(depth+1)-1 entries including the
+// root, in a deterministic serial-elision order.
+func tree(depth int) core.Task {
+	return func(ctx core.Context) {
+		if depth == 0 {
+			ctx.Compute(1)
+			return
+		}
+		ctx.Spawn(tree(depth - 1))
+		ctx.Spawn(tree(depth - 1))
+		ctx.Sync()
+	}
+}
+
+func TestTargetMatching(t *testing.T) {
+	cases := []struct {
+		name   string
+		target Target
+		bench  string
+		policy string
+		p      int
+		seed   int64
+		serial bool
+		want   bool
+	}{
+		{"zero target matches parallel", Target{}, "fib", "cilk", 8, 1, false, true},
+		{"zero target matches serial", Target{}, "fib", "", 1, 1, true, true},
+		{"bench match", Target{Bench: "fib"}, "fib", "cilk", 8, 1, false, true},
+		{"bench mismatch", Target{Bench: "lu"}, "fib", "cilk", 8, 1, false, false},
+		{"policy mismatch", Target{Policy: "numaws"}, "fib", "cilk", 8, 1, false, false},
+		{"p mismatch", Target{P: 16}, "fib", "cilk", 8, 1, false, false},
+		{"seed match", Target{Seed: 3}, "fib", "cilk", 8, 3, false, true},
+		{"seed mismatch", Target{Seed: 3}, "fib", "cilk", 8, 1, false, false},
+		{"parallel-only rejects serial", Target{Mode: ParallelOnly}, "fib", "", 1, 1, true, false},
+		{"serial-only rejects parallel", Target{Mode: SerialOnly}, "fib", "cilk", 8, 1, false, false},
+		{"serial-only accepts serial", Target{Mode: SerialOnly}, "fib", "", 1, 1, true, true},
+		{"full tuple", Target{Bench: "fib", Policy: "cilk", P: 8, Seed: 2, Mode: ParallelOnly}, "fib", "cilk", 8, 2, false, true},
+	}
+	for _, c := range cases {
+		if got := c.target.matches(c.bench, c.policy, c.p, c.seed, c.serial); got != c.want {
+			t.Errorf("%s: matches = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestForRunDisarmedIsNil(t *testing.T) {
+	Disarm()
+	if p := ForRun("fib", "cilk", 8, 1, false); p != nil {
+		t.Errorf("disarmed ForRun = %+v, want nil", p)
+	}
+}
+
+func TestForRunTripBudget(t *testing.T) {
+	Arm(Plan{Target: Target{Bench: "fib"}, Kind: HangAtTask, Trips: 2})
+	defer Disarm()
+	if p := ForRun("lu", "cilk", 8, 1, false); p != nil {
+		t.Fatal("non-matching run consumed a trip")
+	}
+	for i := 0; i < 2; i++ {
+		if p := ForRun("fib", "cilk", 8, 1, false); p == nil {
+			t.Fatalf("trip %d: ForRun = nil, want plan", i)
+		}
+	}
+	if p := ForRun("fib", "cilk", 8, 1, false); p != nil {
+		t.Error("trip budget exhausted but ForRun still returned the plan")
+	}
+}
+
+func TestInstrumentPanicsAtExactTaskIndex(t *testing.T) {
+	// The same fault site on every execution: instrument the same tree
+	// twice and require the identical Injected value.
+	for round := 0; round < 2; round++ {
+		plan := &Plan{Kind: PanicAtTask, N: 5}
+		rt := core.NewRuntime(core.DefaultConfig(1, nil))
+		got := func() (p any) {
+			defer func() { p = recover() }()
+			rt.RunSerial(Instrument(plan, tree(3)))
+			return nil
+		}()
+		inj, ok := got.(Injected)
+		if !ok {
+			t.Fatalf("round %d: recovered %v (%T), want Injected", round, got, got)
+		}
+		if inj.Task != 5 {
+			t.Fatalf("round %d: panicked at task %d, want 5", round, inj.Task)
+		}
+	}
+}
+
+func TestInstrumentCountsWholeTree(t *testing.T) {
+	// Index past the last task: the fault never trips and the computation
+	// completes untouched.
+	plan := &Plan{Kind: PanicAtTask, N: 15} // tree(3) has 15 task entries
+	rt := core.NewRuntime(core.DefaultConfig(1, nil))
+	rep := rt.RunSerial(Instrument(plan, tree(3)))
+	if rep.Time != 8 {
+		t.Errorf("instrumented-but-untripped run: Time = %d, want 8 (eight leaf Computes)", rep.Time)
+	}
+}
+
+func TestInstrumentNilPlanAndFailVerifyAreIdentity(t *testing.T) {
+	root := tree(1)
+	if got := Instrument(nil, root); got == nil {
+		t.Fatal("Instrument(nil) = nil")
+	}
+	plan := &Plan{Kind: FailVerify}
+	rt := core.NewRuntime(core.DefaultConfig(1, nil))
+	rep := rt.RunSerial(Instrument(plan, tree(3)))
+	if rep.Time != 8 {
+		t.Errorf("FailVerify instrumentation must not perturb the run: Time = %d, want 8", rep.Time)
+	}
+}
+
+func TestCancelGridInvokesCancel(t *testing.T) {
+	called := 0
+	plan := &Plan{Kind: CancelGrid, N: 2, Cancel: func() { called++ }}
+	rt := core.NewRuntime(core.DefaultConfig(1, nil))
+	rt.RunSerial(Instrument(plan, tree(3)))
+	if called != 1 {
+		t.Errorf("Cancel called %d times, want 1", called)
+	}
+}
+
+func TestTaskIndexForDeterministicAndBounded(t *testing.T) {
+	for seed := int64(-3); seed < 50; seed++ {
+		a := TaskIndexFor(seed, 37)
+		b := TaskIndexFor(seed, 37)
+		if a != b {
+			t.Fatalf("seed %d: %d != %d", seed, a, b)
+		}
+		if a < 0 || a >= 37 {
+			t.Fatalf("seed %d: index %d out of [0,37)", seed, a)
+		}
+	}
+	if TaskIndexFor(1, 0) != 0 {
+		t.Error("max<=0 must clamp to 0")
+	}
+}

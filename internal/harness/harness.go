@@ -14,10 +14,13 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/faultinject"
+	"repro/internal/journal"
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/topology"
@@ -116,6 +119,29 @@ type Options struct {
 	// returned rows, which are still aggregated canonically after the
 	// pool drains.
 	OnRun func(RunMeta)
+	// RunTimeout bounds each individual simulation: a run that exceeds it
+	// is interrupted (the engine polls a per-run deadline context) and
+	// classified as a transient failure. 0 means no deadline — the zero
+	// value must stay free because a deadline, however generous, turns a
+	// deterministic grid into one that can observe host load.
+	RunTimeout time.Duration
+	// Retries re-runs a transiently failed run (timeout; never panic or
+	// verification mismatch) up to this many additional attempts. The
+	// budget is an attempt count, not a wall-time backoff, so retry
+	// behavior is deterministic; each attempt checks out fresh resources,
+	// so a retried success is byte-identical to a first-try success.
+	// 0 means no retries.
+	Retries int
+	// Journal, if non-nil, receives one fsync'd record per completed
+	// (spec, policy, P, seed) run of Measure/MeasureAll — the crash-safe
+	// result log that -resume replays. Failed runs are never journaled.
+	Journal *journal.Writer
+	// Resume, if non-nil, replays previously journaled runs instead of
+	// re-simulating them: a run whose full key is present is filled from
+	// the journal (and emitted through OnRun with Replayed set), and only
+	// the missing tuples simulate. Determinism makes replay exact: the
+	// resumed grid's rows are deep-equal to an uninterrupted run's.
+	Resume map[journal.Key]journal.Result
 }
 
 // RunMeta identifies one completed simulation of a measurement grid, for
@@ -135,6 +161,9 @@ type RunMeta struct {
 	// P, Seed) alone would not distinguish their runs. False for serial
 	// and sweep runs, which have no baseline column.
 	Baseline bool
+	// Replayed marks a run that was filled from a resume journal instead
+	// of simulated; its Time is the journaled measurement.
+	Replayed bool
 	Time     int64 // virtual cycles (TS for serial runs, TP otherwise)
 }
 
@@ -167,14 +196,16 @@ func (o Options) fill() Options {
 }
 
 // newRuntime builds a fresh platform. arena may be nil (serial runs never
-// touch the parallel engine's storage).
-func newRuntime(top *topology.Topology, workers int, pol sched.Policy, seed int64, recordDAG bool, arena *core.Arena) *core.Runtime {
+// touch the parallel engine's storage); interrupt may be nil (no run
+// deadline — see interruptFor).
+func newRuntime(top *topology.Topology, workers int, pol sched.Policy, seed int64, recordDAG bool, arena *core.Arena, interrupt func() bool) *core.Runtime {
 	return core.NewRuntime(core.Config{
 		Sched: sched.Config{
-			Topology: top,
-			Workers:  workers,
-			Policy:   pol,
-			Seed:     seed,
+			Topology:  top,
+			Workers:   workers,
+			Policy:    pol,
+			Seed:      seed,
+			Interrupt: interrupt,
 		},
 		Geometry:  cache.DefaultGeometry(),
 		Latency:   cache.DefaultLatency(),
@@ -215,29 +246,70 @@ func (e *emitter) emit(m RunMeta) {
 // RunOne executes one (spec, policy, P) measurement and returns the run
 // report. aware follows the platform: locality-exploiting policies get the
 // NUMA-aware workload configuration. The context is checked before the
-// simulation starts; a simulation once started runs to completion.
+// simulation starts; a started simulation is interrupted only by
+// opt.RunTimeout or cancellation (via the engine's amortized poll). A run
+// that fails — panic, deadline, verification — comes back as a *RunError
+// after its resources were quarantined; transient failures are retried
+// per opt.Retries.
 func RunOne(ctx context.Context, spec Spec, pol sched.Policy, opt Options) (*core.Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	opt = opt.fill()
-	w, release := workloads.Checkout(spec, numaAware(pol), opt.FreshInputs)
+	key := runKey{bench: spec.Name, policy: pol.Name(), p: opt.P, seed: opt.Seed}
+	return attemptRun(ctx, key, opt, func(rctx context.Context) (*core.Report, error) {
+		return runParallelOnce(rctx, spec, pol, opt, key)
+	})
+}
+
+// runParallelOnce is one attempt of one parallel measurement: check out
+// the run's resources, simulate, verify, settle. The deferred settlement
+// is the quarantine mechanism — it runs on the panic unwind path too, so
+// by the time contain converts the panic into a RunError, the failed
+// attempt's arena and workload instance are already out of circulation.
+func runParallelOnce(rctx context.Context, spec Spec, pol sched.Policy, opt Options, key runKey) (*core.Report, error) {
+	plan := faultinject.ForRun(spec.Name, pol.Name(), opt.P, opt.Seed, false)
+	w, lease := workloads.Checkout(spec, numaAware(pol), opt.FreshInputs)
 	arena := arenas.Get().(*core.Arena)
-	rt := newRuntime(opt.Topology, opt.P, pol, opt.Seed, opt.RecordDAG, arena)
+	completed, verified := false, false
+	defer func() {
+		// A run that never completed its simulation quarantines its arena
+		// (mid-unwind engine state is suspect); a completed run returns
+		// it, even if verification then failed. The workload instance is
+		// stricter: it goes back to the pool only after the whole run —
+		// verification included — succeeded.
+		if completed {
+			arenas.Put(arena)
+		}
+		if verified {
+			lease.Release()
+		} else {
+			lease.Discard()
+		}
+	}()
+	rt := newRuntime(opt.Topology, opt.P, pol, opt.Seed, opt.RecordDAG, arena, interruptFor(rctx))
 	w.Prepare(rt)
-	rep := rt.Run(w.Root())
-	// A panicking run never returns its arena (its state is suspect); a
-	// completed run does, even if result verification then fails. The
-	// workload instance is stricter: it goes back to the pool only after
-	// the whole run — verification included — succeeded.
-	arenas.Put(arena)
+	rep := rt.Run(faultinject.Instrument(plan, w.Root()))
+	completed = true
 	if opt.Verify {
 		if err := w.Verify(); err != nil {
-			return nil, fmt.Errorf("harness: %s on %v at P=%d: %w", spec.Name, pol, opt.P, err)
+			return nil, verifyError(key, fmt.Errorf("harness: %s on %v at P=%d: %w", spec.Name, pol, opt.P, err))
 		}
 	}
-	release()
+	if plan != nil && plan.Kind == faultinject.FailVerify {
+		return nil, verifyError(key, fmt.Errorf("harness: %s on %v at P=%d: injected verification failure", spec.Name, pol, opt.P))
+	}
+	verified = true
 	return rep, nil
+}
+
+// verifyError types a verification mismatch as the deterministic,
+// non-retryable failure it is.
+func verifyError(key runKey, err error) *RunError {
+	return &RunError{
+		Bench: key.bench, Policy: key.policy, P: key.p, Seed: key.seed, Serial: key.serial,
+		Kind: KindVerify, Err: err,
+	}
 }
 
 // RunSerial measures TS for a spec (serial elision, baseline placement).
@@ -253,40 +325,72 @@ func RunSerial(ctx context.Context, spec Spec, opt Options) (*core.Report, error
 		return nil, err
 	}
 	opt = opt.fill()
-	run := func() (*core.Report, error) {
-		w, release := workloads.Checkout(spec, false, opt.FreshInputs)
-		arena := arenas.Get().(*core.Arena)
-		rt := newRuntime(opt.Topology, 1, sched.Cilk, opt.Seed, false, arena)
-		w.Prepare(rt)
-		rep := rt.RunSerial(w.Root())
-		arenas.Put(arena)
-		if opt.Verify {
-			if err := w.Verify(); err != nil {
-				return nil, fmt.Errorf("harness: %s serial: %w", spec.Name, err)
-			}
-		}
-		release()
-		return rep, nil
+	key := runKey{bench: spec.Name, p: 1, seed: opt.Seed, serial: true}
+	// Containment and retry sit INSIDE the memoization compute: a serial
+	// reference that panics or times out surfaces as an error, and RefCache
+	// never caches errors, so the single-flight entry is not poisoned — the
+	// next caller recomputes (pinned by TestRefCacheNotPoisonedByPanic).
+	attempt := func() (*core.Report, error) {
+		return attemptRun(ctx, key, opt, func(rctx context.Context) (*core.Report, error) {
+			return runSerialOnce(rctx, spec, opt, key)
+		})
 	}
 	cache := workloads.SharedCache(spec)
 	if opt.FreshInputs || cache == nil {
-		return run()
+		return attempt()
 	}
-	// The key pins everything the serial report depends on: the machine
-	// shape (String renders the distance matrix too) and whether this call
-	// must have verified. Geometry and latency are harness constants.
-	key := fmt.Sprintf("harness.ts|verify=%t|%s", opt.Verify, opt.Topology)
-	v, err := cache.Do(key, func() (any, error) { return run() })
+	// The memo key pins everything the serial report depends on: the
+	// machine shape (String renders the distance matrix too) and whether
+	// this call must have verified. Geometry and latency are harness
+	// constants.
+	memoKey := fmt.Sprintf("harness.ts|verify=%t|%s", opt.Verify, opt.Topology)
+	v, err := cache.Do(memoKey, func() (any, error) { return attempt() })
 	if err != nil {
 		return nil, err
 	}
 	return v.(*core.Report), nil
 }
 
+// runSerialOnce is one attempt of one serial-elision reference run, with
+// the same deferred settlement discipline as runParallelOnce. The serial
+// elision polls the interrupt hook at its Spawn/Compute edges, so serial
+// runs honor RunTimeout too.
+func runSerialOnce(rctx context.Context, spec Spec, opt Options, key runKey) (*core.Report, error) {
+	plan := faultinject.ForRun(spec.Name, "", 1, opt.Seed, true)
+	w, lease := workloads.Checkout(spec, false, opt.FreshInputs)
+	arena := arenas.Get().(*core.Arena)
+	completed, verified := false, false
+	defer func() {
+		if completed {
+			arenas.Put(arena)
+		}
+		if verified {
+			lease.Release()
+		} else {
+			lease.Discard()
+		}
+	}()
+	rt := newRuntime(opt.Topology, 1, sched.Cilk, opt.Seed, false, arena, interruptFor(rctx))
+	w.Prepare(rt)
+	rep := rt.RunSerial(faultinject.Instrument(plan, w.Root()))
+	completed = true
+	if opt.Verify {
+		if err := w.Verify(); err != nil {
+			return nil, verifyError(key, fmt.Errorf("harness: %s serial: %w", spec.Name, err))
+		}
+	}
+	if plan != nil && plan.Kind == faultinject.FailVerify {
+		return nil, verifyError(key, fmt.Errorf("harness: %s serial: injected verification failure", spec.Name))
+	}
+	verified = true
+	return rep, nil
+}
+
 // Measure runs the full Fig. 7/Fig. 8 protocol for one spec: TS, then T1
 // and TP on the baseline and on opt.Policy. With opt.Jobs > 1 the
 // protocol's independent runs execute concurrently; the row is identical
-// either way.
+// either way. A failed run comes back as an error row (Row.Err), not an
+// error — see MeasureAll.
 func Measure(ctx context.Context, spec Spec, opt Options) (metrics.Row, error) {
 	rows, err := MeasureAll(ctx, []Spec{spec}, opt)
 	if err != nil {
@@ -301,14 +405,23 @@ func Measure(ctx context.Context, spec Spec, opt Options) (metrics.Row, error) {
 // the rows are identical for every Jobs value. Cancelling ctx skips every
 // simulation not yet started and returns the context's error; completed
 // runs already streamed through opt.OnRun remain valid.
+//
+// Failure containment: a spec with a failed run (panic, deadline after
+// retries, verification mismatch) yields an error row — identity fields
+// plus Row.Err, zero measurements — while every other spec's rows are
+// unaffected; MeasureAll itself returns an error only for grid-level
+// failures (cancellation, journal I/O). With opt.Journal set each
+// completed run is durably journaled as it finishes; with opt.Resume set
+// journaled runs replay instead of simulating.
 func MeasureAll(ctx context.Context, specs []Spec, opt Options) ([]metrics.Row, error) {
 	opt = opt.fill()
 	runs := make([]specRuns, len(specs))
 	pool := exec.NewPool(ctx, opt.Jobs)
 	em := newEmitter(opt.OnRun)
+	jr := newJournaler(opt)
 	idx := 0
 	for i := range specs {
-		runs[i].submit(ctx, pool, em, &idx, specs[i], opt)
+		runs[i].submit(ctx, pool, em, jr, &idx, specs[i], opt)
 	}
 	if err := pool.Wait(ctx); err != nil {
 		return nil, err
@@ -350,35 +463,58 @@ func MeasureScalability(ctx context.Context, specs []Spec, opt Options, points [
 }
 
 // RunTraced is RunOne with an execution timeline attached: it returns the
-// run report plus the recorded per-worker trace (see internal/trace).
+// run report plus the recorded per-worker trace (see internal/trace). It
+// shares the containment boundary (a panicking run returns a *RunError
+// with its resources quarantined, never crashes the caller) but not the
+// retry loop: a trace is a one-off diagnostic, and retrying would splice
+// two attempts' timelines.
 func RunTraced(ctx context.Context, spec Spec, pol sched.Policy, opt Options) (*core.Report, *trace.Timeline, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
 	opt = opt.fill()
+	key := runKey{bench: spec.Name, policy: pol.Name(), p: opt.P, seed: opt.Seed}
 	tl := trace.New(opt.P)
-	w, release := workloads.Checkout(spec, numaAware(pol), opt.FreshInputs)
-	arena := arenas.Get().(*core.Arena)
-	rt := core.NewRuntime(core.Config{
-		Sched: sched.Config{
-			Topology: opt.Topology,
-			Workers:  opt.P,
-			Policy:   pol,
-			Seed:     opt.Seed,
-			Tracer:   tl,
-		},
-		Geometry: cache.DefaultGeometry(),
-		Latency:  cache.DefaultLatency(),
-		Arena:    arena,
-	})
-	w.Prepare(rt)
-	rep := rt.Run(w.Root())
-	arenas.Put(arena)
-	if opt.Verify {
-		if err := w.Verify(); err != nil {
-			return nil, nil, fmt.Errorf("harness: %s traced on %v: %w", spec.Name, pol, err)
+	rep, err := contain(ctx, key, func() (*core.Report, error) {
+		w, lease := workloads.Checkout(spec, numaAware(pol), opt.FreshInputs)
+		arena := arenas.Get().(*core.Arena)
+		completed, verified := false, false
+		defer func() {
+			if completed {
+				arenas.Put(arena)
+			}
+			if verified {
+				lease.Release()
+			} else {
+				lease.Discard()
+			}
+		}()
+		rt := core.NewRuntime(core.Config{
+			Sched: sched.Config{
+				Topology:  opt.Topology,
+				Workers:   opt.P,
+				Policy:    pol,
+				Seed:      opt.Seed,
+				Tracer:    tl,
+				Interrupt: interruptFor(ctx),
+			},
+			Geometry: cache.DefaultGeometry(),
+			Latency:  cache.DefaultLatency(),
+			Arena:    arena,
+		})
+		w.Prepare(rt)
+		rep := rt.Run(w.Root())
+		completed = true
+		if opt.Verify {
+			if err := w.Verify(); err != nil {
+				return nil, verifyError(key, fmt.Errorf("harness: %s traced on %v: %w", spec.Name, pol, err))
+			}
 		}
+		verified = true
+		return rep, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	release()
 	return rep, tl, nil
 }

@@ -150,8 +150,10 @@ type failingWorkload struct{ workloads.Workload }
 
 func (failingWorkload) Verify() error { return errors.New("forced verification failure") }
 
-// TestMeasureAllErrorSurfaces checks that workload verification errors
-// propagate through the pool on both the serial and the parallel path.
+// TestMeasureAllErrorSurfaces checks the containment contract for
+// verification failures on both the serial and the parallel path: the
+// failing spec folds into a typed error row, the healthy specs' rows are
+// measured normally, and MeasureAll itself succeeds.
 func TestMeasureAllErrorSurfaces(t *testing.T) {
 	specs := Specs(ScaleSmall)[:3]
 	// Overriding Make requires clearing the spec's pool identity: the pool
@@ -164,9 +166,30 @@ func TestMeasureAllErrorSurfaces(t *testing.T) {
 	}
 	specs[1] = bad
 	for _, jobs := range []int{1, 8} {
-		_, err := MeasureAll(t.Context(), specs, Options{P: 8, Verify: true, Jobs: jobs})
-		if err == nil || !strings.Contains(err.Error(), "forced verification failure") {
-			t.Errorf("Jobs=%d: err = %v, want forced verification failure", jobs, err)
+		rows, err := MeasureAll(t.Context(), specs, Options{P: 8, Verify: true, Jobs: jobs})
+		if err != nil {
+			t.Fatalf("Jobs=%d: MeasureAll must contain run failures, got %v", jobs, err)
+		}
+		if len(rows) != 3 {
+			t.Fatalf("Jobs=%d: got %d rows, want 3", jobs, len(rows))
+		}
+		failed := rows[1]
+		if failed.Err == nil {
+			t.Fatalf("Jobs=%d: failing spec's row has no error: %+v", jobs, failed)
+		}
+		if failed.Err.Kind != "verify" || !strings.Contains(failed.Err.Msg, "forced verification failure") {
+			t.Errorf("Jobs=%d: error row = %+v, want kind verify mentioning the forced failure", jobs, failed.Err)
+		}
+		if failed.Name != specs[1].Name || failed.TS != 0 {
+			t.Errorf("Jobs=%d: error row should keep identity and zero measurements: %+v", jobs, failed)
+		}
+		for _, i := range []int{0, 2} {
+			if rows[i].Err != nil {
+				t.Errorf("Jobs=%d: healthy spec %s got an error row: %v", jobs, rows[i].Name, rows[i].Err)
+			}
+			if rows[i].TS <= 0 || rows[i].Cilk.T1 <= 0 {
+				t.Errorf("Jobs=%d: healthy spec %s not measured: %+v", jobs, rows[i].Name, rows[i])
+			}
 		}
 	}
 }

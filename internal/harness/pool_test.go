@@ -52,7 +52,7 @@ func TestGridAmortizationByteIdentical(t *testing.T) {
 			workloads.FlushPools()
 			workloads.ResetPoolCounters()
 			pooled := grid(false)
-			built, reused, refs := workloads.PoolCounters()
+			built, reused, refs, quarantined := workloads.PoolCounters()
 			if built != 2 {
 				t.Errorf("pooled grid constructed %d instances, want 2 (one per aware configuration)", built)
 			}
@@ -61,6 +61,9 @@ func TestGridAmortizationByteIdentical(t *testing.T) {
 			}
 			if refs != tc.refs {
 				t.Errorf("pooled grid ran %d reference computations, want %d", refs, tc.refs)
+			}
+			if quarantined != 0 {
+				t.Errorf("healthy grid quarantined %d instances, want 0", quarantined)
 			}
 			fresh := grid(true)
 			if !reflect.DeepEqual(pooled, fresh) {
@@ -91,7 +94,7 @@ func TestPooledRunsVerifyBackToBack(t *testing.T) {
 			if err != nil {
 				t.Fatalf("second pooled run (reused input): %v", err)
 			}
-			if _, reused, _ := workloads.PoolCounters(); reused == 0 {
+			if _, reused, _, _ := workloads.PoolCounters(); reused == 0 {
 				t.Fatal("second run did not draw on the pooled input")
 			}
 			if first.Time != second.Time {

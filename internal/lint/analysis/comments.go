@@ -16,6 +16,7 @@ import (
 //	//numaws:alloc-ok <reason>     suppresses one allocfree diagnostic
 //	//numaws:ctx-ok <reason>       suppresses one ctxfirst diagnostic
 //	//numaws:register-ok <reason>  suppresses one registryinit diagnostic
+//	//numaws:recover-ok <reason>   suppresses one panicsafe diagnostic
 //
 // A suppression applies to the line it sits on, or — as a standalone
 // comment line — to the line directly below it. The reason is mandatory:

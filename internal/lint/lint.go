@@ -1,7 +1,8 @@
-// Package lint assembles the numaws-vet analyzer suite: the five
+// Package lint assembles the numaws-vet analyzer suite: the six
 // repo-specific analyzers that turn DESIGN.md's prose invariants —
 // determinism, alloc-free hot paths, facade purity, context discipline,
-// init-time registration — into compile-time checks. The suite runs two
+// init-time registration, single-boundary panic containment — into
+// compile-time checks. The suite runs two
 // ways: `go vet -vettool=numaws-vet ./...` in CI (see internal/lint/unit
 // for the driver protocol), and in-process via the selfcheck test in
 // this package.
@@ -13,6 +14,7 @@ import (
 	"repro/internal/lint/ctxfirst"
 	"repro/internal/lint/determinism"
 	"repro/internal/lint/facadepurity"
+	"repro/internal/lint/panicsafe"
 	"repro/internal/lint/registryinit"
 )
 
@@ -23,6 +25,7 @@ func Analyzers() []*analysis.Analyzer {
 		ctxfirst.Analyzer,
 		determinism.Analyzer,
 		facadepurity.Analyzer,
+		panicsafe.Analyzer,
 		registryinit.Analyzer,
 	}
 }

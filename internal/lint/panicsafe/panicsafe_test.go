@@ -1,0 +1,15 @@
+package panicsafe_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/lintest"
+	"repro/internal/lint/panicsafe"
+)
+
+func TestPanicSafe(t *testing.T) {
+	lintest.Run(t, "testdata", panicsafe.Analyzer,
+		"repro/internal/panicfix",
+		"repro/internal/harness",
+	)
+}

@@ -1,0 +1,25 @@
+// Package harness stubs the real harness for the panicsafe fixtures: the
+// designated boundary is sanctioned by name, but the package path buys no
+// blanket exemption for its other functions.
+package harness
+
+// contain is the module's one designated recovery boundary; its recover
+// (inside the deferred closure) is the sanctioned form.
+func contain(run func() error) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = nil
+		}
+	}()
+	return run()
+}
+
+// A second containment point in the same package is still a finding.
+func containAgain(run func()) {
+	defer func() {
+		recover() // want `recover\(\) in containAgain`
+	}()
+	run()
+}
+
+var _ = contain

@@ -1,0 +1,48 @@
+// Package panicfix seeds containment-boundary defects: recovers outside
+// the designated boundary, with and without waivers.
+package panicfix
+
+// A bare recover outside the boundary swallows the failure the grid
+// should have contained.
+func swallow(run func()) (ok bool) {
+	defer func() {
+		if recover() != nil { // want `recover\(\) in swallow`
+			ok = false
+		}
+	}()
+	run()
+	return true
+}
+
+// The relay form — recover only to re-raise on another goroutine — is
+// sanctioned with a reasoned waiver.
+func relay(run func(), raise chan<- any) {
+	go func() {
+		defer func() {
+			//numaws:recover-ok goroutine relay, not containment: re-raised on the caller's goroutine
+			if p := recover(); p != nil {
+				raise <- p
+			}
+		}()
+		run()
+	}()
+}
+
+// A reasonless waiver is itself a finding.
+func lazyRelay(run func()) {
+	defer func() {
+		//numaws:recover-ok
+		recover() // want `numaws:recover-ok suppression is missing its mandatory reason`
+	}()
+	run()
+}
+
+// A user-defined recover shadows the builtin and is not a containment
+// point.
+func localRecover() bool { return false }
+
+func notTheBuiltin() {
+	if localRecover() {
+		return
+	}
+}

@@ -1,0 +1,14 @@
+package panicfix
+
+import "testing"
+
+// Test files are exempt wholesale: tests recover deliberately to assert
+// that code panics.
+func TestSwallowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	swallow(func() { panic("boom") })
+}

@@ -34,14 +34,25 @@ func exportPlatform(r PlatformResult, ts int64) platformJSON {
 	}
 }
 
+// rowErrorJSON is a failed row's exported diagnosis.
+type rowErrorJSON struct {
+	Bench  string `json:"bench"`
+	Policy string `json:"policy,omitempty"`
+	P      int    `json:"p"`
+	Seed   int64  `json:"seed"`
+	Kind   string `json:"kind"`
+	Msg    string `json:"msg"`
+}
+
 // rowJSON is one benchmark's exported measurements across both platforms.
 type rowJSON struct {
-	Name   string       `json:"name"`
-	Input  string       `json:"input"`
-	P      int          `json:"p"`
-	TS     int64        `json:"ts"`
-	Cilk   platformJSON `json:"cilk"`
-	NUMAWS platformJSON `json:"numaws"`
+	Name   string        `json:"name"`
+	Input  string        `json:"input"`
+	P      int           `json:"p"`
+	TS     int64         `json:"ts"`
+	Cilk   platformJSON  `json:"cilk"`
+	NUMAWS platformJSON  `json:"numaws"`
+	Error  *rowErrorJSON `json:"error,omitempty"`
 }
 
 // seriesPointJSON is one point of a scalability curve.
@@ -93,11 +104,18 @@ func WriteExport(w io.Writer, e Export) error {
 	rows, series := e.Rows, e.Series
 	var doc document
 	for _, r := range rows {
-		doc.Rows = append(doc.Rows, rowJSON{
+		rj := rowJSON{
 			Name: r.Name, Input: r.Input, P: r.P, TS: r.TS,
 			Cilk:   exportPlatform(r.Cilk, r.TS),
 			NUMAWS: exportPlatform(r.NUMAWS, r.TS),
-		})
+		}
+		if r.Err != nil {
+			rj.Error = &rowErrorJSON{
+				Bench: r.Err.Bench, Policy: r.Err.Policy, P: r.Err.P,
+				Seed: r.Err.Seed, Kind: r.Err.Kind, Msg: r.Err.Msg,
+			}
+		}
+		doc.Rows = append(doc.Rows, rj)
 	}
 	for _, s := range series {
 		sj := seriesJSON{Name: s.Name}
@@ -132,7 +150,9 @@ func writeCSVRecords(w io.Writer, records [][]string) error {
 }
 
 // WriteRowsCSV writes one CSV record per benchmark row: identity, raw
-// cycle counts, and the derived ratios for both platforms.
+// cycle counts, and the derived ratios for both platforms, plus a trailing
+// error column — empty for healthy rows, the failed run's diagnosis for
+// error rows (whose measurement columns are zero).
 func WriteRowsCSV(w io.Writer, rows []Row) error {
 	records := [][]string{{
 		"name", "input", "p", "ts",
@@ -140,6 +160,7 @@ func WriteRowsCSV(w io.Writer, rows []Row) error {
 		"cilk_spawn_overhead", "cilk_scalability", "cilk_work_inflation",
 		"numaws_t1", "numaws_tp", "numaws_wp", "numaws_sp", "numaws_ip",
 		"numaws_spawn_overhead", "numaws_scalability", "numaws_work_inflation",
+		"error",
 	}}
 	for _, r := range rows {
 		plat := func(p PlatformResult) []string {
@@ -154,6 +175,11 @@ func WriteRowsCSV(w io.Writer, rows []Row) error {
 		rec := []string{r.Name, r.Input, strconv.Itoa(r.P), strconv.FormatInt(r.TS, 10)}
 		rec = append(rec, plat(r.Cilk)...)
 		rec = append(rec, plat(r.NUMAWS)...)
+		if r.Err != nil {
+			rec = append(rec, r.Err.Error())
+		} else {
+			rec = append(rec, "")
+		}
 		records = append(records, rec)
 	}
 	return writeCSVRecords(w, records)

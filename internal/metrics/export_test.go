@@ -104,8 +104,11 @@ func TestWriteRowsCSV(t *testing.T) {
 		t.Fatalf("%d records, want header + 2 rows", len(recs))
 	}
 	header, rec := recs[0], recs[1]
-	if len(header) != 20 || len(rec) != 20 {
-		t.Fatalf("header has %d fields, record %d; want 20", len(header), len(rec))
+	if len(header) != 21 || len(rec) != 21 {
+		t.Fatalf("header has %d fields, record %d; want 21 (incl. trailing error)", len(header), len(rec))
+	}
+	if header[len(header)-1] != "error" || rec[len(rec)-1] != "" {
+		t.Errorf("trailing error column: header %q value %q, want \"error\" and empty", header[len(header)-1], rec[len(rec)-1])
 	}
 	col := func(name string) string {
 		for i, h := range header {

@@ -29,6 +29,28 @@ func (r *PlatformResult) Scalability() float64 { return ratio(r.T1, r.TP) }
 // parallel.
 func (r *PlatformResult) WorkInflation() float64 { return ratio(r.WP, r.T1) }
 
+// RowError describes why a benchmark's measurement failed: the failed
+// run's key and the harness's failure classification. It lives here rather
+// than in the harness so renderers and exporters can carry it without an
+// import cycle.
+type RowError struct {
+	Bench  string
+	Policy string // "" for serial-reference failures
+	P      int
+	Seed   int64
+	Kind   string // the harness taxonomy: panic, verify, timeout, cancel
+	Msg    string
+}
+
+// Error implements error.
+func (e *RowError) Error() string {
+	mode := e.Policy
+	if mode == "" {
+		mode = "serial"
+	}
+	return fmt.Sprintf("%s [%s P=%d seed=%d]: %s: %s", e.Bench, mode, e.P, e.Seed, e.Kind, e.Msg)
+}
+
 // Row is one benchmark's full measurement across both platforms.
 type Row struct {
 	Name   string
@@ -37,6 +59,12 @@ type Row struct {
 	Cilk   PlatformResult
 	NUMAWS PlatformResult
 	P      int // worker count of the TP/WP/SP/IP columns
+	// Err, when non-nil, marks the row as failed: one of its runs died
+	// (panic, deadline, verify mismatch) and containment turned the loss
+	// of this row into an error row instead of the loss of the grid. The
+	// measurement fields are zero; renderers print a diagnostic line and
+	// exporters carry the error alongside the identity fields.
+	Err *RowError
 }
 
 func ratio(a, b int64) float64 {
@@ -75,6 +103,10 @@ func Table7(rows []Row) string {
 		"Cilk T1", "(T1/TS)", fmt.Sprintf("Cilk T%d", p), "(T1/TP)",
 		"NWS T1", "(T1/TS)", fmt.Sprintf("NWS T%d", p), "(T1/TP)")
 	for _, r := range rows {
+		if r.Err != nil {
+			fmt.Fprintf(&b, "%-12s %-14s FAILED: %v\n", r.Name, r.Input, r.Err)
+			continue
+		}
 		fmt.Fprintf(&b, "%-12s %-14s %10s | %10s (%.2fx)  %10s (%.2fx)  | %10s (%.2fx)  %10s (%.2fx)\n",
 			r.Name, r.Input, cyc(r.TS),
 			cyc(r.Cilk.T1), r.Cilk.SpawnOverhead(r.TS), cyc(r.Cilk.TP), r.Cilk.Scalability(),
@@ -97,6 +129,10 @@ func Table8(rows []Row) string {
 		"Cilk T1", fmt.Sprintf("W%d", p), "(infl)", fmt.Sprintf("S%d", p), fmt.Sprintf("I%d", p),
 		"NWS T1", fmt.Sprintf("W%d", p), "(infl)", fmt.Sprintf("S%d", p), fmt.Sprintf("I%d", p))
 	for _, r := range rows {
+		if r.Err != nil {
+			fmt.Fprintf(&b, "%-12s | FAILED: %v\n", r.Name, r.Err)
+			continue
+		}
 		fmt.Fprintf(&b, "%-12s | %10s %10s (%.2fx)  %8s %8s | %10s %10s (%.2fx)  %8s %8s\n",
 			r.Name,
 			cyc(r.Cilk.T1), cyc(r.Cilk.WP), r.Cilk.WorkInflation(), cyc(r.Cilk.SP), cyc(r.Cilk.IP),
@@ -118,6 +154,10 @@ func Fig3(rows []Row) string {
 	fmt.Fprintf(&b, "%-12s %10s | %10s %10s %10s %10s\n",
 		"benchmark", "P=1", fmt.Sprintf("P=%d tot", p), "work", "sched", "idle")
 	for _, r := range rows {
+		if r.Err != nil {
+			fmt.Fprintf(&b, "%-12s FAILED: %v\n", r.Name, r.Err)
+			continue
+		}
 		ts := float64(r.TS)
 		if ts == 0 {
 			continue

@@ -144,6 +144,7 @@ func (p *Pool) findWork(w int) *job {
 
 func (p *Pool) runJob(w int, j *job, panicked *atomic.Value) {
 	defer func() {
+		//numaws:recover-ok goroutine relay, not containment: the panic is re-raised on the caller's goroutine by Pool.Run
 		if r := recover(); r != nil {
 			panicked.CompareAndSwap(nil, fmt.Sprint(r))
 			p.done.Store(true)

@@ -12,6 +12,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -19,6 +20,19 @@ import (
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
+
+// ErrInterrupted is the panic value the engine aborts with when
+// Config.Interrupt asks it to stop: a run deadline expired or the
+// measurement grid was cancelled mid-run. The harness's containment
+// boundary recognizes it (errors.Is) and converts the abort into a typed,
+// retryable run error instead of a process crash.
+var ErrInterrupted = errors.New("sched: run interrupted (deadline or cancellation)")
+
+// interruptPollInterval amortizes the event loop's interrupt check: one
+// poll every this many events. Must be a power of two (the loop masks the
+// event counter). At the simulator's event rates this bounds deadline
+// overshoot to well under a millisecond of wall time per run.
+const interruptPollInterval = 1024
 
 // Config parameterizes a run.
 type Config struct {
@@ -62,6 +76,14 @@ type Config struct {
 
 	// MaxEvents aborts runaway simulations; 0 means a large default.
 	MaxEvents int64
+
+	// Interrupt, if non-nil, is polled every interruptPollInterval events
+	// by the event loop; returning true aborts the run by panicking with
+	// ErrInterrupted. The harness arms it with a per-run deadline context
+	// so a wedged simulation cannot hold a measurement grid hostage. The
+	// hook never observes or perturbs simulation state, so an uninterrupted
+	// run is byte-identical with or without it.
+	Interrupt func() bool
 
 	// Tracer, if non-nil, receives the per-worker execution timeline
 	// (strand execution, scheduler bookkeeping, idle probing). See
@@ -380,6 +402,11 @@ func (e *Engine) Run(root *Frame) *Stats {
 		e.stats.Events++
 		if e.stats.Events > e.cfg.MaxEvents {
 			panic(fmt.Sprintf("sched: exceeded %d events; computation appears stuck", e.cfg.MaxEvents))
+		}
+		// Deadline poll, amortized so the hot loop pays one mask-and-branch
+		// per event. The panic unwinds to the harness containment boundary.
+		if e.stats.Events&(interruptPollInterval-1) == 0 && e.cfg.Interrupt != nil && e.cfg.Interrupt() {
+			panic(ErrInterrupted)
 		}
 		at, id := e.q.Pop()
 		w := e.workers[id]

@@ -136,18 +136,21 @@ var pool = struct {
 	refs map[refKey]*RefCache
 }{free: map[poolKey][]Reusable{}, refs: map[refKey]*RefCache{}}
 
-// Pool activity counters; test hooks for the amortization tests.
+// Pool activity counters; test hooks for the amortization and
+// failure-containment tests.
 var (
 	constructed atomic.Uint64 // instances built by Checkout
 	reused      atomic.Uint64 // instances handed out from the free list
 	refComputes atomic.Uint64 // RefCache compute invocations
+	quarantines atomic.Uint64 // pool-backed instances discarded after a failed run
 )
 
 // PoolCounters reports how many workload instances Checkout constructed,
-// how many it reused from the pool, and how many reference computations
-// ran, since the last reset. Test hook.
-func PoolCounters() (built, pooled, refs uint64) {
-	return constructed.Load(), reused.Load(), refComputes.Load()
+// how many it reused from the pool, how many reference computations ran,
+// and how many pool-backed instances were quarantined by Lease.Discard,
+// since the last reset. Test hook.
+func PoolCounters() (built, pooled, refs, quarantined uint64) {
+	return constructed.Load(), reused.Load(), refComputes.Load(), quarantines.Load()
 }
 
 // ResetPoolCounters zeroes the counters. Test hook.
@@ -155,6 +158,7 @@ func ResetPoolCounters() {
 	constructed.Store(0)
 	reused.Store(0)
 	refComputes.Store(0)
+	quarantines.Store(0)
 }
 
 // FlushPools drops every pooled instance and shared reference cache, so a
@@ -204,18 +208,46 @@ func sharedCache(rk refKey) *RefCache {
 	return rc
 }
 
+// Lease is the caller's exclusive hold on a checked-out instance. Exactly
+// one of Release or Discard settles it once the run is over; the zero
+// Lease (handed out for unpooled instances) settles either way as a no-op.
+type Lease struct {
+	release func()
+	discard func()
+}
+
+// Release returns the instance to its pool for reuse. Only a fully
+// successful run — verification included — may release: a reused instance
+// is trusted to honor the Prepare reset contract, which a run that died
+// mid-mutation cannot guarantee.
+func (l Lease) Release() {
+	if l.release != nil {
+		l.release()
+	}
+}
+
+// Discard quarantines the instance: dropped, never returned to the pool,
+// counted in PoolCounters' quarantined column. Every failed run — panic,
+// deadline interrupt, verification mismatch — must discard, mirroring the
+// harness's arena discipline. Discarding an unpooled instance is a no-op
+// (there is no pool to protect) and is not counted.
+func (l Lease) Discard() {
+	if l.discard != nil {
+		l.discard()
+	}
+}
+
 // Checkout returns a workload instance for spec's aware configuration plus
-// a release function returning it to the pool. The caller owns the
-// instance exclusively until release; release it only after a fully
-// successful run (a panicking or verify-failing run's instance is suspect
-// and must be dropped, mirroring the harness's arena discipline). fresh
-// bypasses the pool — a newly built single-use instance, the unamortized
-// path — as do specs with no pool identity and workloads that are not
-// Reusable; their release is a no-op.
-func Checkout(spec Spec, aware, fresh bool) (Workload, func()) {
+// the Lease that settles its ownership. The caller owns the instance
+// exclusively until it settles the lease: Release after a fully successful
+// run, Discard after any failure. fresh bypasses the pool — a newly built
+// single-use instance, the unamortized path — as do specs with no pool
+// identity and workloads that are not Reusable; their lease is a no-op
+// both ways.
+func Checkout(spec Spec, aware, fresh bool) (Workload, Lease) {
 	if fresh || spec.poolGen == 0 {
 		constructed.Add(1)
-		return spec.Make(aware), func() {}
+		return spec.Make(aware), Lease{}
 	}
 	key := poolKey{gen: spec.poolGen, name: spec.Name, input: spec.Input, scale: spec.scale, aware: aware}
 	rk := refKey{gen: spec.poolGen, name: spec.Name, input: spec.Input, scale: spec.scale}
@@ -242,7 +274,7 @@ func Checkout(spec Spec, aware, fresh bool) (Workload, func()) {
 		}
 		ru, ok := inst.(Reusable)
 		if !ok {
-			return inst, func() {}
+			return inst, Lease{}
 		}
 		w = ru
 	} else {
@@ -251,10 +283,13 @@ func Checkout(spec Spec, aware, fresh bool) (Workload, func()) {
 			u.SetRefCache(rc)
 		}
 	}
-	release := func() {
-		pool.Lock()
-		pool.free[key] = append(pool.free[key], w)
-		pool.Unlock()
+	lease := Lease{
+		release: func() {
+			pool.Lock()
+			pool.free[key] = append(pool.free[key], w)
+			pool.Unlock()
+		},
+		discard: func() { quarantines.Add(1) },
 	}
-	return w, release
+	return w, lease
 }

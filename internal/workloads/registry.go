@@ -53,6 +53,17 @@ type Spec struct {
 	poolGen uint64
 }
 
+// Generation reports the registry generation the spec was stamped under by
+// Specs, or 0 for hand-built literals (which have no pool identity). The
+// harness's crash-safe journal includes it in every record key: a journal
+// written under one registry population never replays into a process whose
+// registrations differ, because the generation counter would differ too.
+func (s Spec) Generation() uint64 { return s.poolGen }
+
+// SpecScale reports the scale the spec's builder ran at (stamped by Specs;
+// the zero ScaleSmall for hand-built literals). Part of the journal key.
+func (s Spec) SpecScale() Scale { return s.scale }
+
 // Builder constructs a benchmark's Spec at the given scale. The returned
 // Spec's Name must equal the name the Builder was registered under.
 type Builder func(Scale) Spec

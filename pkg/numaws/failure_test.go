@@ -1,0 +1,153 @@
+package numaws_test
+
+// Misuse and failure-containment tests for the public facade: a
+// registered benchmark that panics or is mis-shaped must surface as a
+// typed error row from the grid surfaces (MeasureAll, Each) — never a
+// crash, never the loss of the other benchmarks' rows — at both scales.
+// Plus the journal round trip: a session built WithJournal can be resumed
+// WithResume into identical rows without re-simulating anything.
+
+import (
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/pkg/numaws"
+)
+
+// registerForTest registers a benchmark and unregisters it when the test
+// ends.
+func registerForTest(t *testing.T, def numaws.BenchmarkDef) {
+	t.Helper()
+	if err := numaws.RegisterBenchmark(def); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { numaws.UnregisterBenchmarkForTest(def.Name) })
+}
+
+// TestMisbehavingBenchmarksYieldErrorRows drives a grid containing a
+// panicking benchmark, a nil-Root benchmark, and a healthy one through
+// MeasureAll and Each at both scales: the two broken benchmarks come back
+// as attributable error rows, the healthy one measures normally, and
+// neither call crashes or returns an error.
+func TestMisbehavingBenchmarksYieldErrorRows(t *testing.T) {
+	registerForTest(t, numaws.BenchmarkDef{
+		Name: "misuse-panic",
+		Make: func(numaws.Scale, bool) numaws.BenchmarkRun {
+			return numaws.BenchmarkRun{Root: func(ctx numaws.Context) {
+				ctx.Compute(10)
+				panic("deliberate misuse panic")
+			}}
+		},
+	})
+	registerForTest(t, numaws.BenchmarkDef{
+		Name: "misuse-nilroot",
+		Make: func(numaws.Scale, bool) numaws.BenchmarkRun { return numaws.BenchmarkRun{} },
+	})
+	registerForTest(t, numaws.BenchmarkDef{
+		Name: "misuse-healthy",
+		Make: func(numaws.Scale, bool) numaws.BenchmarkRun {
+			return numaws.BenchmarkRun{Root: func(ctx numaws.Context) {
+				ctx.Spawn(func(c numaws.Context) { c.Compute(50) })
+				ctx.Compute(50)
+				ctx.Sync()
+			}}
+		},
+	})
+	for _, scale := range []numaws.Scale{numaws.ScaleSmall, numaws.ScaleFull} {
+		s, err := numaws.New(
+			numaws.WithScale(scale),
+			numaws.WithBenchmarks("misuse-panic", "misuse-nilroot", "misuse-healthy"),
+			numaws.WithWorkers(4),
+			numaws.WithJobs(2),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(surface string, rows []numaws.Row, err error) {
+			t.Helper()
+			if err != nil {
+				t.Fatalf("scale %d %s: grid must contain benchmark failures, got %v", scale, surface, err)
+			}
+			if len(rows) != 3 {
+				t.Fatalf("scale %d %s: got %d rows, want 3", scale, surface, len(rows))
+			}
+			for i, wantMsg := range []string{"deliberate misuse panic", "nil Root"} {
+				re := rows[i].Err
+				if re == nil {
+					t.Fatalf("scale %d %s: broken benchmark %s has no error row", scale, surface, rows[i].Name)
+				}
+				if re.Kind != "panic" || !strings.Contains(re.Message, wantMsg) {
+					t.Errorf("scale %d %s: error row = %+v, want panic mentioning %q", scale, surface, re, wantMsg)
+				}
+			}
+			if healthy := rows[2]; healthy.Err != nil || healthy.TS <= 0 {
+				t.Errorf("scale %d %s: healthy benchmark's row suffered: %+v", scale, surface, healthy)
+			}
+		}
+		rows, err := s.MeasureAll(t.Context())
+		check("MeasureAll", rows, err)
+		var streamed atomic.Int64
+		rows, err = s.Each(t.Context(), func(numaws.Run) { streamed.Add(1) })
+		check("Each", rows, err)
+		if streamed.Load() == 0 {
+			t.Errorf("scale %d: Each streamed no completed runs", scale)
+		}
+	}
+}
+
+// TestSessionJournalResume exercises the crash-safety surface end to end
+// through the facade: a journaled session's rows, replayed by a second
+// WithResume session, are identical — with every run filled from the
+// journal rather than simulated.
+func TestSessionJournalResume(t *testing.T) {
+	path := t.TempDir() + "/session.jsonl"
+	opts := func(extra ...numaws.Option) []numaws.Option {
+		return append([]numaws.Option{
+			numaws.WithScale(numaws.ScaleSmall),
+			numaws.WithBenchmarks("heat", "lu"),
+			numaws.WithWorkers(4),
+			numaws.WithJobs(2),
+		}, extra...)
+	}
+	s1, err := numaws.New(opts(numaws.WithJournal(path))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows1, err := s1.MeasureAll(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := numaws.New(opts(numaws.WithJournal(path), numaws.WithResume())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	var replayed, simulated atomic.Int64
+	rows2, err := s2.Each(t.Context(), func(r numaws.Run) {
+		if r.Replayed {
+			replayed.Add(1)
+		} else {
+			simulated.Add(1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows1, rows2) {
+		t.Errorf("resumed session's rows differ:\nfirst:   %+v\nresumed: %+v", rows1, rows2)
+	}
+	if simulated.Load() != 0 || replayed.Load() == 0 {
+		t.Errorf("resume simulated %d runs and replayed %d, want 0 simulated", simulated.Load(), replayed.Load())
+	}
+
+	// Resume without a journal is a configuration error, caught at New.
+	if _, err := numaws.New(opts(numaws.WithResume())...); err == nil || !strings.Contains(err.Error(), "WithJournal") {
+		t.Errorf("WithResume without WithJournal: err = %v, want configuration error", err)
+	}
+}

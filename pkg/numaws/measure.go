@@ -9,12 +9,26 @@ package numaws
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/exec"
 	"repro/internal/harness"
 	"repro/internal/sched"
 )
+
+// facadeErr converts a contained run failure crossing the boundary into
+// its public type (*RunFailure, which implements error), so callers of the
+// single-run surfaces classify failures without naming engine types.
+// Grid-level errors (cancellation, journal I/O, name lookups) pass through
+// unchanged.
+func facadeErr(err error) error {
+	var re *harness.RunError
+	if errors.As(err, &re) {
+		return failureFromMetrics(re.RowError())
+	}
+	return err
+}
 
 // spec resolves one benchmark name against the session's suite.
 func (s *Session) spec(bench string) (harness.Spec, error) {
@@ -53,7 +67,7 @@ func (s *Session) Run(ctx context.Context, bench string) (RunReport, error) {
 	}
 	rep, err := harness.RunOne(ctx, sp, s.policy, s.options())
 	if err != nil {
-		return RunReport{}, err
+		return RunReport{}, facadeErr(err)
 	}
 	return reportFrom(bench, s.policy.Name(), rep), nil
 }
@@ -67,7 +81,7 @@ func (s *Session) RunSerial(ctx context.Context, bench string) (RunReport, error
 	}
 	rep, err := harness.RunSerial(ctx, sp, s.options())
 	if err != nil {
-		return RunReport{}, err
+		return RunReport{}, facadeErr(err)
 	}
 	return reportFrom(bench, "serial", rep), nil
 }
@@ -120,7 +134,7 @@ func (s *Session) Each(ctx context.Context, onRun func(Run), benches ...string) 
 	opt := s.options()
 	opt.OnRun = func(m harness.RunMeta) {
 		onRun(Run{Bench: m.Bench, Policy: m.Policy, P: m.P, Seed: m.Seed,
-			Serial: m.Serial, Baseline: m.Baseline, Time: m.Time})
+			Serial: m.Serial, Baseline: m.Baseline, Replayed: m.Replayed, Time: m.Time})
 	}
 	rows, err := harness.MeasureAll(ctx, specs, opt)
 	if err != nil {
@@ -151,7 +165,7 @@ func (s *Session) Scalability(ctx context.Context, points []int, benches ...stri
 	}
 	series, err := harness.MeasureScalability(ctx, specs, s.options(), points)
 	if err != nil {
-		return nil, err
+		return nil, facadeErr(err)
 	}
 	return seriesSliceFromMetrics(series), nil
 }
@@ -172,7 +186,7 @@ func (s *Session) Sweep(ctx context.Context, topologies []string, points []int, 
 	}
 	sweeps, err := harness.MeasureTopologies(ctx, specs, machines, s.options(), points)
 	if err != nil {
-		return nil, err
+		return nil, facadeErr(err)
 	}
 	return sweepsFromMetrics(sweeps), nil
 }
@@ -193,7 +207,7 @@ func (s *Session) DAGs(ctx context.Context, benches ...string) ([]DAGReport, err
 	err = exec.ForEach(ctx, opt.Jobs, len(specs), func(i int) error {
 		rep, err := harness.RunOne(ctx, specs[i], s.policy, opt)
 		if err != nil {
-			return err
+			return facadeErr(err)
 		}
 		out[i] = DAGReport{
 			Bench:       specs[i].Name,
@@ -227,7 +241,7 @@ func (s *Session) Timeline(ctx context.Context, bench string, width int) ([]Time
 	for _, pol := range policies {
 		rep, tl, err := harness.RunTraced(ctx, sp, pol, opt)
 		if err != nil {
-			return nil, err
+			return nil, facadeErr(err)
 		}
 		out = append(out, Timeline{
 			Policy: pol.Name(),

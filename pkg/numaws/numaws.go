@@ -31,9 +31,11 @@ package numaws
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/exec"
 	"repro/internal/harness"
+	"repro/internal/journal"
 	"repro/internal/sched"
 	"repro/internal/topology"
 )
@@ -85,6 +87,10 @@ type config struct {
 	verify   bool
 	fresh    bool
 	benches  []string
+	timeout  time.Duration
+	retries  int
+	journal  string
+	resume   bool
 }
 
 // Option configures New.
@@ -229,6 +235,67 @@ func WithBenchmarks(names ...string) Option {
 	})
 }
 
+// WithRunTimeout bounds each individual simulation of the session's
+// measurements: a run exceeding d is interrupted and classified as a
+// transient failure, which surfaces as the benchmark's error row (Row.Err)
+// unless a retry budget (WithRetry) re-runs it successfully. The default,
+// 0, means no deadline — the fully deterministic configuration, since any
+// deadline lets a run observe host load.
+func WithRunTimeout(d time.Duration) Option {
+	return option(func(c *config) error {
+		if d < 0 {
+			return fmt.Errorf("WithRunTimeout: negative timeout %v", d)
+		}
+		c.timeout = d
+		return nil
+	})
+}
+
+// WithRetry re-runs a transiently failed simulation (deadline interrupt;
+// never a panic or verification mismatch, which are deterministic) up to n
+// additional attempts. The budget is an attempt count, not a backoff: each
+// attempt checks out fresh resources, so a retried success is
+// byte-identical to a first-try success. The default is 0.
+func WithRetry(n int) Option {
+	return option(func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("WithRetry: negative retry budget %d", n)
+		}
+		c.retries = n
+		return nil
+	})
+}
+
+// WithJournal makes the session's grid measurements crash-safe: every
+// completed (benchmark, policy, P, seed) simulation of Measure, MeasureAll
+// and Each is durably appended to the JSONL journal at path as it
+// finishes. Combine with WithResume to replay a journal written by an
+// earlier (killed) process; without it, New truncates path and starts
+// fresh. Sessions holding a journal should be Closed.
+func WithJournal(path string) Option {
+	return option(func(c *config) error {
+		if path == "" {
+			return fmt.Errorf("WithJournal: empty journal path")
+		}
+		c.journal = path
+		return nil
+	})
+}
+
+// WithResume replays the WithJournal file's completed runs instead of
+// re-simulating them: runs whose full key is journaled fill from the
+// journal (streamed through Each with Run.Replayed set), only the missing
+// tuples simulate, and new completions extend the same file. Because every
+// simulation is deterministic, a resumed grid's rows are identical to an
+// uninterrupted run's. Requires WithJournal; a missing journal file is an
+// empty journal, not an error.
+func WithResume() Option {
+	return option(func(c *config) error {
+		c.resume = true
+		return nil
+	})
+}
+
 // Session is a configured simulator instance: one machine topology, one
 // scheduling policy, one benchmark suite. Sessions are immutable after New
 // and safe for concurrent use; every method that simulates takes a
@@ -241,6 +308,8 @@ type Session struct {
 	policy sched.Policy
 	specs  []harness.Spec
 	cfg    config
+	jw     *journal.Writer
+	replay map[journal.Key]journal.Result
 }
 
 // New builds a Session from the given options, validating them as a set:
@@ -287,8 +356,30 @@ func New(opts ...Option) (*Session, error) {
 			return nil, fmt.Errorf("numaws: %w", err)
 		}
 	}
-	return &Session{top: top, policy: pol, specs: specs, cfg: c}, nil
+	s := &Session{top: top, policy: pol, specs: specs, cfg: c}
+	if c.resume && c.journal == "" {
+		return nil, fmt.Errorf("numaws: WithResume requires WithJournal")
+	}
+	if c.journal != "" {
+		if c.resume {
+			if s.replay, err = journal.Replay(c.journal); err != nil {
+				return nil, fmt.Errorf("numaws: %w", err)
+			}
+			s.jw, err = journal.Append(c.journal)
+		} else {
+			s.jw, err = journal.Create(c.journal)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("numaws: %w", err)
+		}
+	}
+	return s, nil
 }
+
+// Close releases the session's journal file, if any. Safe to call on
+// sessions built without WithJournal and safe to call twice; measurements
+// after Close fail on their first journal append.
+func (s *Session) Close() error { return s.jw.Close() }
 
 // selectSpecs resolves benchmark names against the suite, preserving the
 // requested order and rejecting unknown or duplicate names.
@@ -326,6 +417,10 @@ func (s *Session) options() harness.Options {
 		Jobs:        s.cfg.jobs,
 		Policy:      s.policy,
 		FreshInputs: s.cfg.fresh,
+		RunTimeout:  s.cfg.timeout,
+		Retries:     s.cfg.retries,
+		Journal:     s.jw,
+		Resume:      s.replay,
 	}
 }
 

@@ -137,7 +137,8 @@ func TestRegisterBenchmarkValidates(t *testing.T) {
 		numaws.UnregisterBenchmarkForTest("nomake")
 	}
 	// A Make returning a nil Root fails at workload construction with the
-	// benchmark named, not as a nil dereference inside the simulator.
+	// benchmark named — and containment turns that panic into a typed,
+	// attributable error instead of crashing the caller.
 	const nilRoot = "nilroot-test"
 	defer numaws.UnregisterBenchmarkForTest(nilRoot)
 	if err := numaws.RegisterBenchmark(numaws.BenchmarkDef{
@@ -150,17 +151,14 @@ func TestRegisterBenchmarkValidates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	func() {
-		defer func() {
-			r := recover()
-			if r == nil {
-				t.Error("nil Root did not panic at workload construction")
-			} else if msg, ok := r.(string); !ok || !strings.Contains(msg, nilRoot) || !strings.Contains(msg, "nil Root") {
-				t.Errorf("nil-Root panic not attributable: %v", r)
-			}
-		}()
-		s.RunSerial(t.Context(), nilRoot) //nolint:errcheck // panics before returning
-	}()
+	_, err = s.RunSerial(t.Context(), nilRoot)
+	var rf *numaws.RunFailure
+	if !errors.As(err, &rf) {
+		t.Fatalf("nil Root: err = %v, want *numaws.RunFailure", err)
+	}
+	if rf.Kind != "panic" || !strings.Contains(rf.Message, nilRoot) || !strings.Contains(rf.Message, "nil Root") {
+		t.Errorf("nil-Root failure not attributable: %+v", rf)
+	}
 
 	// A collision with a built-in benchmark is an error, not a silent
 	// replacement.

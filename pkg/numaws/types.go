@@ -7,6 +7,8 @@ package numaws
 // CI facade job), so measurements cross the boundary by value conversion.
 
 import (
+	"fmt"
+
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -44,6 +46,33 @@ func (r PlatformResult) WorkInflation() float64 {
 	return m.WorkInflation()
 }
 
+// RunFailure describes why a benchmark's measurement failed: the identity
+// of the run that died plus the harness's failure classification. It is
+// containment's public face — a session-level measurement call returns an
+// error only for grid-level problems (cancellation, journal I/O), while a
+// single benchmark's panic, deadline or verification mismatch becomes its
+// row's Err with every other row intact.
+type RunFailure struct {
+	Bench  string
+	Policy string // "" for serial-reference failures
+	P      int
+	Seed   int64
+	// Kind classifies the failure: "panic", "verify", "timeout" or
+	// "cancel". Timeouts are transient (WithRetry re-runs them); the
+	// others are deterministic properties of the run.
+	Kind    string
+	Message string
+}
+
+// Error implements error.
+func (f *RunFailure) Error() string {
+	mode := f.Policy
+	if mode == "" {
+		mode = "serial"
+	}
+	return fmt.Sprintf("%s [%s P=%d seed=%d]: %s: %s", f.Bench, mode, f.P, f.Seed, f.Kind, f.Message)
+}
+
 // Row is one benchmark's full measurement: the serial elision TS and both
 // platforms' results — Cilk, the classic work-stealing baseline, and
 // NUMAWS, the session's policy (the paper's scheduler unless WithPolicy
@@ -55,6 +84,11 @@ type Row struct {
 	Cilk   PlatformResult
 	NUMAWS PlatformResult
 	P      int // worker count of the TP/WP/SP/IP columns
+	// Err, when non-nil, marks this row as failed: one of the benchmark's
+	// runs died and containment produced an error row (measurement fields
+	// zero) instead of losing the whole grid. Renderers print a diagnostic
+	// line for it; the exporters carry it alongside the identity fields.
+	Err *RunFailure
 }
 
 // Series is one benchmark's scalability curve (the paper's Fig. 9): TP[i]
@@ -111,6 +145,9 @@ type Run struct {
 	// even when the session's policy is itself "cilk". False for serial
 	// runs.
 	Baseline bool
+	// Replayed marks a run filled from the session's resume journal
+	// (WithResume) instead of simulated; Time is the journaled measurement.
+	Replayed bool
 	Time     int64 // virtual cycles (TS for serial runs, TP otherwise)
 }
 
@@ -171,11 +208,28 @@ type Timeline struct {
 
 // Conversions between the facade types and the internal metrics types.
 
+func failureFromMetrics(e *metrics.RowError) *RunFailure {
+	if e == nil {
+		return nil
+	}
+	return &RunFailure{Bench: e.Bench, Policy: e.Policy, P: e.P, Seed: e.Seed,
+		Kind: e.Kind, Message: e.Msg}
+}
+
+func failureToMetrics(f *RunFailure) *metrics.RowError {
+	if f == nil {
+		return nil
+	}
+	return &metrics.RowError{Bench: f.Bench, Policy: f.Policy, P: f.P, Seed: f.Seed,
+		Kind: f.Kind, Msg: f.Message}
+}
+
 func rowFromMetrics(m metrics.Row) Row {
 	return Row{
 		Name: m.Name, Input: m.Input, TS: m.TS, P: m.P,
 		Cilk:   PlatformResult(m.Cilk),
 		NUMAWS: PlatformResult(m.NUMAWS),
+		Err:    failureFromMetrics(m.Err),
 	}
 }
 
@@ -184,6 +238,7 @@ func rowToMetrics(r Row) metrics.Row {
 		Name: r.Name, Input: r.Input, TS: r.TS, P: r.P,
 		Cilk:   metrics.PlatformResult(r.Cilk),
 		NUMAWS: metrics.PlatformResult(r.NUMAWS),
+		Err:    failureToMetrics(r.Err),
 	}
 }
 
