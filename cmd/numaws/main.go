@@ -19,7 +19,16 @@
 //	timeline <bench>  per-worker execution timeline under both schedulers
 //	sweep [-bench LIST] [-topologies LIST] [-points LIST]
 //	        speedup curves across a grid of machine topologies
-//	all     everything above except sweep
+//	serve [-addr HOST:PORT] -store FILE [-jobs N]
+//	        run the deduplicating sweep service: an HTTP/JSON API that
+//	        expands grid requests, serves previously completed runs from a
+//	        persistent content-addressed result store, coalesces identical
+//	        in-flight runs, and streams rows as NDJSON as they finish
+//	query [-server URL] [-bench LIST] [-topologies LIST] [-policies LIST]
+//	      [-p LIST] [-seeds LIST] [-scale small|full] [-serial]
+//	        stream one grid from a running sweep service: rows to stdout
+//	        as NDJSON, the cached/simulated/failed summary to stderr
+//	all     everything above except sweep, serve and query
 //
 // Flags:
 //
@@ -92,12 +101,15 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/pkg/numaws"
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM is what process managers send a long-running `numaws serve`;
+	// it triggers the same graceful drain as Ctrl-C.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	os.Exit(realMain(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -113,6 +125,7 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	}
 	fs := flag.NewFlagSet("numaws", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	fs.Usage = func() { printUsage(fs, stderr) }
 	scale := fs.String("scale", "full", "input scale: small or full")
 	topoSpec := fs.String("topology", "paper-4x8", "machine topology: a preset name or SOCKETSxCORES")
 	policy := fs.String("policy", "numaws", "scheduling policy of the NUMA-aware platform and the sweeps")
@@ -140,6 +153,23 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	cmd := fs.Arg(0)
 	if cmd == "" {
 		cmd = "all"
+	}
+	if cmd == "serve" || cmd == "query" {
+		// serve and query talk to the sweep service instead of building a
+		// local measurement Session, so the global flags do not apply to
+		// them; an explicitly set one would be silently ignored — reject
+		// it loudly instead.
+		var set []string
+		fs.Visit(func(f *flag.Flag) { set = append(set, "-"+f.Name) })
+		if len(set) > 0 {
+			return fail(fmt.Errorf("%s does not take the global flags (%s); pass flags after the subcommand: numaws %s -flag ...",
+				cmd, strings.Join(set, ", "), cmd))
+		}
+		rest := fs.Args()[1:]
+		if cmd == "serve" {
+			return runServe(ctx, rest, stderr)
+		}
+		return runQuery(ctx, rest, stdout, stderr)
 	}
 	sc := numaws.ScaleFull
 	if *scale == "small" {
@@ -202,6 +232,14 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 			fmt.Fprintln(stderr, "numaws:", strings.TrimPrefix(cerr.Error(), "numaws: "))
 		}
 	}()
+	if *resume {
+		// Replay silently stops at the first torn or corrupt record;
+		// surface what that cost, so a resume that lost most of its
+		// journal doesn't masquerade as a warm one.
+		replayed, skipped := session.ReplayStats()
+		fmt.Fprintf(stderr, "numaws: resume: replayed %d completed run(s), skipped %d torn/corrupt journal line(s)\n",
+			replayed, skipped)
+	}
 	if *policy != "numaws" {
 		// The tables' column headers and export field names say NWS/numaws
 		// regardless of -policy (schema stability); flag the substitution
@@ -369,6 +407,11 @@ type measures struct{ rows, series, sweeps bool }
 // before hours of simulation.
 var subcommands = map[string]measures{
 	"fig1": {}, "fig6": {}, "dag": {}, "timeline": {},
+	// serve and query are dispatched before the Session is built (they
+	// talk to the sweep service, exporting nothing locally); they are
+	// registered here so the usage text and unknown-subcommand listing
+	// stay complete.
+	"serve": {}, "query": {},
 	"fig3":   {rows: true},
 	"table7": {rows: true},
 	"table8": {rows: true},

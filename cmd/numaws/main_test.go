@@ -15,9 +15,13 @@ package main
 import (
 	"bytes"
 	"context"
+	"io"
 	"os"
+	"sort"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 // paperNine is the original nine-benchmark suite the golden output pins.
@@ -232,6 +236,11 @@ func TestJournalResumeRoundTrip(t *testing.T) {
 	if out1 != out2 {
 		t.Errorf("resumed run's output diverged:\n--- first\n%s\n--- resumed\n%s", out1, out2)
 	}
+	// The resume surfaces what the journal gave it: replayed rows and (on
+	// a healthy file) zero skipped lines.
+	if !strings.Contains(errb, "numaws: resume: replayed") || !strings.Contains(errb, "skipped 0 torn/corrupt journal line(s)") {
+		t.Errorf("resume did not report its replay counts:\n%s", errb)
+	}
 }
 
 // TestTimeoutFlagAccepted pins that a generous -timeout (with -retries)
@@ -248,5 +257,174 @@ func TestTimeoutFlagAccepted(t *testing.T) {
 	}
 	if out1 != out2 {
 		t.Errorf("-timeout changed a healthy run's output:\n--- without\n%s\n--- with\n%s", out1, out2)
+	}
+}
+
+// TestUsageListsEverySubcommand pins the top-level help: every registered
+// subcommand appears with a one-line description, and the help list and
+// the subcommands registry never drift apart.
+func TestUsageListsEverySubcommand(t *testing.T) {
+	code, _, errb := runCLI(t, "-h")
+	if code != 0 {
+		t.Fatalf("numaws -h exited %d", code)
+	}
+	if !strings.Contains(errb, "Subcommands:") {
+		t.Fatalf("-h does not list subcommands:\n%s", errb)
+	}
+	listed := map[string]bool{}
+	for _, sc := range subcommandHelp {
+		listed[sc.name] = true
+		if sc.desc == "" {
+			t.Errorf("subcommand %q has no description", sc.name)
+		}
+		if !strings.Contains(errb, sc.name+" ") && !strings.Contains(errb, sc.name+"\n") {
+			t.Errorf("-h output missing subcommand %q:\n%s", sc.name, errb)
+		}
+		if _, ok := subcommands[sc.name]; !ok {
+			t.Errorf("help lists %q but the subcommands registry does not know it", sc.name)
+		}
+	}
+	for name := range subcommands {
+		if !listed[name] {
+			t.Errorf("subcommand %q is registered but missing from the help list", name)
+		}
+	}
+}
+
+// TestUnknownSubcommandListsServeAndQuery: the unknown-subcommand error
+// enumerates the full registry, service subcommands included.
+func TestUnknownSubcommandListsServeAndQuery(t *testing.T) {
+	code, _, errb := runCLI(t, "frobnicate")
+	if code == 0 {
+		t.Fatal("unknown subcommand exited 0")
+	}
+	for _, want := range []string{"unknown subcommand", "serve", "query"} {
+		if !strings.Contains(errb, want) {
+			t.Errorf("stderr missing %q:\n%s", want, errb)
+		}
+	}
+}
+
+// TestServeAndQueryRejectGlobalFlags: the global flags configure a local
+// measurement session, which neither service subcommand builds — passing
+// one is a usage error pointing at the subcommand's own flags.
+func TestServeAndQueryRejectGlobalFlags(t *testing.T) {
+	for _, cmd := range []string{"serve", "query"} {
+		code, _, errb := runCLI(t, "-scale", "small", cmd)
+		if code == 0 {
+			t.Fatalf("numaws -scale small %s exited 0", cmd)
+		}
+		if !strings.Contains(errb, "does not take the global flags") {
+			t.Errorf("%s stderr: %s", cmd, errb)
+		}
+	}
+}
+
+func TestServeRequiresStore(t *testing.T) {
+	code, _, errb := runCLI(t, "serve")
+	if code == 0 {
+		t.Fatal("serve without -store exited 0")
+	}
+	if !strings.Contains(errb, "serve requires -store") {
+		t.Errorf("stderr: %s", errb)
+	}
+}
+
+func TestServeQueryHelpExitsZero(t *testing.T) {
+	for _, cmd := range []string{"serve", "query"} {
+		if code, _, _ := runCLI(t, cmd, "-h"); code != 0 {
+			t.Errorf("numaws %s -h exited %d, want 0", cmd, code)
+		}
+	}
+}
+
+// syncBuffer is a bytes.Buffer safe for a writer goroutine and a polling
+// reader.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestServeQueryRoundTrip drives the service end to end through the CLI:
+// an in-process `numaws serve` on an ephemeral port, then two identical
+// `numaws query` runs — the second is answered entirely from the store —
+// and finally a context cancellation, which must drain and exit 0.
+func TestServeQueryRoundTrip(t *testing.T) {
+	store := t.TempDir() + "/store.jsonl"
+	ctx, cancel := context.WithCancel(t.Context())
+	defer cancel()
+
+	var serveErr syncBuffer
+	exited := make(chan int, 1)
+	go func() {
+		exited <- realMain(ctx, []string{"serve", "-addr", "localhost:0", "-store", store}, io.Discard, &serveErr)
+	}()
+
+	// The serve log line carries the resolved address.
+	var url string
+	deadline := time.Now().Add(10 * time.Second)
+	for url == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("serve never logged its address:\n%s", serveErr.String())
+		}
+		out := serveErr.String()
+		if i := strings.Index(out, "serving on "); i >= 0 {
+			rest := out[i+len("serving on "):]
+			url = strings.Fields(rest)[0]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	args := []string{"query", "-server", url, "-bench", "fib", "-topologies", "2x4",
+		"-p", "2", "-seeds", "1,2", "-scale", "small"}
+	code, out1, errb := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("cold query exited %d, stderr:\n%s", code, errb)
+	}
+	if !strings.Contains(errb, "2 rows: 0 cached, 2 simulated, 0 failed") {
+		t.Errorf("cold query summary: %s", errb)
+	}
+
+	code, out2, errb := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("warm query exited %d, stderr:\n%s", code, errb)
+	}
+	if !strings.Contains(errb, "2 rows: 2 cached, 0 simulated, 0 failed") {
+		t.Errorf("warm query summary: %s", errb)
+	}
+
+	// NDJSON rows are deterministic, so the two queries agree line for
+	// line once the cached marker is ignored.
+	norm := func(s string) string {
+		s = strings.ReplaceAll(s, `"cached":true`, `"cached":false`)
+		lines := strings.Split(strings.TrimSpace(s), "\n")
+		sort.Strings(lines)
+		return strings.Join(lines, "\n")
+	}
+	if norm(out1) != norm(out2) {
+		t.Errorf("query rows diverged:\n--- cold\n%s\n--- warm\n%s", out1, out2)
+	}
+
+	cancel()
+	select {
+	case code := <-exited:
+		if code != 0 {
+			t.Errorf("serve exited %d on cancellation, want 0 (graceful drain), stderr:\n%s", code, serveErr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("serve did not exit after cancellation:\n%s", serveErr.String())
 	}
 }

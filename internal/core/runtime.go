@@ -112,6 +112,10 @@ type Runtime struct {
 	// instead of being respawned.
 	units     []*unit
 	freeUnits []*unit
+	// poisoned is set by closeUnits before it wakes parked task
+	// goroutines, telling them to unwind instead of resuming; the
+	// channel close publishing the wake also publishes the flag.
+	poisoned bool
 
 	used bool
 }
@@ -347,15 +351,26 @@ func (rt *Runtime) getUnit() *unit {
 }
 
 // closeUnits retires the run's pooled goroutines. Units parked in the free
-// pool exit their loop; a unit still blocked inside a task (possible only
-// when the run panicked) is left to the old fate of orphaned task
-// goroutines — closing its start channel makes it exit if it ever unblocks.
+// pool exit their loop when their start channel closes. A unit still
+// blocked inside a task — possible when the run panicked or was
+// interrupted — is parked at its resume receive (strict handoff: the
+// engine held the only running strand, and it is unwinding here), so
+// closing resume wakes it; the poisoned flag, published by that close,
+// makes resumeWait unwind the task instead of resuming it, and the
+// goroutine exits through its closed loop. Nothing outlives the Runtime.
 func (rt *Runtime) closeUnits() {
+	rt.poisoned = true
 	for _, u := range rt.units {
 		close(u.start)
+		close(u.resume)
 	}
 	rt.units, rt.freeUnits = nil, nil
 }
+
+// unitUnwind is the panic value resumeWait raises on a poisoned Runtime;
+// simTask.main swallows it to retire the goroutine without yielding to an
+// engine that no longer exists.
+type unitUnwind struct{}
 
 // simTask is the continuation state of one frame: a pooled goroutine unit
 // that runs the user's Task and parks at every spawn/sync/return.
@@ -397,6 +412,9 @@ func (t *simTask) main() {
 	defer func() {
 		//numaws:recover-ok goroutine relay, not containment: the panic is re-raised on the engine goroutine by simRunner.Resume
 		if p := recover(); p != nil {
+			if _, unwind := p.(unitUnwind); unwind {
+				return // torn-down Runtime: no engine is listening for a yield
+			}
 			t.err = p
 			t.u.yield <- sched.Yield{Kind: sched.YieldReturn, Cost: t.ctx.cost}
 		}
@@ -442,14 +460,25 @@ func (c *simCtx) spawnAt(place int, fn Task) {
 	c.spawned = true
 	c.task.u.yield <- sched.Yield{Kind: sched.YieldSpawn, Cost: c.cost, Child: child}
 	c.cost = 0
-	<-c.task.u.resume
+	c.resumeWait()
 }
 
 func (c *simCtx) Sync() {
 	c.spawned = false
 	c.task.u.yield <- sched.Yield{Kind: sched.YieldSync, Cost: c.cost}
 	c.cost = 0
+	c.resumeWait()
+}
+
+// resumeWait parks the task goroutine until the engine hands control
+// back. On a torn-down Runtime the wake comes from closeUnits closing the
+// channel instead; the poisoned flag distinguishes the two, and the
+// unwind panic retires the goroutine through main's recover.
+func (c *simCtx) resumeWait() {
 	<-c.task.u.resume
+	if c.rt.poisoned {
+		panic(unitUnwind{})
+	}
 }
 
 // Call runs t as a plain (non-spawn) Cilk function call: same worker, no
@@ -460,7 +489,7 @@ func (c *simCtx) Call(t Task) {
 	child.Data = newSimTask(c.rt, child, t)
 	c.task.u.yield <- sched.Yield{Kind: sched.YieldCall, Cost: c.cost, Child: child}
 	c.cost = 0
-	<-c.task.u.resume
+	c.resumeWait()
 }
 
 func (c *simCtx) Compute(n int64) { c.cost += n }

@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/journal"
+	"repro/internal/sched"
+	"repro/internal/topology"
+)
+
+// TestKeyForMatchesJournalerKey pins the seam the sweep service depends
+// on: KeyFor must produce byte-for-byte the key the grid journaler writes
+// for the same run, so a service store and a -journal file are mutually
+// intelligible.
+func TestKeyForMatchesJournalerKey(t *testing.T) {
+	spec := specByName(t, "fib")
+	opt := Options{Topology: topology.TwoSocket(4), P: 4, Seed: 3, Verify: true}.fill()
+	jr := newJournaler(Options{Topology: opt.Topology, Resume: map[journal.Key]journal.Result{}})
+
+	par := jr.key(spec, RunMeta{Bench: spec.Name, Policy: sched.Cilk.Name(), P: opt.P, Seed: opt.Seed}, opt)
+	if got := KeyFor(spec, sched.Cilk, opt, false); got != par {
+		t.Errorf("parallel key mismatch:\n KeyFor    %+v\n journaler %+v", got, par)
+	}
+
+	ser := jr.key(spec, RunMeta{Bench: spec.Name, Policy: "serial", P: 1, Seed: opt.Seed, Serial: true}, opt)
+	if got := KeyFor(spec, nil, opt, true); got != ser {
+		t.Errorf("serial key mismatch:\n KeyFor    %+v\n journaler %+v", got, ser)
+	}
+}
+
+// memCache is an in-memory ResultCache recording its traffic.
+type memCache struct {
+	m    map[journal.Key]journal.Result
+	puts int
+	fail error
+}
+
+func newMemCache() *memCache { return &memCache{m: map[journal.Key]journal.Result{}} }
+
+func (c *memCache) Get(k journal.Key) (journal.Result, bool) {
+	r, ok := c.m[k]
+	return r, ok
+}
+
+func (c *memCache) Put(k journal.Key, r journal.Result) error {
+	if c.fail != nil {
+		return c.fail
+	}
+	c.m[k] = r
+	c.puts++
+	return nil
+}
+
+func TestExecuteThroughCachesRuns(t *testing.T) {
+	spec := specByName(t, "fib")
+	opt := Options{P: 4, Seed: 2, Verify: true}
+	c := newMemCache()
+
+	cold, hit, err := ExecuteThrough(t.Context(), c, spec, sched.NUMAWS, opt, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first execution reported a cache hit")
+	}
+	if c.puts != 1 {
+		t.Errorf("cold run recorded %d puts, want 1", c.puts)
+	}
+	if cold.Time <= 0 || cold.Work <= 0 {
+		t.Errorf("implausible result: %+v", cold)
+	}
+
+	warm, hit, err := ExecuteThrough(t.Context(), c, spec, sched.NUMAWS, opt, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("second execution missed the cache")
+	}
+	if warm != cold {
+		t.Errorf("warm result diverged: %+v vs %+v", warm, cold)
+	}
+	if c.puts != 1 {
+		t.Errorf("warm run re-put: %d puts", c.puts)
+	}
+
+	// A serial run of the same tuple is a distinct address.
+	_, hit, err = ExecuteThrough(t.Context(), c, spec, nil, opt, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("serial run hit the parallel run's record")
+	}
+	if c.puts != 2 {
+		t.Errorf("after serial run: %d puts, want 2", c.puts)
+	}
+}
+
+func TestExecuteThroughNilCacheAndPutError(t *testing.T) {
+	spec := specByName(t, "fib")
+	opt := Options{P: 2, Seed: 1}
+
+	res, hit, err := ExecuteThrough(t.Context(), nil, spec, sched.NUMAWS, opt, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit || res.Time <= 0 {
+		t.Errorf("nil cache: hit=%v res=%+v", hit, res)
+	}
+
+	c := newMemCache()
+	boom := errors.New("store: disk full")
+	c.fail = boom
+	if _, _, err := ExecuteThrough(t.Context(), c, spec, sched.NUMAWS, opt, false); !errors.Is(err, boom) {
+		t.Errorf("Put failure must surface as a grid-level error, got %v", err)
+	}
+}

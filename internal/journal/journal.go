@@ -147,37 +147,78 @@ func (w *Writer) Close() error {
 // which makes replay idempotent when a resumed grid re-journals a row whose
 // original write raced the crash.
 func Replay(path string) (map[Key]Result, error) {
+	out, _, err := ReplayWithStats(path)
+	return out, err
+}
+
+// ReplayStats describes what a replay found: how many intact records it
+// trusted, how many lines it discarded from the first torn or corrupt
+// record onward, and where the trusted prefix ends. Skipped > 0 is the
+// signal a resume was partial — callers log it, and the sweep service's
+// store reports it as corruption on /statusz.
+type ReplayStats struct {
+	// Records counts intact records replayed (before key dedup).
+	Records int
+	// Skipped counts non-empty lines discarded at and after the first
+	// torn or corrupt record.
+	Skipped int
+	// Tail is the byte offset where the trusted prefix ends — the start
+	// of the first discarded line. The store truncates the file here
+	// before appending, so new records are never written beyond a line a
+	// future replay would refuse to read past.
+	Tail int64
+}
+
+// ReplayWithStats is Replay plus an account of what the reader saw: unlike
+// Replay, it keeps scanning after the first torn or corrupt record — still
+// trusting nothing past it — so the caller learns how much was lost.
+func ReplayWithStats(path string) (map[Key]Result, ReplayStats, error) {
+	out := map[Key]Result{}
+	var st ReplayStats
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return map[Key]Result{}, nil
+		return out, st, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("journal: %w", err)
+		return nil, st, fmt.Errorf("journal: %w", err)
 	}
 	defer f.Close()
-	out := map[Key]Result{}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	corrupt := false
 	for sc.Scan() {
 		raw := bytes.TrimSpace(sc.Bytes())
+		if corrupt {
+			if len(raw) > 0 {
+				st.Skipped++
+			}
+			continue
+		}
+		n := int64(len(sc.Bytes())) + 1 // the line plus its newline
 		if len(raw) == 0 {
+			st.Tail += n
 			continue
 		}
 		var ln line
-		if err := json.Unmarshal(raw, &ln); err != nil {
-			return out, nil // torn tail
-		}
-		if crc32.ChecksumIEEE(ln.Rec) != ln.CRC {
-			return out, nil // corrupt record: trust nothing past it
-		}
 		var rec record
-		if err := json.Unmarshal(ln.Rec, &rec); err != nil {
-			return out, nil
+		switch {
+		case json.Unmarshal(raw, &ln) != nil:
+			corrupt = true // torn tail
+		case crc32.ChecksumIEEE(ln.Rec) != ln.CRC:
+			corrupt = true // corrupt record: trust nothing past it
+		case json.Unmarshal(ln.Rec, &rec) != nil:
+			corrupt = true
+		}
+		if corrupt {
+			st.Skipped++
+			continue
 		}
 		out[rec.Key] = rec.Result
+		st.Records++
+		st.Tail += n
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("journal: read: %w", err)
+		return nil, st, fmt.Errorf("journal: read: %w", err)
 	}
-	return out, nil
+	return out, st, nil
 }

@@ -274,3 +274,118 @@ func TestCreateTruncates(t *testing.T) {
 		t.Errorf("Create did not truncate: %v", got)
 	}
 }
+
+func TestReplayWithStatsCountsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := w.Write(key(i), result(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimSuffix(string(data), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("journal has %d lines, want 4", len(lines))
+	}
+	// Corrupt record 2's payload (valid JSON, wrong checksum): replay must
+	// keep records 0-1, skip the corrupt line AND the intact record after
+	// it, and report the trusted prefix ending where line 2 begins.
+	corrupt := strings.Replace(lines[2], `"bench":"fib"`, `"bench":"fub"`, 1)
+	if corrupt == lines[2] {
+		t.Fatal("corruption substitution did not apply")
+	}
+	mutPath := filepath.Join(t.TempDir(), "corrupt.jsonl")
+	if err := os.WriteFile(mutPath, []byte(lines[0]+lines[1]+corrupt+lines[3]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := ReplayWithStats(mutPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || st.Records != 2 {
+		t.Errorf("got %d records (stats %d), want the 2 before the corruption", len(got), st.Records)
+	}
+	if st.Skipped != 2 {
+		t.Errorf("Skipped = %d, want 2 (the corrupt line and the orphaned intact one)", st.Skipped)
+	}
+	wantTail := int64(len(lines[0]) + len(lines[1]))
+	if st.Tail != wantTail {
+		t.Errorf("Tail = %d, want %d (end of the trusted prefix)", st.Tail, wantTail)
+	}
+}
+
+func TestReplayWithStatsCleanJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Write(key(i), result(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := ReplayWithStats(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || st.Records != 3 || st.Skipped != 0 {
+		t.Errorf("clean journal: got %d records, stats %+v", len(got), st)
+	}
+	if st.Tail != fi.Size() {
+		t.Errorf("Tail = %d, want the whole file (%d)", st.Tail, fi.Size())
+	}
+}
+
+func TestReplayWithStatsTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := w.Write(key(i), result(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimSuffix(string(data), "\n"), "\n")
+	torn := lines[0] + lines[1][:len(lines[1])/2]
+	tornPath := filepath.Join(t.TempDir(), "torn.jsonl")
+	if err := os.WriteFile(tornPath, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := ReplayWithStats(tornPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || st.Records != 1 || st.Skipped != 1 {
+		t.Errorf("torn tail: got %d records, stats %+v", len(got), st)
+	}
+	if st.Tail != int64(len(lines[0])) {
+		t.Errorf("Tail = %d, want %d (end of the intact first record)", st.Tail, len(lines[0]))
+	}
+}

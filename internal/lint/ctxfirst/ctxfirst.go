@@ -38,6 +38,7 @@ var Analyzer = &analysis.Analyzer{
 // context.Background/TODO outside tests hides the caller's context.
 var noMintPackages = []string{
 	"repro/internal/harness",
+	"repro/internal/server",
 	"repro/pkg/numaws",
 }
 

@@ -11,5 +11,6 @@ func TestCtxFirst(t *testing.T) {
 	lintest.Run(t, "testdata", ctxfirst.Analyzer,
 		"repro/internal/ctxfix",  // ordering and struct-storage defects
 		"repro/internal/harness", // entry-point package: Background/TODO minting
+		"repro/internal/server",  // handler contexts come from *http.Request
 	)
 }

@@ -1,0 +1,20 @@
+// Package server impersonates the HTTP service layer: a handler's
+// context is the request's — minting one detaches the work from the
+// client's disconnect.
+package server
+
+import (
+	"context"
+	"net/http"
+)
+
+func simulate(ctx context.Context) error { return ctx.Err() }
+
+func handleGridDetached(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want `entry-point package calls context\.Background`
+	_ = simulate(ctx)
+}
+
+func handleGrid(w http.ResponseWriter, r *http.Request) {
+	_ = simulate(r.Context())
+}

@@ -131,6 +131,13 @@ func (l *Loader) dirFor(path string) (string, error) {
 	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
 		return dir, nil
 	}
+	// Stdlib packages (net, net/http, crypto/tls) import golang.org/x
+	// packages vendored into GOROOT; resolve those from the vendor tree,
+	// exactly as the go command does.
+	dir = filepath.Join(runtime.GOROOT(), "src", "vendor", filepath.FromSlash(path))
+	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+		return dir, nil
+	}
 	return "", fmt.Errorf("lintest: cannot resolve import %q", path)
 }
 

@@ -1,0 +1,391 @@
+// Package server implements the numaws sweep service: an HTTP/JSON API
+// over the measurement harness backed by a persistent content-addressed
+// result store (internal/store). A grid request is expanded to its run
+// tuples, each tuple is served from the store when its key is already
+// recorded, concurrent identical in-flight runs are coalesced behind a
+// per-key single-flight, and completed rows stream to the client as
+// NDJSON the moment they finish. Because every simulation is
+// deterministic in its key, a cached row is byte-identical to a simulated
+// one — the service turns repeated queries into O(1) lookups.
+//
+// Endpoints:
+//
+//	POST /v1/grid  expand and run a grid, streaming one NDJSON event per
+//	               completed row and a trailing summary event; a stream
+//	               that ends without the summary was aborted mid-grid
+//	GET  /v1/axes  the accepted axis values (benchmarks, topology
+//	               presets, policies, scales)
+//	GET  /healthz  liveness
+//	GET  /statusz  JSON counters: grids, rows, cache hits/misses,
+//	               coalesced runs, in-flight simulations, store state
+//	               (including corruption found at open) and workload-pool
+//	               counters (including quarantines)
+//
+// Concurrency: each request fans its runs out on its own internal/exec
+// pool, and a server-wide semaphore bounds the total simulations in
+// flight across all clients, so one large grid cannot starve the host.
+// Client disconnect cancels that client's request context, which aborts
+// only its own uncached work — runs another client is waiting on are
+// taken over by a waiter, and completed records are already durable.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/exec"
+	"repro/internal/harness"
+	"repro/internal/journal"
+	"repro/internal/sched"
+	"repro/internal/store"
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Store is the persistent result store; required.
+	Store *store.Store
+	// Jobs bounds concurrent simulations across all requests; values
+	// below 1 mean 1.
+	Jobs int
+	// MaxGridRuns is the largest accepted grid, in run tuples; values
+	// below 1 mean the default of 4096.
+	MaxGridRuns int
+	// Logf, when non-nil, receives server log lines.
+	Logf func(format string, args ...any)
+}
+
+// Server serves grid queries over a result store. Safe for concurrent
+// use; build with New.
+type Server struct {
+	st      *store.Store
+	jobs    int
+	maxRuns int
+	logf    func(string, ...any)
+
+	// sem is the admission bound: at most jobs simulations in flight
+	// server-wide, no matter how many clients are streaming.
+	sem    chan struct{}
+	flight flight
+
+	grids, rows  atomic.Uint64
+	hits, misses atomic.Uint64
+	coalesced    atomic.Uint64
+	failures     atomic.Uint64
+	inflight     atomic.Int64
+}
+
+// New builds a Server over the given store.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("server: Config.Store is required")
+	}
+	jobs := cfg.Jobs
+	if jobs < 1 {
+		jobs = 1
+	}
+	maxRuns := cfg.MaxGridRuns
+	if maxRuns < 1 {
+		maxRuns = 4096
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{
+		st: cfg.Store, jobs: jobs, maxRuns: maxRuns, logf: logf,
+		sem:    make(chan struct{}, jobs),
+		flight: flight{m: map[journal.Key]*flightCall{}},
+	}, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/grid", s.handleGrid)
+	mux.HandleFunc("/v1/axes", s.handleAxes)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/statusz", s.handleStatusz)
+	return mux
+}
+
+// handleGrid expands the request, fans the runs out on a bounded pool,
+// and streams each completed row as its own NDJSON event. The handler's
+// context is the request's: client disconnect cancels the pool, skipping
+// runs not yet started, and the stream ends without its summary trailer.
+func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req gridRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad grid request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	runs, err := s.expand(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.grids.Add(1)
+	ctx := r.Context()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	st := newStream(w)
+	var mu sync.Mutex
+	var sum gridSummary
+	pool := exec.NewPool(ctx, s.jobs)
+	for i, rn := range runs {
+		rn := rn
+		pool.Submit(ctx, i, func() error {
+			row, err := s.runOne(ctx, rn)
+			if err != nil {
+				return err // grid-level: cancellation or store I/O aborts the stream
+			}
+			mu.Lock()
+			sum.Rows++
+			switch {
+			case row.Err != nil:
+				sum.Failed++
+			case row.Cached:
+				sum.Cached++
+			default:
+				sum.Simulated++
+			}
+			mu.Unlock()
+			s.rows.Add(1)
+			return st.event(gridEvent{Row: row})
+		})
+	}
+	if err := pool.Wait(ctx); err != nil {
+		// The stream is committed to 200 by now; ending it without the
+		// done trailer is the in-band abort signal.
+		s.logf("numaws: grid aborted: %v", err)
+		return
+	}
+	if err := st.event(gridEvent{Done: &sum}); err != nil {
+		s.logf("numaws: grid summary write: %v", err)
+	}
+}
+
+// runOne produces one grid row. Contained run failures (*harness.RunError:
+// panic, verification mismatch, deadline) become the row's err field and
+// the grid proceeds; only cancellation and store I/O return an error.
+func (s *Server) runOne(ctx context.Context, rn runSpec) (*gridRow, error) {
+	row := &gridRow{
+		Bench: rn.spec.Name, Input: rn.spec.Input, Scale: rn.scaleName,
+		Topology: rn.topoName, Policy: rn.polName, P: rn.p, Seed: rn.seed,
+		Serial: rn.serial,
+	}
+	res, cached, err := s.result(ctx, rn)
+	if err != nil {
+		var re *harness.RunError
+		if errors.As(err, &re) && ctx.Err() == nil {
+			s.failures.Add(1)
+			row.Err = &rowError{Kind: re.Kind.String(), Msg: re.Error()}
+			return row, nil
+		}
+		return nil, err
+	}
+	row.Cached = cached
+	row.Time, row.Work, row.Sched, row.Idle = res.Time, res.Work, res.Sched, res.Idle
+	return row, nil
+}
+
+// result serves one run tuple: from the store when recorded, otherwise by
+// simulating it exactly once across all concurrent clients. The reported
+// bool is true when this request did not simulate (store hit or a
+// coalesced ride on another request's run).
+func (s *Server) result(ctx context.Context, rn runSpec) (journal.Result, bool, error) {
+	opt := harness.Options{Topology: rn.top, P: rn.p, Seed: rn.seed, Verify: rn.verify}
+	key := harness.KeyFor(rn.spec, rn.pol, opt, rn.serial)
+	if res, ok := s.st.Get(key); ok {
+		s.hits.Add(1)
+		return res, true, nil
+	}
+	for {
+		leader := false
+		res, err := s.flight.do(key, func() (journal.Result, error) {
+			leader = true
+			select {
+			case s.sem <- struct{}{}:
+			case <-ctx.Done():
+				return journal.Result{}, ctx.Err()
+			}
+			defer func() { <-s.sem }()
+			s.inflight.Add(1)
+			defer s.inflight.Add(-1)
+			res, hit, err := harness.ExecuteThrough(ctx, s.st, rn.spec, rn.pol, opt, rn.serial)
+			if err == nil && !hit {
+				s.misses.Add(1)
+			}
+			return res, err
+		})
+		switch {
+		case err == nil && leader:
+			return res, false, nil
+		case err == nil:
+			s.coalesced.Add(1)
+			return res, true, nil
+		case !leader && ctx.Err() == nil &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+			// The leader's client disconnected mid-run; its cancellation
+			// must not fail a waiter whose own request is still live —
+			// loop and take the flight over.
+			continue
+		default:
+			return journal.Result{}, false, err
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// axes is the GET /v1/axes payload: every accepted axis value, so a
+// client can build valid grid requests without guessing.
+type axes struct {
+	Benches    []string `json:"benches"`
+	Topologies []string `json:"topologies"` // presets; SOCKETSxCORES shapes are accepted too
+	Policies   []string `json:"policies"`
+	Scales     []string `json:"scales"`
+}
+
+func (s *Server) handleAxes(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, axes{
+		Benches:    workloads.Names(),
+		Topologies: topology.Presets(),
+		Policies:   sched.Names(),
+		Scales:     []string{"small", "full"},
+	})
+}
+
+// statusz is the GET /statusz payload, expvar-style: the server's own
+// counters plus the store's and the workload pool's.
+type statusz struct {
+	Grids     uint64 `json:"grids"`
+	Rows      uint64 `json:"rows"`
+	CacheHits uint64 `json:"cache_hits"`
+	Simulated uint64 `json:"simulated"`
+	Coalesced uint64 `json:"coalesced"`
+	Failures  uint64 `json:"failures"`
+	Inflight  int64  `json:"inflight"`
+	Store     struct {
+		Records int    `json:"records"`
+		Corrupt int    `json:"corrupt_lines_skipped"`
+		Puts    uint64 `json:"puts"`
+		Hits    uint64 `json:"hits"`
+		Misses  uint64 `json:"misses"`
+	} `json:"store"`
+	Pool struct {
+		Built       uint64 `json:"built"`
+		Pooled      uint64 `json:"pooled"`
+		Refs        uint64 `json:"refs"`
+		Quarantined uint64 `json:"quarantined"`
+	} `json:"pool"`
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	var st statusz
+	st.Grids = s.grids.Load()
+	st.Rows = s.rows.Load()
+	st.CacheHits = s.hits.Load()
+	st.Simulated = s.misses.Load()
+	st.Coalesced = s.coalesced.Load()
+	st.Failures = s.failures.Load()
+	st.Inflight = s.inflight.Load()
+	c := s.st.Counters()
+	st.Store.Records, st.Store.Corrupt = c.Records, c.Skipped
+	st.Store.Puts, st.Store.Hits, st.Store.Misses = c.Puts, c.Hits, c.Misses
+	st.Pool.Built, st.Pool.Pooled, st.Pool.Refs, st.Pool.Quarantined = workloads.PoolCounters()
+	writeJSON(w, st)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// stream serializes NDJSON events onto one response: pool workers emit
+// rows concurrently, and the ResponseWriter is not safe for concurrent
+// writes. Each event flushes, so a slow grid still streams.
+type stream struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	fl  http.Flusher // nil when the writer cannot flush (tests)
+}
+
+func newStream(w http.ResponseWriter) *stream {
+	st := &stream{enc: json.NewEncoder(w)}
+	if fl, ok := w.(http.Flusher); ok {
+		st.fl = fl
+	}
+	return st
+}
+
+func (s *stream) event(ev gridEvent) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.enc.Encode(ev); err != nil {
+		return err
+	}
+	if s.fl != nil {
+		s.fl.Flush()
+	}
+	return nil
+}
+
+// flight is the per-key single-flight for in-progress simulations: the
+// RefCache discipline (block on a per-key entry, never the map) plus
+// completion broadcast and entry removal — once a run completes, its
+// result lives in the store, so the map holds only in-flight work and
+// stays bounded. Errors are never published as lasting state (no
+// poisoning): the entry is gone before waiters observe the outcome.
+type flight struct {
+	mu sync.Mutex
+	m  map[journal.Key]*flightCall
+}
+
+// flightCall is one in-progress run. res/err are written once, before
+// done is closed; waiters read them only after <-done.
+type flightCall struct {
+	done chan struct{}
+	res  journal.Result
+	err  error
+}
+
+// do runs fn under k's flight, or — when another goroutine is already
+// running it — waits for that leader and returns the leader's outcome.
+// The wait is not cancellable: a leader always terminates (its own
+// context bounds it), and callers distinguish the leader's cancellation
+// from their own.
+func (f *flight) do(k journal.Key, fn func() (journal.Result, error)) (journal.Result, error) {
+	f.mu.Lock()
+	if c, ok := f.m[k]; ok {
+		f.mu.Unlock()
+		<-c.done
+		return c.res, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	f.m[k] = c
+	f.mu.Unlock()
+	c.res, c.err = fn()
+	f.mu.Lock()
+	delete(f.m, k)
+	f.mu.Unlock()
+	close(c.done)
+	return c.res, c.err
+}

@@ -1,0 +1,221 @@
+package server
+
+// The sweep service's wire contract. These types define the JSON that
+// crosses the HTTP boundary; pkg/numaws mirrors them field for field in
+// its own facade types (GridRequest, GridRow, GridSummary) because the
+// facade wraps this package and therefore cannot be imported by it — the
+// JSON tags, not the Go types, are the shared contract, and the facade's
+// end-to-end tests pin the two in lockstep.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/sched"
+	"repro/internal/topology"
+)
+
+// gridRequest is the body of POST /v1/grid: the same experiment axes the
+// CLI takes, each a list, expanded to their cross product. Empty axes
+// take the CLI's defaults.
+type gridRequest struct {
+	// Benches restricts the grid to the named benchmarks, in the given
+	// order; empty means every registered benchmark.
+	Benches []string `json:"benches,omitempty"`
+	// Topologies lists preset names or SOCKETSxCORES shapes; empty means
+	// ["paper-4x8"].
+	Topologies []string `json:"topologies,omitempty"`
+	// Policies lists registered policy names; empty means ["numaws"].
+	Policies []string `json:"policies,omitempty"`
+	// Workers lists simulated worker counts; 0 means the whole machine of
+	// each topology. Empty means [0].
+	Workers []int `json:"workers,omitempty"`
+	// Seeds lists scheduler seeds; 0 is rejected (the engine reserves it
+	// as "default"). Empty means [1].
+	Seeds []int64 `json:"seeds,omitempty"`
+	// Scale is "small" or "full" (the default).
+	Scale string `json:"scale,omitempty"`
+	// Serial adds one serial-elision (TS) row per benchmark × topology.
+	Serial bool `json:"serial,omitempty"`
+	// Verify controls result verification; nil means true.
+	Verify *bool `json:"verify,omitempty"`
+}
+
+// gridRow is one completed run, streamed as an NDJSON event the moment it
+// finishes (completion order, not grid order — clients sort by the
+// identity fields if they need canonical order).
+type gridRow struct {
+	Bench    string `json:"bench"`
+	Input    string `json:"input"`
+	Scale    string `json:"scale"`
+	Topology string `json:"topology"` // the requested spec string
+	Policy   string `json:"policy"`   // "serial" for serial-elision rows
+	P        int    `json:"p"`
+	Seed     int64  `json:"seed"`
+	Serial   bool   `json:"serial,omitempty"`
+	// Cached marks a row served without simulating in this request: a
+	// store hit, or a coalesced ride on another client's in-flight run.
+	Cached bool  `json:"cached"`
+	Time   int64 `json:"time"`
+	Work   int64 `json:"work"`
+	Sched  int64 `json:"sched"`
+	Idle   int64 `json:"idle"`
+	// Err marks a contained run failure (panic, verify, timeout); the
+	// measurement fields are zero and the grid proceeded without it.
+	Err *rowError `json:"err,omitempty"`
+}
+
+// rowError is a contained failure on the wire.
+type rowError struct {
+	Kind string `json:"kind"`
+	Msg  string `json:"msg"`
+}
+
+// gridSummary trails the stream. A response that ends without one was
+// truncated: the grid aborted (cancellation, store I/O) mid-stream.
+type gridSummary struct {
+	Rows      int `json:"rows"`
+	Cached    int `json:"cached"`
+	Simulated int `json:"simulated"`
+	Failed    int `json:"failed"`
+}
+
+// gridEvent is one NDJSON line: exactly one field is set.
+type gridEvent struct {
+	Row  *gridRow     `json:"row,omitempty"`
+	Done *gridSummary `json:"done,omitempty"`
+}
+
+// runSpec is one expanded grid cell, validated and resolved.
+type runSpec struct {
+	spec      harness.Spec
+	topoName  string
+	top       *topology.Topology
+	pol       sched.Policy // nil for serial rows
+	polName   string       // "serial" for serial rows
+	p         int
+	seed      int64
+	serial    bool
+	scaleName string
+	verify    bool
+}
+
+// expand validates a request the way the CLI validates its flags — every
+// unknown name is an error listing the accepted ones, never a silent
+// default — and expands the axes into the grid's run list: bench-major,
+// then topology, the serial row first, then policy × workers × seeds.
+func (s *Server) expand(req gridRequest) ([]runSpec, error) {
+	scaleName := req.Scale
+	var sc harness.Scale
+	switch scaleName {
+	case "", "full":
+		scaleName, sc = "full", harness.ScaleFull
+	case "small":
+		sc = harness.ScaleSmall
+	default:
+		return nil, fmt.Errorf("unknown scale %q (want small or full)", req.Scale)
+	}
+	verify := true
+	if req.Verify != nil {
+		verify = *req.Verify
+	}
+	all := harness.Specs(sc)
+	specs := all
+	if len(req.Benches) > 0 {
+		byName := make(map[string]harness.Spec, len(all))
+		known := make([]string, 0, len(all))
+		for _, sp := range all {
+			byName[sp.Name] = sp
+			known = append(known, sp.Name)
+		}
+		specs = make([]harness.Spec, 0, len(req.Benches))
+		for _, n := range req.Benches {
+			sp, ok := byName[n]
+			if !ok {
+				return nil, fmt.Errorf("no benchmark named %q (want %s)", n, strings.Join(known, ", "))
+			}
+			specs = append(specs, sp)
+		}
+	}
+	topoSpecs := req.Topologies
+	if len(topoSpecs) == 0 {
+		topoSpecs = []string{"paper-4x8"}
+	}
+	type machine struct {
+		name string
+		top  *topology.Topology
+	}
+	machines := make([]machine, 0, len(topoSpecs))
+	for _, t := range topoSpecs {
+		top, err := topology.Parse(t)
+		if err != nil {
+			return nil, err
+		}
+		machines = append(machines, machine{name: t, top: top})
+	}
+	polNames := req.Policies
+	if len(polNames) == 0 {
+		polNames = []string{"numaws"}
+	}
+	pols := make([]sched.Policy, 0, len(polNames))
+	for _, n := range polNames {
+		pol, err := sched.Lookup(n)
+		if err != nil {
+			return nil, err
+		}
+		pols = append(pols, pol)
+	}
+	workers := req.Workers
+	if len(workers) == 0 {
+		workers = []int{0}
+	}
+	seeds := req.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{1}
+	}
+	for _, sd := range seeds {
+		if sd == 0 {
+			return nil, fmt.Errorf("seed 0 is reserved as the engine's default; pass an explicit non-zero seed")
+		}
+	}
+	var runs []runSpec
+	for _, sp := range specs {
+		for _, m := range machines {
+			if req.Serial {
+				runs = append(runs, runSpec{
+					spec: sp, topoName: m.name, top: m.top,
+					polName: "serial", p: 1, seed: seeds[0], serial: true,
+					scaleName: scaleName, verify: verify,
+				})
+			}
+			for _, pol := range pols {
+				for _, p := range workers {
+					if p < 0 {
+						return nil, fmt.Errorf("negative worker count %d", p)
+					}
+					rp := p
+					if rp == 0 {
+						rp = m.top.Cores()
+					}
+					if rp > m.top.Cores() {
+						return nil, fmt.Errorf("%d workers out of range [1,%d] for topology %s",
+							p, m.top.Cores(), m.name)
+					}
+					for _, sd := range seeds {
+						runs = append(runs, runSpec{
+							spec: sp, topoName: m.name, top: m.top,
+							pol: pol, polName: pol.Name(), p: rp, seed: sd,
+							scaleName: scaleName, verify: verify,
+						})
+					}
+				}
+			}
+		}
+	}
+	if len(runs) > s.maxRuns {
+		return nil, fmt.Errorf("grid of %d runs exceeds this server's limit of %d; split the request",
+			len(runs), s.maxRuns)
+	}
+	return runs, nil
+}

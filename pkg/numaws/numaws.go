@@ -310,6 +310,7 @@ type Session struct {
 	cfg    config
 	jw     *journal.Writer
 	replay map[journal.Key]journal.Result
+	rstats journal.ReplayStats
 }
 
 // New builds a Session from the given options, validating them as a set:
@@ -362,7 +363,7 @@ func New(opts ...Option) (*Session, error) {
 	}
 	if c.journal != "" {
 		if c.resume {
-			if s.replay, err = journal.Replay(c.journal); err != nil {
+			if s.replay, s.rstats, err = journal.ReplayWithStats(c.journal); err != nil {
 				return nil, fmt.Errorf("numaws: %w", err)
 			}
 			s.jw, err = journal.Append(c.journal)
@@ -380,6 +381,15 @@ func New(opts ...Option) (*Session, error) {
 // sessions built without WithJournal and safe to call twice; measurements
 // after Close fail on their first journal append.
 func (s *Session) Close() error { return s.jw.Close() }
+
+// ReplayStats reports what WithResume found in the journal: how many
+// completed runs it replayed, and how many trailing lines it discarded as
+// torn or corrupt (everything from the first unreadable record on — a
+// resume silently re-measures that tail, so callers surface the count).
+// Both are zero for sessions built without WithResume.
+func (s *Session) ReplayStats() (replayed, skipped int) {
+	return s.rstats.Records, s.rstats.Skipped
+}
 
 // selectSpecs resolves benchmark names against the suite, preserving the
 // requested order and rejecting unknown or duplicate names.

@@ -1,0 +1,136 @@
+package numaws
+
+// The sweep service's public wire types and streaming client. They mirror
+// internal/server's wire structs field for field — the facade wraps the
+// server (see serve.go), so the server cannot import this package, and
+// the JSON tags are the contract the two sides share. The server's
+// end-to-end tests drive a real handler through QueryGrid, pinning the
+// mirror in lockstep.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// GridRequest asks a sweep service for the cross product of the given
+// experiment axes — the same axes the CLI takes. Empty axes take the
+// CLI's defaults.
+type GridRequest struct {
+	// Benches restricts the grid to the named benchmarks, in the given
+	// order; empty means every registered benchmark.
+	Benches []string `json:"benches,omitempty"`
+	// Topologies lists preset names or SOCKETSxCORES shapes; empty means
+	// ["paper-4x8"].
+	Topologies []string `json:"topologies,omitempty"`
+	// Policies lists registered policy names; empty means ["numaws"].
+	Policies []string `json:"policies,omitempty"`
+	// Workers lists simulated worker counts; 0 means the whole machine of
+	// each topology. Empty means [0].
+	Workers []int `json:"workers,omitempty"`
+	// Seeds lists scheduler seeds; 0 is rejected (the engine reserves it
+	// as "default"). Empty means [1].
+	Seeds []int64 `json:"seeds,omitempty"`
+	// Scale is "small" or "full" (the default).
+	Scale string `json:"scale,omitempty"`
+	// Serial adds one serial-elision (TS) row per benchmark × topology.
+	Serial bool `json:"serial,omitempty"`
+	// Verify controls result verification; nil means true.
+	Verify *bool `json:"verify,omitempty"`
+}
+
+// GridRow is one completed run streamed by the service, in completion
+// order. Because every simulation is deterministic in the row's identity
+// fields, a Cached row is byte-identical to a freshly simulated one.
+type GridRow struct {
+	Bench    string `json:"bench"`
+	Input    string `json:"input"`
+	Scale    string `json:"scale"`
+	Topology string `json:"topology"` // the requested spec string
+	Policy   string `json:"policy"`   // "serial" for serial-elision rows
+	P        int    `json:"p"`
+	Seed     int64  `json:"seed"`
+	Serial   bool   `json:"serial,omitempty"`
+	// Cached marks a row the service served without simulating for this
+	// request: a store hit, or a coalesced ride on a concurrent client's
+	// identical in-flight run.
+	Cached bool  `json:"cached"`
+	Time   int64 `json:"time"`
+	Work   int64 `json:"work"`
+	Sched  int64 `json:"sched"`
+	Idle   int64 `json:"idle"`
+	// Err marks a contained run failure (panic, verification mismatch,
+	// deadline); the measurement fields are zero and the rest of the grid
+	// completed normally.
+	Err *GridRowError `json:"err,omitempty"`
+}
+
+// GridRowError is a contained run failure on the wire.
+type GridRowError struct {
+	Kind string `json:"kind"`
+	Msg  string `json:"msg"`
+}
+
+// GridSummary trails a grid stream: how the rows broke down. Simulated
+// counts the runs this request actually executed; on a fully warm query
+// it is zero.
+type GridSummary struct {
+	Rows      int `json:"rows"`
+	Cached    int `json:"cached"`
+	Simulated int `json:"simulated"`
+	Failed    int `json:"failed"`
+}
+
+// QueryGrid streams a grid request against a running sweep service
+// (`numaws serve`) at the given base URL, invoking onRow (which may be
+// nil) for each row as the service completes it, and returns the trailing
+// summary. A stream that ends without a summary — the service aborted the
+// grid mid-stream or died — is an error; rows already delivered through
+// onRow remain valid, since each stands alone. Cancelling ctx abandons
+// the stream; the service cancels only this client's uncached work.
+func QueryGrid(ctx context.Context, server string, req GridRequest, onRow func(GridRow)) (GridSummary, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return GridSummary{}, fmt.Errorf("numaws: query: %w", err)
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimSuffix(server, "/")+"/v1/grid", bytes.NewReader(body))
+	if err != nil {
+		return GridSummary{}, fmt.Errorf("numaws: query: %w", err)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		return GridSummary{}, fmt.Errorf("numaws: query: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return GridSummary{}, fmt.Errorf("numaws: query: server said %s: %s",
+			resp.Status, strings.TrimSpace(string(msg)))
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ev struct {
+			Row  *GridRow     `json:"row"`
+			Done *GridSummary `json:"done"`
+		}
+		if err := dec.Decode(&ev); err != nil {
+			if errors.Is(err, io.EOF) {
+				return GridSummary{}, fmt.Errorf("numaws: query: stream ended without its summary (the server aborted the grid)")
+			}
+			return GridSummary{}, fmt.Errorf("numaws: query: %w", err)
+		}
+		if ev.Row != nil && onRow != nil {
+			onRow(*ev.Row)
+		}
+		if ev.Done != nil {
+			return *ev.Done, nil
+		}
+	}
+}
