@@ -80,6 +80,37 @@ func BenchmarkCilkSuite(b *testing.B) {
 	}
 }
 
+// policyNames are the policies that exercise the widened hook contract
+// (DESIGN.md "Policy hook contract"): the tournament entrants beyond the
+// paper's pair.
+var policyNames = []string{"steal-half", "socket-first", "adaptive-bias"}
+
+// BenchmarkPolicy runs the hook-contract policies under the Table 7
+// protocol (one verified P=32 run per iteration) so their cycle counts
+// and allocation footprints sit in the same gated series as the
+// built-ins: the benchgate job fails if a hook starts allocating on the
+// steal path or a refactor shifts a victim draw.
+func BenchmarkPolicy(b *testing.B) {
+	spec := specByName(b, "heat")
+	for _, name := range policyNames {
+		pol, err := sched.Lookup(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("heat/%v", pol), func(b *testing.B) {
+			b.ReportAllocs()
+			var rep *core.Report
+			for i := 0; i < b.N; i++ {
+				rep, err = harness.RunOne(context.Background(), spec, pol, harness.Options{Verify: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rep.Time), "T32-cycles")
+		})
+	}
+}
+
 // BenchmarkFig3 regenerates Fig. 3's bars: Cilk Plus total processing time
 // at P=32 decomposed into work, scheduling, and idle, normalized to TS.
 func BenchmarkFig3(b *testing.B) {

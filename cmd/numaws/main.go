@@ -19,6 +19,11 @@
 //	timeline <bench>  per-worker execution timeline under both schedulers
 //	sweep [-bench LIST] [-topologies LIST] [-points LIST]
 //	        speedup curves across a grid of machine topologies
+//	tournament [-bench LIST] [-topologies LIST]
+//	        run every registered scheduling policy over a benchmark x
+//	        topology grid (each cell at its machine's full core count,
+//	        averaged over -seeds) and rank them by the geometric mean of
+//	        per-cell completion time normalized to the cell's best
 //	serve [-addr HOST:PORT] -store FILE [-jobs N]
 //	        run the deduplicating sweep service: an HTTP/JSON API that
 //	        expands grid requests, serves previously completed runs from a
@@ -28,7 +33,7 @@
 //	      [-p LIST] [-seeds LIST] [-scale small|full] [-serial]
 //	        stream one grid from a running sweep service: rows to stdout
 //	        as NDJSON, the cached/simulated/failed summary to stderr
-//	all     everything above except sweep, serve and query
+//	all     everything above except sweep, tournament, serve and query
 //
 // Flags:
 //
@@ -260,6 +265,19 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	if len(rest) > 0 { // empty when cmd defaulted to "all"
 		rest = rest[1:]
 	}
+	var tn *tournamentArgs
+	if cmd == "tournament" {
+		// Like sweep, tournament owns the arguments after its name.
+		tn, err = parseTournamentArgs(rest, *jsonPath, *csvPath)
+		if err != nil {
+			if errors.Is(err, flag.ErrHelp) {
+				return 0
+			}
+			return fail(err)
+		}
+		*jsonPath, *csvPath = tn.json, tn.csv
+		rest = nil
+	}
 	var sw *sweepArgs
 	if cmd == "sweep" {
 		// An explicitly passed global -topology becomes the sweep's machine
@@ -297,7 +315,7 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		}
 		return 1
 	}
-	if (*jsonPath != "" || *csvPath != "") && !kind.rows && !kind.series && !kind.sweeps {
+	if (*jsonPath != "" || *csvPath != "") && !kind.rows && !kind.series && !kind.sweeps && !kind.tour {
 		return fail(fmt.Errorf("-json/-csv: subcommand %q produces no rows or series to export", cmd))
 	}
 	// Open the export files before the sweep: an unwritable path should
@@ -314,7 +332,7 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		out.discard()
 		return fail(err)
 	}
-	app := &app{session: session, w: stdout, args: fs.Args()}
+	app := &app{session: session, w: stdout, args: fs.Args(), tn: tn}
 	if err := app.run(ctx, cmd, sw); err != nil {
 		stopProf()
 		out.discard()
@@ -398,7 +416,7 @@ func startProfiles(cpu, mem string) (func() error, error) {
 }
 
 // measures says which result kinds a subcommand produces.
-type measures struct{ rows, series, sweeps bool }
+type measures struct{ rows, series, sweeps, tour bool }
 
 // subcommands is the authoritative registry: every subcommand run()
 // handles, mapped to what it measures. Validity checks, the usage
@@ -412,13 +430,14 @@ var subcommands = map[string]measures{
 	// registered here so the usage text and unknown-subcommand listing
 	// stay complete.
 	"serve": {}, "query": {},
-	"fig3":   {rows: true},
-	"table7": {rows: true},
-	"table8": {rows: true},
-	"tables": {rows: true},
-	"fig9":   {series: true},
-	"sweep":  {sweeps: true},
-	"all":    {rows: true, series: true},
+	"fig3":       {rows: true},
+	"table7":     {rows: true},
+	"table8":     {rows: true},
+	"tables":     {rows: true},
+	"fig9":       {series: true},
+	"sweep":      {sweeps: true},
+	"tournament": {tour: true},
+	"all":        {rows: true, series: true},
 }
 
 // sweepArgs carries the sweep subcommand's parsed flags.
@@ -484,6 +503,37 @@ func parseSweepArgs(args []string, jsonDefault, csvDefault, cpuDefault, memDefau
 	return sw, nil
 }
 
+// tournamentArgs carries the tournament subcommand's parsed flags.
+type tournamentArgs struct {
+	benches   []string
+	topos     []string
+	json, csv string
+}
+
+// parseTournamentArgs parses the arguments after "tournament" with a
+// dedicated FlagSet. -json/-csv may be given either before the subcommand
+// (the global flags, passed in as defaults) or after it. The machine list
+// defaults to the session's own topology (Session.Tournament's nil case),
+// so the global -topology flag steers a single-machine tournament without
+// repetition.
+func parseTournamentArgs(args []string, jsonDefault, csvDefault string) (*tournamentArgs, error) {
+	fs := flag.NewFlagSet("tournament", flag.ContinueOnError)
+	bench := fs.String("bench", "", "comma-separated benchmark names (default: the session's whole suite)")
+	topos := fs.String("topologies", "", "comma-separated topology presets or SOCKETSxCORES shapes (default: the -topology machine)")
+	jsonPath := fs.String("json", jsonDefault, "write the tournament as JSON to this file (\"-\" for stdout)")
+	csvPath := fs.String("csv", csvDefault, "write the tournament as CSV to this file (\"-\" for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("tournament: unexpected argument %q", fs.Arg(0))
+	}
+	return &tournamentArgs{
+		benches: splitList(*bench), topos: splitList(*topos),
+		json: *jsonPath, csv: *csvPath,
+	}, nil
+}
+
 // splitList splits a comma-separated flag value, dropping empty entries.
 func splitList(s string) []string {
 	var out []string
@@ -519,6 +569,7 @@ type export struct {
 	rows   []numaws.Row
 	series []numaws.Series
 	sweeps []numaws.SweepCurve
+	tour   *numaws.Tournament
 }
 
 // sink is one pre-opened export destination. File sinks write to a
@@ -622,9 +673,16 @@ func openSinks(jsonPath, csvPath string, kind measures, stdout io.Writer) (sinks
 
 func (e *export) write(s sinks, stderr io.Writer) error {
 	if err := s.json.put(func(w io.Writer) error {
-		return numaws.WriteExport(w, numaws.Export{Rows: e.rows, Series: e.series, Sweeps: e.sweeps})
+		return numaws.WriteExport(w, numaws.Export{Rows: e.rows, Series: e.series, Sweeps: e.sweeps, Tournament: e.tour})
 	}); err != nil {
 		return err
+	}
+	if e.tour != nil {
+		// The tournament subcommand is the only producer of rankings and
+		// measures nothing else, so its CSV carries exactly one table.
+		return s.csv.put(func(w io.Writer) error {
+			return numaws.WriteTournamentCSV(w, *e.tour)
+		})
 	}
 	if len(e.sweeps) > 0 {
 		// The sweep subcommand is the only producer of sweeps and measures
@@ -655,6 +713,7 @@ type app struct {
 	session *numaws.Session
 	w       io.Writer
 	args    []string // positional args after flag parsing (cmd, operands)
+	tn      *tournamentArgs
 	ex      export
 }
 
@@ -710,6 +769,13 @@ func (a *app) run(ctx context.Context, cmd string, sw *sweepArgs) error {
 		}
 		a.ex.sweeps = sweeps
 		fmt.Fprint(w, numaws.SweepTable(sweeps))
+	case "tournament":
+		tour, err := s.Tournament(ctx, a.tn.topos, a.tn.benches...)
+		if err != nil {
+			return err
+		}
+		a.ex.tour = &tour
+		fmt.Fprint(w, tour.Table())
 	case "dag":
 		fmt.Fprintln(w, "Measured computation dags (strand cycles; parallelism = work/span)")
 		fmt.Fprintf(w, "%-12s %14s %14s %14s\n", "benchmark", "work (T1)", "span (Tinf)", "parallelism")

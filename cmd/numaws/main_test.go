@@ -76,6 +76,44 @@ func TestCilkSmallMatchesPinnedOracle(t *testing.T) {
 	}
 }
 
+// TestTournamentSmallMatchesPinnedOracle pins the policy tournament: all
+// five registered policies ranked over heat and cilksort on the paper
+// machine must reproduce testdata/tournament-small.golden byte for byte —
+// the ranking, the scores, and every cell's completion time.
+func TestTournamentSmallMatchesPinnedOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full small-scale tournament skipped in -short mode")
+	}
+	want, err := os.ReadFile("testdata/tournament-small.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, out, errb := runCLI(t, "-scale", "small", "-topology", "paper-4x8", "tournament", "-bench", "heat,cilksort")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb)
+	}
+	if out != string(want) {
+		t.Errorf("`numaws -scale small -topology paper-4x8 tournament -bench heat,cilksort` diverged from the pinned oracle.\nIf the change is intentional, regenerate testdata/tournament-small.golden.\n--- got\n%s\n--- want\n%s", out, want)
+	}
+}
+
+// TestTournamentFlags pins the subcommand's own flag surface: list flags
+// after the name, rejection of positionals, and the export paths.
+func TestTournamentFlags(t *testing.T) {
+	code, _, errb := runCLI(t, "tournament", "extra")
+	if code == 0 || !strings.Contains(errb, "unexpected argument") {
+		t.Errorf("positional arg: exit %d, stderr %q", code, errb)
+	}
+	code, _, errb = runCLI(t, "-scale", "small", "tournament", "-bench", "bogus")
+	if code == 0 || !strings.Contains(errb, "bogus") {
+		t.Errorf("unknown bench: exit %d, stderr %q", code, errb)
+	}
+	code, _, _ = runCLI(t, "tournament", "-h")
+	if code != 0 {
+		t.Errorf("tournament -h exited %d, want 0", code)
+	}
+}
+
 // TestDefaultSuiteCoversCilkAdditions pins the open suite: without -bench
 // the session carries the registered fourteen, and the dag protocol (one
 // verified parallel run per benchmark) covers the five additions.

@@ -33,9 +33,10 @@ var subcommandHelp = []struct{ name, desc string }{
 	{"dag", "measured work, span and parallelism per benchmark (Section IV)"},
 	{"timeline", "per-worker execution timeline under both schedulers"},
 	{"sweep", "speedup curves across a grid of machine topologies"},
+	{"tournament", "rank every registered scheduling policy over a benchmark x topology grid"},
 	{"serve", "run the deduplicating sweep service (HTTP/JSON, NDJSON streams)"},
 	{"query", "stream a grid from a running sweep service"},
-	{"all", "everything above except sweep, serve and query"},
+	{"all", "everything above except sweep, tournament, serve and query"},
 }
 
 // printUsage is the top-level -h text: the subcommand list first (the
@@ -45,7 +46,7 @@ func printUsage(fs *flag.FlagSet, w io.Writer) {
 	for _, sc := range subcommandHelp {
 		fmt.Fprintf(w, "  %-9s %s\n", sc.name, sc.desc)
 	}
-	fmt.Fprintf(w, "\nGlobal flags (before the subcommand; sweep, serve and query take their own flags after their name — see numaws <subcommand> -h):\n")
+	fmt.Fprintf(w, "\nGlobal flags (before the subcommand; sweep, tournament, serve and query take their own flags after their name — see numaws <subcommand> -h):\n")
 	fs.PrintDefaults()
 }
 

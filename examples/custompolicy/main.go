@@ -1,0 +1,125 @@
+// Custompolicy shows the policy registration hook of the public simulator
+// library (repro/pkg/numaws): define a scheduling policy once with
+// RegisterPolicy — a name, its machinery flags, a victim-selection
+// function against the facade's Rand/PolicyView pair, and optionally an
+// adaptation hook — and it competes through the whole measurement pipeline
+// (sessions, the CLI's -policy flag, the sweep service's policies axis and
+// the tournament) exactly like the built-in schedulers, without touching
+// any internal package.
+package main
+
+import (
+	"context"
+	"fmt"
+
+	"repro/pkg/numaws"
+)
+
+// Registration happens at init time — before any simulation can run or
+// snapshot the registry — so the new policy is indistinguishable from a
+// built-in one.
+//
+// The example policy is "ring": a thief probes its clockwise neighbor
+// sockets first, widening one hop class per failed attempt, and falls back
+// to the built-in biased draw once it has circled the machine. It also
+// adapts: every 2^14 events it re-weights hop classes toward where steals
+// actually succeeded, exactly the feedback loop the built-in adaptive-bias
+// policy runs.
+func init() {
+	err := numaws.RegisterPolicy(numaws.PolicyDef{
+		Name:   "ring",
+		Biased: true,
+		Pushes: true,
+		Victim: func(r numaws.Rand, v numaws.PolicyView) int {
+			// Widen the search by one hop class per consecutive failure:
+			// streak 0 probes same-socket mates, streak 1 adds 1-hop
+			// sockets, and so on. Past the machine diameter, trust the
+			// engine's biased distribution.
+			maxHop := v.Streak()
+			if maxHop > v.MaxHops() {
+				return v.PickBiased(r)
+			}
+			mySock := v.SocketOf(v.Self())
+			// Count candidates within maxHop hops, then draw uniformly
+			// among them with a second pass — two passes, one draw, no
+			// allocation.
+			n := 0
+			for w := 0; w < v.Workers(); w++ {
+				if w != v.Self() && v.Hops(mySock, v.SocketOf(w)) <= maxHop {
+					n++
+				}
+			}
+			if n == 0 {
+				return v.PickUniform(r)
+			}
+			k := r.Intn(n)
+			for w := 0; w < v.Workers(); w++ {
+				if w != v.Self() && v.Hops(mySock, v.SocketOf(w)) <= maxHop {
+					if k == 0 {
+						return w
+					}
+					k--
+				}
+			}
+			return v.PickUniform(r) // unreachable
+		},
+		AdaptEvery: 1 << 14,
+		Adapt: func(obs numaws.PolicyObservation, weights []float64) bool {
+			var total int64
+			for _, s := range obs.StealsByHop {
+				total += s
+			}
+			if total == 0 {
+				return false
+			}
+			changed := false
+			for h := range weights {
+				w := 1 + 3*float64(obs.StealsByHop[h])/float64(total)
+				if w != weights[h] {
+					weights[h] = w
+					changed = true
+				}
+			}
+			return changed
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+}
+
+func main() {
+	ctx := context.Background()
+
+	// The registered policy is listed like any built-in.
+	fmt.Println("registered policies:")
+	for _, p := range numaws.Policies() {
+		marker := " "
+		if p == "ring" {
+			marker = "*"
+		}
+		fmt.Printf("  %s %s\n", marker, p)
+	}
+
+	// Drive a session under it by name.
+	s, err := numaws.New(numaws.WithScale(numaws.ScaleSmall),
+		numaws.WithPolicy("ring"), numaws.WithWorkers(16))
+	if err != nil {
+		panic(err)
+	}
+	rep, err := s.Run(ctx, "heat")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nheat under ring at P=16: T=%d, %d steals (%d remote accesses)\n",
+		rep.Time, rep.Steals, rep.Accesses.Remote())
+
+	// And let it compete: a tournament ranks every registered policy —
+	// ring included — across a benchmark grid on the session's machine.
+	tour, err := s.Tournament(ctx, nil, "heat", "cilksort")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println()
+	fmt.Println(tour.Table())
+}

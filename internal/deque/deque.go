@@ -116,6 +116,45 @@ func (d *Deque[T]) StealHead() (T, bool) {
 	return x, true
 }
 
+// StealHalf removes up to half the items in the deque (rounded up) from
+// the head into dst and returns how many were taken, in deque order (the
+// oldest first — dst[0] is exactly the frame StealHead would have taken).
+// Thief side: always locks, like StealHead, and the owner may still race
+// it for the final items through the lock-free PopTail fast path, so every
+// item is taken with the same increment-then-check handshake as a
+// single-frame steal; a lost race stops the bulk transfer early rather
+// than double-claiming the item. Taking at most half (of the size observed
+// at entry) preserves the ABP potential argument's shape: the victim keeps
+// the deeper half of its deque, so a bulk-stealing policy still spreads
+// top-heavy work without draining its victims.
+//
+//numaws:alloc-free
+func (d *Deque[T]) StealHalf(dst []T) int {
+	d.lock.Lock()
+	defer d.lock.Unlock()
+	n := d.tail.Load() - d.head.Load()
+	if n <= 0 {
+		return 0
+	}
+	k := (n + 1) / 2
+	if int64(len(dst)) < k {
+		k = int64(len(dst))
+	}
+	taken := 0
+	for int64(taken) < k {
+		h := d.head.Load()
+		d.head.Store(h + 1)
+		if h+1 > d.tail.Load() {
+			d.head.Store(h) // lost to the owner; keep what we have
+			break
+		}
+		dst[taken] = d.tasks[h]
+		d.tasks[h] = d.zero
+		taken++
+	}
+	return taken
+}
+
 // PeekHead returns the head item without removing it, for diagnostics and
 // the simulator's deterministic inspection. It takes the lock.
 //

@@ -255,3 +255,101 @@ func TestConcurrentNoDuplicates(t *testing.T) {
 		}
 	}
 }
+
+func TestStealHalfTakesCeilHalfFromHead(t *testing.T) {
+	for n := 0; n <= 9; n++ {
+		d := New[int](16)
+		for i := 0; i < n; i++ {
+			d.PushTail(i)
+		}
+		dst := make([]int, 16)
+		got := d.StealHalf(dst)
+		want := (n + 1) / 2
+		if got != want {
+			t.Fatalf("n=%d: StealHalf took %d items, want %d", n, got, want)
+		}
+		for i := 0; i < got; i++ {
+			if dst[i] != i {
+				t.Fatalf("n=%d: dst[%d] = %d, want %d (oldest first)", n, i, dst[i], i)
+			}
+		}
+		if d.Len() != n-want {
+			t.Fatalf("n=%d: victim kept %d items, want %d", n, d.Len(), n-want)
+		}
+		// The victim's remaining items are the deeper half, still poppable
+		// in LIFO order.
+		for i := n - 1; i >= want; i-- {
+			v, ok := d.PopTail()
+			if !ok || v != i {
+				t.Fatalf("n=%d: PopTail() = (%d, %v), want (%d, true)", n, v, ok, i)
+			}
+		}
+	}
+}
+
+func TestStealHalfBoundedByDst(t *testing.T) {
+	d := New[int](16)
+	for i := 0; i < 10; i++ {
+		d.PushTail(i)
+	}
+	dst := make([]int, 2)
+	if got := d.StealHalf(dst); got != 2 {
+		t.Fatalf("StealHalf with len-2 dst took %d, want 2", got)
+	}
+	if dst[0] != 0 || dst[1] != 1 {
+		t.Fatalf("StealHalf took %v, want [0 1]", dst)
+	}
+	if d.Len() != 8 {
+		t.Fatalf("victim has %d items, want 8", d.Len())
+	}
+	if got := d.StealHalf(nil); got != 0 {
+		t.Fatalf("StealHalf with nil dst took %d, want 0", got)
+	}
+}
+
+func TestStealHalfConcurrentNoDuplicates(t *testing.T) {
+	const items = 5000
+	d := New[int](items)
+	seen := make([]atomic.Int32, items)
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := make([]int, items)
+			for {
+				k := d.StealHalf(dst)
+				for j := 0; j < k; j++ {
+					seen[dst[j]].Add(1)
+				}
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	for i := 0; i < items; i++ {
+		d.PushTail(i)
+		if v, ok := d.PopTail(); ok {
+			seen[v].Add(1)
+		}
+	}
+	close(done)
+	wg.Wait()
+	for {
+		if v, ok := d.StealHead(); ok {
+			seen[v].Add(1)
+		} else {
+			break
+		}
+	}
+	for i := range seen {
+		if n := seen[i].Load(); n != 1 {
+			t.Fatalf("item %d consumed %d times, want exactly once", i, n)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// newPolicies are the literature policies PR 10 added; the suite-wide
+// verify and determinism guarantees the built-ins enjoy must hold for them
+// through the same shared machinery.
+func newPolicies(t *testing.T) []sched.Policy {
+	t.Helper()
+	var pols []sched.Policy
+	for _, name := range []string{"steal-half", "socket-first", "adaptive-bias"} {
+		pol, err := sched.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pols = append(pols, pol)
+	}
+	return pols
+}
+
+// TestNewPoliciesVerifyAcrossSuite runs every registered benchmark at
+// small scale under each new policy with result verification on: the
+// shared deque discipline, promotion and sync handling must produce
+// correct results no matter how victims are chosen or how much is stolen.
+func TestNewPoliciesVerifyAcrossSuite(t *testing.T) {
+	specs := Specs(ScaleSmall)
+	if len(specs) < 14 {
+		t.Fatalf("suite has %d benchmarks, want at least the built-in 14", len(specs))
+	}
+	for _, pol := range newPolicies(t) {
+		for _, spec := range specs {
+			rep, err := RunOne(t.Context(), spec, pol, Options{P: 8, Verify: true})
+			if err != nil {
+				t.Fatalf("%s under %s: %v", spec.Name, pol.Name(), err)
+			}
+			if rep.Time <= 0 {
+				t.Errorf("%s under %s: non-positive makespan %d", spec.Name, pol.Name(), rep.Time)
+			}
+		}
+	}
+}
+
+// TestNewPoliciesDeterministicPerSeed pins byte-identical repeat runs: the
+// full report (makespan, per-term totals, steal counters) of a repeated
+// (spec, policy, P, seed) run must match exactly.
+func TestNewPoliciesDeterministicPerSeed(t *testing.T) {
+	spec := specByName(t, "cg")
+	for _, pol := range newPolicies(t) {
+		for _, seed := range []int64{1, 9} {
+			a, err := RunOne(t.Context(), spec, pol, Options{P: 16, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := RunOne(t.Context(), spec, pol, Options{P: 16, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Time != b.Time || a.Sched.WorkTotal() != b.Sched.WorkTotal() ||
+				a.Sched.Steals != b.Sched.Steals || a.Sched.Events != b.Sched.Events {
+				t.Errorf("%s seed %d: repeat runs diverged: %+v vs %+v",
+					pol.Name(), seed, a.Sched, b.Sched)
+			}
+			if a.Sched == nil {
+				t.Fatalf("%s seed %d: missing scheduler stats", pol.Name(), seed)
+			}
+		}
+	}
+}
+
+// TestNewPoliciesDistinctBehavior sanity-checks that the three policies
+// actually schedule differently from the built-ins on a NUMA-visible
+// benchmark (same seed, same machine): identical event streams would mean
+// a hook is dead.
+func TestNewPoliciesDistinctBehavior(t *testing.T) {
+	spec := specByName(t, "heat")
+	base, err := RunOne(t.Context(), spec, sched.Cilk, Options{P: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range newPolicies(t) {
+		rep, err := RunOne(t.Context(), spec, pol, Options{P: 16, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Sched.Events == base.Sched.Events && rep.Time == base.Time &&
+			rep.Sched.Steals == base.Sched.Steals {
+			t.Errorf("%s run indistinguishable from cilk (T=%d, steals=%d)",
+				pol.Name(), rep.Time, rep.Sched.Steals)
+		}
+	}
+}

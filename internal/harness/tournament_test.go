@@ -1,0 +1,148 @@
+package harness
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/sched"
+)
+
+// TestTournamentRanksDeterministically runs the same small contest twice
+// and checks its shape: seeds averaged per cell, every cell at each
+// machine's full core count, and an identical ranking on repetition.
+func TestTournamentRanksDeterministically(t *testing.T) {
+	specs := []Spec{specByName(t, "fib"), specByName(t, "cilksort")}
+	machines, err := Machines([]string{"2x4", "1x2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pols := []sched.Policy{sched.Cilk, sched.NUMAWS}
+	opt := Options{Seeds: 2, Jobs: 4}
+
+	var ps []int
+	opt.OnRun = func(m RunMeta) { ps = append(ps, m.P) }
+	first, err := Tournament(t.Context(), specs, machines, pols, nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2*2*2*2 {
+		t.Fatalf("emitted %d runs, want 16 (2 pols x 2 benches x 2 machines x 2 seeds)", len(ps))
+	}
+	for _, p := range ps {
+		if p != 8 && p != 2 {
+			t.Errorf("run at P=%d; every cell must use a machine's full core count", p)
+		}
+	}
+	if !reflect.DeepEqual(first.Benches, []string{"fib", "cilksort"}) ||
+		!reflect.DeepEqual(first.Topologies, []string{"2x4", "1x2"}) {
+		t.Errorf("axes: %v / %v", first.Benches, first.Topologies)
+	}
+	if len(first.Entries) != 2 || first.Entries[0].Rank != 1 || len(first.Entries[0].Cells) != 4 {
+		t.Fatalf("entries: %+v", first.Entries)
+	}
+
+	opt.OnRun = nil
+	second, err := Tournament(t.Context(), specs, machines, pols, nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("tournament not deterministic:\n first  %+v\n second %+v", first, second)
+	}
+}
+
+// TestTournamentExecutesThroughCache pins the store seam: a warm cache
+// answers a repeated tournament without a single simulation, with an
+// identical ranking.
+func TestTournamentExecutesThroughCache(t *testing.T) {
+	specs := []Spec{specByName(t, "fib")}
+	machines, err := Machines([]string{"2x4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pols := []sched.Policy{sched.Cilk, sched.NUMAWS}
+	c := newMemCache()
+
+	cold, err := Tournament(t.Context(), specs, machines, pols, c, Options{Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.puts != 2 {
+		t.Fatalf("cold tournament stored %d results, want 2", c.puts)
+	}
+
+	// Any simulation now panics; only the cache can answer.
+	faultinject.Arm(faultinject.Plan{Kind: faultinject.PanicAtTask})
+	defer faultinject.Disarm()
+	warm, err := Tournament(t.Context(), specs, machines, pols, c, Options{Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Errorf("warm ranking diverged:\n cold %+v\n warm %+v", cold, warm)
+	}
+}
+
+// TestTournamentValidates pins the argument errors and that a contained
+// run failure aborts the whole tournament rather than ranking a grid with
+// holes.
+func TestTournamentValidates(t *testing.T) {
+	specs := []Spec{specByName(t, "fib")}
+	machines, err := Machines([]string{"2x4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pols := []sched.Policy{sched.Cilk}
+
+	cases := []struct {
+		name string
+		run  func() error
+		want string
+	}{
+		{"no policies", func() error {
+			_, err := Tournament(t.Context(), specs, machines, nil, nil, Options{})
+			return err
+		}, "at least one policy"},
+		{"no benchmarks", func() error {
+			_, err := Tournament(t.Context(), nil, machines, pols, nil, Options{})
+			return err
+		}, "at least one benchmark"},
+		{"no machines", func() error {
+			_, err := Tournament(t.Context(), specs, nil, pols, nil, Options{})
+			return err
+		}, "at least one machine"},
+		{"duplicate policy", func() error {
+			_, err := Tournament(t.Context(), specs, machines,
+				[]sched.Policy{sched.Cilk, sched.Cilk}, nil, Options{})
+			return err
+		}, "named twice"},
+	}
+	for _, tc := range cases {
+		if err := tc.run(); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+
+	faultinject.Arm(faultinject.Plan{Kind: faultinject.PanicAtTask})
+	defer faultinject.Disarm()
+	if _, err := Tournament(t.Context(), specs, machines, pols, nil, Options{Jobs: 1}); err == nil {
+		t.Error("tournament over a failing cell succeeded; a ranking with holes compares incomparables")
+	}
+}
+
+// TestRegisteredPolicies checks the default contestant list resolves the
+// whole registry in name order.
+func TestRegisteredPolicies(t *testing.T) {
+	pols := RegisteredPolicies()
+	names := sched.Names()
+	if len(pols) != len(names) {
+		t.Fatalf("%d policies for %d names", len(pols), len(names))
+	}
+	for i, p := range pols {
+		if p.Name() != names[i] {
+			t.Errorf("policy %d is %q, want %q", i, p.Name(), names[i])
+		}
+	}
+}

@@ -60,7 +60,7 @@ var hotPath = map[string][]string{
 		"Picker.Pick", "RNG.PickUniformExcept",
 	},
 	"repro/internal/deque": {
-		"Deque.PushTail", "Deque.PopTail", "Deque.StealHead",
+		"Deque.PushTail", "Deque.PopTail", "Deque.StealHead", "Deque.StealHalf",
 	},
 }
 

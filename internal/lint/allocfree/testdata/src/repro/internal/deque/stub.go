@@ -13,3 +13,14 @@ func (d *Deque) PushTail(v int) {
 
 //numaws:alloc-free
 func (d *Deque) PopTail() (int, bool) { return 0, false }
+
+// StealHalf is present and annotated, but its amortized-growth waiver
+// lost its reason — on the bulk-steal hot path that is itself a finding,
+// not a free pass.
+//
+//numaws:alloc-free
+func (d *Deque) StealHalf(dst []int) int {
+	//numaws:alloc-ok
+	d.items = append(d.items, 0) // want `numaws:alloc-ok suppression is missing its mandatory reason`
+	return len(dst)
+}

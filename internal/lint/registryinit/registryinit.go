@@ -1,7 +1,8 @@
-// Package registryinit pins when the three name-keyed registries — the
-// policy axis (sched.Register), the benchmark axis (workloads.Register)
-// and the facade's embedder hook (numaws.RegisterBenchmark) — may be
-// populated: from init functions, from TestMain, or from test code.
+// Package registryinit pins when the name-keyed registries — the policy
+// axis (sched.Register), the benchmark axis (workloads.Register) and the
+// facade's embedder hooks (numaws.RegisterBenchmark and
+// numaws.RegisterPolicy) — may be populated: from init functions, from
+// TestMain, or from test code.
 //
 // All three registries panic on a duplicate name and are read by
 // name-sorted snapshots; registration after the program is up races both
@@ -35,7 +36,7 @@ var Analyzer = &analysis.Analyzer{
 var registerFuncs = map[string]map[string]bool{
 	"repro/internal/sched":     {"Register": true},
 	"repro/internal/workloads": {"Register": true},
-	"repro/pkg/numaws":         {"RegisterBenchmark": true},
+	"repro/pkg/numaws":         {"RegisterBenchmark": true, "RegisterPolicy": true},
 }
 
 func run(pass *analysis.Pass) error {

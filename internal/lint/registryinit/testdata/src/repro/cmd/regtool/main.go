@@ -1,5 +1,6 @@
 // Command regtool seeds the defect the real tree contained: registering
-// an embedder benchmark from main instead of init.
+// an embedder benchmark from main instead of init — and its policy-axis
+// twin, registering a facade policy after the program is up.
 package main
 
 import "repro/pkg/numaws"
@@ -8,8 +9,12 @@ func init() {
 	if err := numaws.RegisterBenchmark(numaws.BenchmarkDef{Name: "scan"}); err != nil {
 		panic(err)
 	}
+	if err := numaws.RegisterPolicy(numaws.PolicyDef{Name: "ring"}); err != nil {
+		panic(err)
+	}
 }
 
 func main() {
 	_ = numaws.RegisterBenchmark(numaws.BenchmarkDef{Name: "late"}) // want `numaws\.RegisterBenchmark called from main`
+	_ = numaws.RegisterPolicy(numaws.PolicyDef{Name: "late"})       // want `numaws\.RegisterPolicy called from main`
 }

@@ -1,6 +1,10 @@
-// Package numaws stubs the facade's embedder registration hook.
+// Package numaws stubs the facade's embedder registration hooks.
 package numaws
 
 type BenchmarkDef struct{ Name string }
 
 func RegisterBenchmark(def BenchmarkDef) error { return nil }
+
+type PolicyDef struct{ Name string }
+
+func RegisterPolicy(def PolicyDef) error { return nil }

@@ -77,19 +77,44 @@ type sweepJSON struct {
 	Points   []seriesPointJSON `json:"points"`
 }
 
+// tournamentCellJSON is one exported tournament cell.
+type tournamentCellJSON struct {
+	Bench    string  `json:"bench"`
+	Topology string  `json:"topology"`
+	TP       int64   `json:"tp"`
+	Norm     float64 `json:"norm"` // TP / best TP in the cell
+}
+
+// tournamentEntryJSON is one exported ranked policy.
+type tournamentEntryJSON struct {
+	Rank   int                  `json:"rank"`
+	Policy string               `json:"policy"`
+	Score  float64              `json:"score"` // geomean of norm over cells
+	Cells  []tournamentCellJSON `json:"cells"`
+}
+
+// tournamentJSON is an exported policy tournament.
+type tournamentJSON struct {
+	Benches    []string              `json:"benches"`
+	Topologies []string              `json:"topologies"`
+	Entries    []tournamentEntryJSON `json:"entries"`
+}
+
 // document is the top-level JSON export.
 type document struct {
-	Rows   []rowJSON    `json:"rows,omitempty"`
-	Series []seriesJSON `json:"series,omitempty"`
-	Sweeps []sweepJSON  `json:"sweeps,omitempty"`
+	Rows       []rowJSON       `json:"rows,omitempty"`
+	Series     []seriesJSON    `json:"series,omitempty"`
+	Sweeps     []sweepJSON     `json:"sweeps,omitempty"`
+	Tournament *tournamentJSON `json:"tournament,omitempty"`
 }
 
 // Export bundles every measurement kind a command can produce, for the
 // machine-readable writers.
 type Export struct {
-	Rows   []Row
-	Series []Series
-	Sweeps []Sweep
+	Rows       []Row
+	Series     []Series
+	Sweeps     []Sweep
+	Tournament *Tournament
 }
 
 // WriteJSON writes rows and/or series (either may be empty) as one
@@ -132,6 +157,19 @@ func WriteExport(w io.Writer, e Export) error {
 			sj.Points = append(sj.Points, seriesPointJSON{P: p, TP: s.TP[i], Speedup: speedup[i]})
 		}
 		doc.Sweeps = append(doc.Sweeps, sj)
+	}
+	if t := e.Tournament; t != nil {
+		tj := &tournamentJSON{Benches: t.Benches, Topologies: t.Topologies}
+		for _, en := range t.Entries {
+			ej := tournamentEntryJSON{Rank: en.Rank, Policy: en.Policy, Score: en.Score}
+			for _, c := range en.Cells {
+				ej.Cells = append(ej.Cells, tournamentCellJSON{
+					Bench: c.Bench, Topology: c.Topology, TP: c.TP, Norm: c.Norm,
+				})
+			}
+			tj.Entries = append(tj.Entries, ej)
+		}
+		doc.Tournament = tj
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -210,6 +248,23 @@ func WriteSweepsCSV(w io.Writer, sweeps []Sweep) error {
 			records = append(records, []string{
 				s.Bench, s.Topology, strconv.Itoa(s.Sockets), strconv.Itoa(s.Cores),
 				strconv.Itoa(p), strconv.FormatInt(s.TP[i], 10), formatFloat(speedup[i]),
+			})
+		}
+	}
+	return writeCSVRecords(w, records)
+}
+
+// WriteTournamentCSV writes a ranked tournament in long form: one CSV
+// record per (policy, bench, topology) cell, rank-major, carrying the
+// entry's score alongside the cell's raw TP and its ratio to the cell's
+// best.
+func WriteTournamentCSV(w io.Writer, t *Tournament) error {
+	records := [][]string{{"rank", "policy", "score", "bench", "topology", "tp", "norm"}}
+	for _, e := range t.Entries {
+		for _, c := range e.Cells {
+			records = append(records, []string{
+				strconv.Itoa(e.Rank), e.Policy, formatFloat(e.Score),
+				c.Bench, c.Topology, strconv.FormatInt(c.TP, 10), formatFloat(c.Norm),
 			})
 		}
 	}

@@ -28,6 +28,16 @@ type Arena struct {
 	workers  []*worker
 	onSocket [][]int // per-socket worker ids (push candidates)
 	key      arenaKey
+	// pickersDirty marks the cached pickers as diverged from the key's
+	// weight table: an Adaptive policy rebuilt them mid-run. The next
+	// reuse reconstructs them from the base weights so a following run
+	// starts exactly where a fresh engine would.
+	pickersDirty bool
+
+	// bulkBuf is the StealHalf transfer buffer shared by every bulk steal
+	// of every run in this arena (the engine is single-threaded and drains
+	// it before returning). Lazily sized to bulkStealMax.
+	bulkBuf []*Frame
 
 	// Frame free list. Frames are recycled when they return, so at the end
 	// of a completed run every pooled frame is back on the list.
@@ -82,6 +92,12 @@ func (a *Arena) workersFor(c *Config, needBias bool) []*worker {
 		for _, w := range a.workers {
 			w.reset()
 		}
+		if a.pickersDirty {
+			if needBias {
+				a.buildPickers(c)
+			}
+			a.pickersDirty = false
+		}
 		return a.workers
 	}
 	a.build(c, needBias)
@@ -112,26 +128,10 @@ func (a *Arena) build(c *Config, needBias bool) {
 		}
 		a.workers[i] = w
 	}
-	// Per-thief biased pickers: thief t steals victim v with weight
-	// BiasWeights[hop(t,v)] and weight 0 for itself. The hop-class table is
-	// the only weight storage; each picker folds it into prefix sums once,
-	// replacing the old per-worker weights/uweights pair re-scanned on
-	// every steal. The uniform distribution needs no table at all
-	// (sim.PickUniformExcept), and a single worker has no victims.
 	if needBias && c.Workers > 1 {
-		scratch := make([]float64, c.Workers)
-		for _, w := range a.workers {
-			for v := range a.workers {
-				if v == w.id {
-					scratch[v] = 0 // a worker never steals from itself
-				} else {
-					hop := c.Topology.Distance(w.socket, a.workers[v].socket)
-					scratch[v] = c.BiasWeights[hop]
-				}
-			}
-			w.picker = sim.NewPicker(scratch)
-		}
+		a.buildPickers(c)
 	}
+	a.pickersDirty = false
 	a.onSocket = make([][]int, c.Topology.Sockets())
 	for w, s := range c.Placement.Socket {
 		a.onSocket[s] = append(a.onSocket[s], w)
@@ -144,6 +144,27 @@ func (a *Arena) build(c *Config, needBias bool) {
 		sockets:  append([]int(nil), c.Placement.Socket...),
 		cores:    append([]int(nil), c.Placement.Core...),
 		weights:  append([]float64(nil), c.BiasWeights...),
+	}
+}
+
+// buildPickers constructs the per-thief biased pickers: thief t steals
+// victim v with weight BiasWeights[hop(t,v)] and weight 0 for itself. The
+// hop-class table is the only weight storage; each picker folds it into
+// prefix sums once, replacing the old per-worker weights/uweights pair
+// re-scanned on every steal. The uniform distribution needs no table at
+// all (sim.PickUniformExcept), and a single worker has no victims.
+func (a *Arena) buildPickers(c *Config) {
+	scratch := make([]float64, c.Workers)
+	for _, w := range a.workers {
+		for v := range a.workers {
+			if v == w.id {
+				scratch[v] = 0 // a worker never steals from itself
+			} else {
+				hop := c.Topology.Distance(w.socket, a.workers[v].socket)
+				scratch[v] = c.BiasWeights[hop]
+			}
+		}
+		w.picker = sim.NewPicker(scratch)
 	}
 }
 

@@ -220,6 +220,13 @@ type Stats struct {
 	RemoteResumes int64
 	// LocalResumes counts placed frames resumed on their designated socket.
 	LocalResumes int64
+	// StealsByHop[h] counts successful deque steals whose victim sat h hops
+	// from the thief — the per-hop-class remote-access profile adaptive
+	// policies observe.
+	StealsByHop []int64
+	// BulkSteals counts frames acquired beyond the first by StealHalf
+	// transfers (bulk-stealing policies only).
+	BulkSteals int64
 }
 
 // WorkTotal sums work time over workers (the paper's W_P).
@@ -266,9 +273,18 @@ type worker struct {
 	stats   WorkerStats
 	// picker draws this thief's victim under the biased policy; built once
 	// at construction from the per-hop-class weight table (nil when the
-	// run's policy never draws biased victims). Uniform victims need no
-	// state at all — see sim.RNG.PickUniformExcept.
+	// run's policy never draws biased victims) and rebuilt at adaptation
+	// epochs under an Adaptive policy. Uniform victims need no state at
+	// all — see sim.RNG.PickUniformExcept.
 	picker *sim.Picker
+	// reserve parks the extra frames of a bulk steal (already promoted to
+	// full frames) until the worker next reaches the scheduling loop. They
+	// must not enter the deque: the deque holds only this worker's own
+	// spawn ancestry, and the pop-at-return pairing depends on that.
+	reserve []*Frame
+	// streak counts consecutive failed steal attempts since the worker
+	// last acquired a frame; policies see it as Steal.Streak.
+	streak int
 }
 
 func (w *worker) mailboxFull() bool  { return len(w.mailbox) == cap(w.mailbox) }
@@ -279,6 +295,11 @@ func (w *worker) mailboxEmpty() bool { return len(w.mailbox) == 0 }
 // return while any frame is still parked).
 func (w *worker) reset() {
 	w.mailbox = w.mailbox[:0]
+	for i := range w.reserve {
+		w.reserve[i] = nil
+	}
+	w.reserve = w.reserve[:0]
+	w.streak = 0
 	w.clock = 0
 	w.run = nil
 	w.pending = nil
@@ -296,12 +317,26 @@ type Engine struct {
 	q        *sim.Queue
 	workers  []*worker
 	onSocket [][]int // per-socket push-candidate worker ids
+	view     View    // the policies' read-only machine view
 	stats    Stats
 	done     bool
 	finish   int64
 	// pushes caches Policy.Pushes() && !DisableMailbox: whether the
 	// mailbox/PUSHBACK machinery is live this run.
 	pushes bool
+	// bulk caches the BulkStealer hook: successful steals transfer half
+	// the victim's deque instead of one frame.
+	bulk bool
+	// The Adaptive hook, armed only when the policy implements it with a
+	// positive epoch AND the run draws biased victims (pickers exist to
+	// rebuild). adWeights is the run's private, mutable copy of the
+	// per-hop-class bias weights; pickScratch is the per-victim weight
+	// scratch reused across picker rebuilds.
+	adaptive    Adaptive
+	adaptEvery  int64
+	adaptNext   int64
+	adWeights   []float64
+	pickScratch []float64
 }
 
 // NewEngine builds an engine with a private arena. The configuration is
@@ -326,9 +361,19 @@ func NewEngineIn(a *Arena, cfg Config, r Runner) *Engine {
 	needBias := c.Policy.Biased() && !c.DisableBias && c.Workers > 1
 	e := &Engine{cfg: c, runner: r, rng: sim.NewRNG(c.Seed), arena: a, q: &a.q}
 	e.pushes = c.Policy.Pushes() && !c.DisableMailbox
+	if bs, ok := c.Policy.(BulkStealer); ok {
+		e.bulk = bs.StealsBulk()
+	}
 	e.q.Reset()
 	e.workers = a.workersFor(&c, needBias)
 	e.onSocket = a.onSocket
+	e.view = View{top: c.Topology, sockets: c.Placement.Socket, onSocket: a.onSocket}
+	if ad, ok := c.Policy.(Adaptive); ok && needBias && ad.AdaptEvery() > 0 {
+		e.adaptive = ad
+		e.adaptEvery = ad.AdaptEvery()
+		e.adaptNext = e.adaptEvery
+		e.adWeights = append([]float64(nil), c.BiasWeights...)
+	}
 	return e
 }
 
@@ -393,6 +438,7 @@ func (e *Engine) Run(root *Frame) *Stats {
 	}
 	e.done = false
 	e.stats = Stats{}
+	e.stats.StealsByHop = make([]int64, e.cfg.Topology.MaxDistance()+1)
 	e.workers[0].run = root
 	for _, w := range e.workers {
 		w.next = actionSteal
@@ -407,6 +453,12 @@ func (e *Engine) Run(root *Frame) *Stats {
 		// per event. The panic unwinds to the harness containment boundary.
 		if e.stats.Events&(interruptPollInterval-1) == 0 && e.cfg.Interrupt != nil && e.cfg.Interrupt() {
 			panic(ErrInterrupted)
+		}
+		// Adaptation epoch: a deterministic event count, so an adaptive
+		// run replays byte-for-byte from its seed.
+		if e.adaptive != nil && e.stats.Events == e.adaptNext {
+			e.adaptNext += e.adaptEvery
+			e.adaptTick()
 		}
 		at, id := e.q.Pop()
 		w := e.workers[id]
@@ -710,6 +762,17 @@ func (e *Engine) schedule(w *worker) {
 		}
 	}
 
+	// Frames parked by a bulk steal: run the deepest first, the frame a
+	// deque pop would have produced had the ancestry been this worker's
+	// own. Unparking is a steal-path event, costed like a mailbox take.
+	if frame == nil && len(w.reserve) > 0 {
+		frame = w.reserve[len(w.reserve)-1]
+		w.reserve[len(w.reserve)-1] = nil
+		w.reserve = w.reserve[:len(w.reserve)-1]
+		w.clock += e.cfg.MailboxPopCost
+		w.stats.Sched += e.cfg.MailboxPopCost
+	}
+
 	// Fig. 5 line 26: check our own mailbox before stealing.
 	if frame == nil && e.pushes && !w.mailboxEmpty() {
 		frame = e.popMailbox(w)
@@ -722,6 +785,7 @@ func (e *Engine) schedule(w *worker) {
 		frame = e.steal(w)
 	}
 	if frame != nil {
+		w.streak = 0
 		e.noteResume(frame, w)
 	}
 	w.run = frame
@@ -756,17 +820,17 @@ func (e *Engine) steal(w *worker) *Frame {
 	}
 	e.stats.StealAttempts++
 
-	// Victim selection is the policy's hook: one Float64 draw either way,
-	// consumed exactly as the linear weighted scan would (the cross-check
-	// tests in internal/sim pin this), so the event stream is
-	// byte-identical to the old enum-dispatched code.
-	victim := e.workers[e.cfg.Policy.Victim(e.rng, w.picker, e.cfg.Workers, w.id)]
-	attemptCost := e.cfg.StealAttemptCost +
-		int64(e.cfg.Topology.Distance(w.socket, victim.socket))*e.cfg.StealHopCost
+	// Victim selection is the policy's hook: for the built-in schedulers,
+	// one Float64 draw either way, consumed exactly as the linear weighted
+	// scan would (the cross-check tests in internal/sim pin this), so the
+	// event stream is byte-identical to the old enum-dispatched code.
+	victim := e.workers[e.cfg.Policy.Victim(e.rng, w.picker, &e.view, Steal{Self: w.id, Streak: w.streak})]
+	hop := e.cfg.Topology.Distance(w.socket, victim.socket)
+	attemptCost := e.cfg.StealAttemptCost + int64(hop)*e.cfg.StealHopCost
 	w.clock += attemptCost
 
 	if !e.pushes {
-		return e.stealDeque(w, victim, attemptCost)
+		return e.stealDeque(w, victim, attemptCost, hop)
 	}
 
 	// NUMA-WS: flip a coin between the victim's deque and its mailbox. The
@@ -777,11 +841,11 @@ func (e *Engine) steal(w *worker) *Frame {
 		intoDeque = false // ablation: always look at the mailbox first
 	}
 	if intoDeque {
-		return e.stealDeque(w, victim, attemptCost)
+		return e.stealDeque(w, victim, attemptCost, hop)
 	}
 	if victim.mailboxEmpty() {
 		// Outcome 1: empty mailbox; fall back to the deque.
-		return e.stealDeque(w, victim, attemptCost)
+		return e.stealDeque(w, victim, attemptCost, hop)
 	}
 	f := e.popMailbox(victim)
 	if f.Place == PlaceAny || f.Place == w.socket {
@@ -805,12 +869,17 @@ func (e *Engine) steal(w *worker) *Frame {
 
 // stealDeque attempts to take the head of the victim's deque, promoting the
 // stolen frame, and — under NUMA-WS — pushing it home if it is earmarked for
-// a different socket.
-func (e *Engine) stealDeque(w, victim *worker, attemptCost int64) *Frame {
+// a different socket. Under a bulk-stealing policy the transfer takes up to
+// half the victim's deque instead.
+func (e *Engine) stealDeque(w, victim *worker, attemptCost int64, hop int) *Frame {
+	if e.bulk {
+		return e.stealBulk(w, victim, attemptCost, hop)
+	}
 	f, ok := victim.deque.StealHead()
 	if !ok {
 		w.stats.Idle += attemptCost
 		e.stats.FailedSteals++
+		w.streak++
 		return nil
 	}
 	if !f.full {
@@ -820,8 +889,96 @@ func (e *Engine) stealDeque(w, victim *worker, attemptCost int64) *Frame {
 	w.clock += e.cfg.PromoteCost
 	w.stats.Sched += attemptCost + e.cfg.PromoteCost
 	e.stats.Steals++
+	e.stats.StealsByHop[hop]++
 	if e.pushHomeIfForeign(w, f) {
 		return nil
 	}
 	return f
+}
+
+// bulkStealMax bounds one StealHalf transfer. Spawn depth — and therefore
+// deque depth — is logarithmic for divide-and-conquer programs, so the
+// bound exists only to keep a pathological deque from turning one steal
+// into an unbounded promotion bill.
+const bulkStealMax = 256
+
+// stealBulk is stealDeque's bulk variant (BulkStealer policies): take up
+// to half the victim's deque, promote every frame (PromoteCost each — the
+// amount stolen changes, the per-frame bookkeeping cost does not), run the
+// head frame and park the rest in the thief's reserve.
+func (e *Engine) stealBulk(w, victim *worker, attemptCost int64, hop int) *Frame {
+	if e.arena.bulkBuf == nil {
+		e.arena.bulkBuf = make([]*Frame, bulkStealMax)
+	}
+	buf := e.arena.bulkBuf
+	n := victim.deque.StealHalf(buf)
+	if n == 0 {
+		w.stats.Idle += attemptCost
+		e.stats.FailedSteals++
+		w.streak++
+		return nil
+	}
+	first := buf[0]
+	for i := 0; i < n; i++ {
+		f := buf[i]
+		buf[i] = nil
+		if !f.full {
+			e.stats.Promotions++
+		}
+		f.promote()
+		e.stats.Steals++
+		e.stats.StealsByHop[hop]++
+		if i > 0 {
+			e.stats.BulkSteals++
+			w.reserve = append(w.reserve, f)
+		}
+	}
+	cost := int64(n) * e.cfg.PromoteCost
+	w.clock += cost
+	w.stats.Sched += attemptCost + cost
+	if e.pushHomeIfForeign(w, first) {
+		return nil
+	}
+	return first
+}
+
+// adaptTick runs one Adaptive epoch: snapshot the counters, let the policy
+// rewrite its hop-class weights, and rebuild the per-thief pickers if it
+// did. Only armed when the run draws biased victims (pickers exist).
+func (e *Engine) adaptTick() {
+	obs := Observation{
+		Events:        e.stats.Events,
+		StealAttempts: e.stats.StealAttempts,
+		Steals:        e.stats.Steals,
+		FailedSteals:  e.stats.FailedSteals,
+		RemoteResumes: e.stats.RemoteResumes,
+		LocalResumes:  e.stats.LocalResumes,
+		StealsByHop:   e.stats.StealsByHop,
+	}
+	if !e.adaptive.Adapt(obs, e.adWeights) {
+		return
+	}
+	for h, wt := range e.adWeights {
+		if wt <= 0 {
+			panic(fmt.Sprintf("sched: policy %q: Adapt set weight %g for hop class %d; every weight must stay positive",
+				e.cfg.Policy.Name(), wt, h))
+		}
+	}
+	if e.pickScratch == nil {
+		e.pickScratch = make([]float64, e.cfg.Workers)
+	}
+	for _, w := range e.workers {
+		for v := range e.workers {
+			if v == w.id {
+				e.pickScratch[v] = 0 // a worker never steals from itself
+			} else {
+				hop := e.cfg.Topology.Distance(w.socket, e.workers[v].socket)
+				e.pickScratch[v] = e.adWeights[hop]
+			}
+		}
+		w.picker = sim.NewPicker(e.pickScratch)
+	}
+	// The arena's cached pickers no longer match the shape key's weights;
+	// force a rebuild on the next reuse.
+	e.arena.pickersDirty = true
 }

@@ -1,0 +1,201 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestLiteraturePoliciesRegistered(t *testing.T) {
+	for name, want := range map[string]Policy{
+		"steal-half":    StealHalf,
+		"socket-first":  SocketFirst,
+		"adaptive-bias": AdaptiveBias,
+	} {
+		got, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if got != want {
+			t.Errorf("Lookup(%q) = %v, want the builtin instance", name, got)
+		}
+	}
+}
+
+// TestStealHalfRunsBulk pins that the BulkStealer hook is live: a
+// steal-half run on a wide tree transfers frames beyond the first and
+// still completes with the same spawn/return accounting as cilk.
+func TestStealHalfRunsBulk(t *testing.T) {
+	mk := func() *treeRunner {
+		return &treeRunner{fanout: 8, depth: 4, leafCost: 200, innerCost: 10}
+	}
+	sh := runTree(t, testConfig(16, StealHalf), mk())
+	if sh.BulkSteals == 0 {
+		t.Errorf("steal-half run recorded no bulk steals: %+v", sh)
+	}
+	if sh.Pushes != 0 || sh.MailboxSteals != 0 || sh.MailboxSelf != 0 {
+		t.Errorf("steal-half run used mailboxes: %+v", sh)
+	}
+	cilk := runTree(t, testConfig(16, Cilk), mk())
+	if sh.Spawns != cilk.Spawns {
+		t.Errorf("steal-half ran %d spawns, cilk %d — same tree must spawn identically",
+			sh.Spawns, cilk.Spawns)
+	}
+	// Shadow-to-full promotions happen on first steals only; a frame
+	// stolen again after resuming stays full, so promotions never exceed
+	// steals, bulk or not.
+	if sh.Promotions == 0 || sh.Promotions > sh.Steals {
+		t.Errorf("promotions %d outside (0, steals %d]", sh.Promotions, sh.Steals)
+	}
+	// A single-frame policy records no bulk transfers.
+	if cilk.BulkSteals != 0 {
+		t.Errorf("cilk recorded %d bulk steals, want 0", cilk.BulkSteals)
+	}
+}
+
+// TestSocketFirstPrefersSocketMates pins the hierarchy: with a fresh
+// streak every draw lands on a same-socket victim; once the streak reaches
+// the mate count the policy widens to the whole machine.
+func TestSocketFirstPrefersSocketMates(t *testing.T) {
+	top := topology.XeonE5_4620() // 4 sockets x 8 cores
+	view := testView(top, 32)
+	rng := sim.NewRNG(3)
+	self := 9 // socket 1
+	for i := 0; i < 500; i++ {
+		v := SocketFirst.Victim(rng, nil, view, Steal{Self: self, Streak: 0})
+		if v == self {
+			t.Fatalf("draw %d picked self", i)
+		}
+		if view.SocketOf(v) != view.SocketOf(self) {
+			t.Fatalf("draw %d with streak 0 picked remote victim %d (socket %d)",
+				i, v, view.SocketOf(v))
+		}
+	}
+	// Streak at/past the mate count: uniform over the machine, and the
+	// draw sequence matches PickUniformExcept exactly.
+	a, b := sim.NewRNG(5), sim.NewRNG(5)
+	sawRemote := false
+	for i := 0; i < 500; i++ {
+		want := a.PickUniformExcept(32, self)
+		got := SocketFirst.Victim(b, nil, view, Steal{Self: self, Streak: 7})
+		if got != want {
+			t.Fatalf("draw %d with exhausted streak: got %d, want uniform %d", i, got, want)
+		}
+		if view.SocketOf(got) != view.SocketOf(self) {
+			sawRemote = true
+		}
+	}
+	if !sawRemote {
+		t.Error("exhausted-streak draws never left the socket")
+	}
+}
+
+// TestSocketFirstSingleSocketDegeneratesToUniform pins the edge case: with
+// every worker on one socket the hierarchy is vacuous and the policy is
+// plain uniform stealing.
+func TestSocketFirstSingleSocketDegeneratesToUniform(t *testing.T) {
+	view := testView(topology.SingleSocket(8), 8)
+	mates := view.SocketMates(2)
+	if len(mates) != 8 {
+		t.Fatalf("SocketMates = %v, want all 8 workers", mates)
+	}
+	// Streak 0 stays inside the (only) socket but never picks self.
+	rng := sim.NewRNG(11)
+	for i := 0; i < 200; i++ {
+		if v := SocketFirst.Victim(rng, nil, view, Steal{Self: 2, Streak: 0}); v == 2 {
+			t.Fatalf("draw %d picked self", i)
+		}
+	}
+}
+
+// TestAdaptiveBiasAdaptIsPure pins the Adapt contract: a pure function of
+// the observation, weights in [1, 8] (strictly positive, Lemma 1), and a
+// no-op before any steal succeeds.
+func TestAdaptiveBiasAdaptIsPure(t *testing.T) {
+	ad := AdaptiveBias.(Adaptive)
+	if ad.AdaptEvery() <= 0 {
+		t.Fatalf("AdaptEvery() = %d, want positive", ad.AdaptEvery())
+	}
+	w := []float64{4, 2, 1}
+	if ad.Adapt(Observation{StealsByHop: []int64{0, 0, 0}}, w) {
+		t.Error("Adapt with no observed steals reported a change")
+	}
+	if !reflect.DeepEqual(w, []float64{4, 2, 1}) {
+		t.Errorf("no-op Adapt mutated weights: %v", w)
+	}
+	obs := Observation{StealsByHop: []int64{30, 10, 0}}
+	if !ad.Adapt(obs, w) {
+		t.Error("Adapt with observed steals reported no change")
+	}
+	w2 := []float64{4, 2, 1}
+	ad.Adapt(obs, w2)
+	if !reflect.DeepEqual(w, w2) {
+		t.Errorf("Adapt is not pure: %v vs %v", w, w2)
+	}
+	for h, wt := range w {
+		if wt < 1 || wt > 8 {
+			t.Errorf("weight[%d] = %g outside [1, 8]", h, wt)
+		}
+	}
+	if !(w[0] > w[1] && w[1] > w[2]) {
+		t.Errorf("weights %v not ordered by observed steal share", w)
+	}
+}
+
+// TestAdaptiveRunIsDeterministic pins that epoch-driven reweighting
+// replays byte-for-byte from the seed, and that adaptation actually
+// engages on a run long enough to cross epochs.
+func TestAdaptiveRunIsDeterministic(t *testing.T) {
+	mk := func() *treeRunner {
+		return &treeRunner{fanout: 4, depth: 7, leafCost: 300, innerCost: 10,
+			placeOf: func(i int) int { return i % 4 }}
+	}
+	a := runTree(t, testConfig(16, AdaptiveBias), mk())
+	if a.Events < adaptiveBiasEpoch {
+		t.Fatalf("run too short to adapt: %d events < epoch %d", a.Events, adaptiveBiasEpoch)
+	}
+	b := runTree(t, testConfig(16, AdaptiveBias), mk())
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same-seed adaptive runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestAdaptiveRunDoesNotContaminateArena pins the picker-reuse hazard: an
+// adaptive run rebuilds the arena's cached pickers mid-run, and a numaws
+// run reusing the same arena must still start from the base bias weights.
+func TestAdaptiveRunDoesNotContaminateArena(t *testing.T) {
+	mk := func() *treeRunner {
+		return &treeRunner{fanout: 4, depth: 7, leafCost: 300, innerCost: 10,
+			placeOf: func(i int) int { return i % 4 }}
+	}
+	run := func(a *Arena, pol Policy) *Stats {
+		e := NewEngineIn(a, testConfig(16, pol), mk())
+		return e.Run(NewRootFrame(PlaceAny))
+	}
+	fresh := run(NewArena(), NUMAWS)
+	arena := NewArena()
+	run(arena, AdaptiveBias)
+	reused := run(arena, NUMAWS)
+	if !reflect.DeepEqual(fresh, reused) {
+		t.Errorf("numaws run after an adaptive run in the same arena diverged:\n%+v\n%+v",
+			fresh, reused)
+	}
+}
+
+// TestBulkReserveDrainsBeforeMailbox pins the reserve's place in the
+// scheduling loop: a run completes with every bulk-stolen frame executed
+// (the root cannot return otherwise) and the reserve empty afterwards.
+func TestBulkReserveDrained(t *testing.T) {
+	e := NewEngine(testConfig(16, StealHalf), &treeRunner{fanout: 8, depth: 4, leafCost: 200, innerCost: 10})
+	st := e.Run(NewRootFrame(PlaceAny))
+	if st.BulkSteals == 0 {
+		t.Fatal("run produced no bulk steals; the reserve path was never exercised")
+	}
+	for _, w := range e.workers {
+		if len(w.reserve) != 0 {
+			t.Errorf("worker %d finished with %d frames parked in reserve", w.id, len(w.reserve))
+		}
+	}
+}

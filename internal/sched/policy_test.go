@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/sim"
+	"repro/internal/topology"
 )
 
 // fakePolicy is a registrable test double.
@@ -14,8 +15,19 @@ type fakePolicy struct{ name string }
 func (p fakePolicy) Name() string { return p.name }
 func (fakePolicy) Biased() bool   { return false }
 func (fakePolicy) Pushes() bool   { return false }
-func (fakePolicy) Victim(rng *sim.RNG, _ *sim.Picker, workers, self int) int {
-	return rng.PickUniformExcept(workers, self)
+func (fakePolicy) Victim(rng *sim.RNG, _ *sim.Picker, view *View, at Steal) int {
+	return rng.PickUniformExcept(view.Workers(), at.Self)
+}
+
+// testView builds the machine view an engine would hand to Victim for
+// workers packed onto top.
+func testView(top *topology.Topology, workers int) *View {
+	pl := top.Pack(workers)
+	onSocket := make([][]int, top.Sockets())
+	for w, s := range pl.Socket {
+		onSocket[s] = append(onSocket[s], w)
+	}
+	return &View{top: top, sockets: pl.Socket, onSocket: onSocket}
 }
 
 func TestRegistryBuiltins(t *testing.T) {
@@ -32,8 +44,9 @@ func TestRegistryBuiltins(t *testing.T) {
 
 func TestRegistryNamesSorted(t *testing.T) {
 	names := Names()
-	if !reflect.DeepEqual(names, []string{"cilk", "numaws"}) {
-		t.Fatalf("Names() = %v, want [cilk numaws]", names)
+	builtin := []string{"adaptive-bias", "cilk", "numaws", "socket-first", "steal-half"}
+	if !reflect.DeepEqual(names, builtin) {
+		t.Fatalf("Names() = %v, want %v", names, builtin)
 	}
 	// Stable across calls.
 	if again := Names(); !reflect.DeepEqual(names, again) {
@@ -42,7 +55,7 @@ func TestRegistryNamesSorted(t *testing.T) {
 	// A later registration keeps the listing sorted.
 	Register(fakePolicy{name: "aaa-test"})
 	defer unregister("aaa-test")
-	if got := Names(); !reflect.DeepEqual(got, []string{"aaa-test", "cilk", "numaws"}) {
+	if got := Names(); !reflect.DeepEqual(got, append([]string{"aaa-test"}, builtin...)) {
 		t.Errorf("Names() after Register = %v, want sorted with aaa-test first", got)
 	}
 }
@@ -95,19 +108,21 @@ func TestInterfacePoliciesMatchEnumSemantics(t *testing.T) {
 	// draw otherwise.
 	a, b, c := sim.NewRNG(7), sim.NewRNG(7), sim.NewRNG(7)
 	picker := sim.NewPicker([]float64{0, 1, 2, 4})
+	v8 := testView(topology.TwoSocket(4), 8)
 	for i := 0; i < 1000; i++ {
 		want := a.PickUniformExcept(8, 3)
-		if got := Cilk.Victim(b, picker, 8, 3); got != want {
+		if got := Cilk.Victim(b, picker, v8, Steal{Self: 3}); got != want {
 			t.Fatalf("draw %d: Cilk.Victim = %d, want uniform %d", i, got, want)
 		}
-		if got := NUMAWS.Victim(c, nil, 8, 3); got != want {
+		if got := NUMAWS.Victim(c, nil, v8, Steal{Self: 3}); got != want {
 			t.Fatalf("draw %d: unbiased NUMAWS.Victim = %d, want uniform %d", i, got, want)
 		}
 	}
 	d, e := sim.NewRNG(9), sim.NewRNG(9)
+	v4 := testView(topology.TwoSocket(2), 4)
 	for i := 0; i < 1000; i++ {
 		want := picker.Pick(d)
-		if got := NUMAWS.Victim(e, picker, 4, 0); got != want {
+		if got := NUMAWS.Victim(e, picker, v4, Steal{Self: 0}); got != want {
 			t.Fatalf("draw %d: biased NUMAWS.Victim = %d, want picker %d", i, got, want)
 		}
 	}

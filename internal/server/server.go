@@ -41,6 +41,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/harness"
 	"repro/internal/journal"
+	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/store"
 	"repro/internal/topology"
@@ -109,6 +110,7 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/grid", s.handleGrid)
+	mux.HandleFunc("/v1/tournament", s.handleTournament)
 	mux.HandleFunc("/v1/axes", s.handleAxes)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statusz", s.handleStatusz)
@@ -174,6 +176,128 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := st.event(gridEvent{Done: &sum}); err != nil {
 		s.logf("numaws: grid summary write: %v", err)
+	}
+}
+
+// handleTournament runs a policy tournament through the same store-backed,
+// single-flight execution path grids use: every (policy, bench, topology,
+// seed) run streams as an NDJSON row the moment it finishes, and the
+// trailer carries the deterministic ranking — the geometric mean over
+// cells of completion time normalized to each cell's best, averaged over
+// the request's seeds. A warm store re-ranks without simulating anything.
+func (s *Server) handleTournament(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req tournamentRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad tournament request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	polNames := req.Policies
+	if len(polNames) == 0 {
+		polNames = sched.Names()
+	}
+	// The ranking needs exactly one measurement per (policy, bench,
+	// topology, seed); a duplicated axis entry would double cells, so it
+	// is rejected up front rather than surfacing as a ranking error after
+	// the grid already streamed.
+	for axis, vals := range map[string][]string{
+		"benches": req.Benches, "topologies": req.Topologies, "policies": polNames,
+	} {
+		seen := make(map[string]bool, len(vals))
+		for _, v := range vals {
+			if seen[v] {
+				http.Error(w, fmt.Sprintf("duplicate %s entry %q", axis, v), http.StatusBadRequest)
+				return
+			}
+			seen[v] = true
+		}
+	}
+	runs, err := s.expand(gridRequest{
+		Benches: req.Benches, Topologies: req.Topologies, Policies: polNames,
+		Seeds: req.Seeds, Scale: req.Scale, Verify: req.Verify,
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.grids.Add(1)
+	ctx := r.Context()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	st := newStream(w)
+	// results is index-addressed so the post-wait aggregation walks the
+	// expansion's canonical order, not completion order.
+	results := make([]*gridRow, len(runs))
+	var mu sync.Mutex
+	var sum tournamentSummary
+	pool := exec.NewPool(ctx, s.jobs)
+	for i, rn := range runs {
+		i, rn := i, rn
+		pool.Submit(ctx, i, func() error {
+			row, err := s.runOne(ctx, rn)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			results[i] = row
+			sum.Rows++
+			switch {
+			case row.Err != nil:
+				sum.Failed++
+			case row.Cached:
+				sum.Cached++
+			default:
+				sum.Simulated++
+			}
+			mu.Unlock()
+			s.rows.Add(1)
+			return st.event(tournamentEvent{Row: row})
+		})
+	}
+	if err := pool.Wait(ctx); err != nil {
+		s.logf("numaws: tournament aborted: %v", err)
+		return
+	}
+	if sum.Failed == 0 {
+		type cellKey struct{ pol, bench, topo string }
+		var order []cellKey
+		type acc struct{ total, n int64 }
+		agg := map[cellKey]acc{}
+		for _, row := range results {
+			k := cellKey{row.Policy, row.Bench, row.Topology}
+			a, ok := agg[k]
+			if !ok {
+				order = append(order, k)
+			}
+			a.total += row.Time
+			a.n++
+			agg[k] = a
+		}
+		cells := make([]metrics.TournamentCell, len(order))
+		for i, k := range order {
+			a := agg[k]
+			cells[i] = metrics.TournamentCell{
+				Policy: k.pol, Bench: k.bench, Topology: k.topo, TP: a.total / a.n,
+			}
+		}
+		t, err := metrics.NewTournament(cells)
+		if err != nil {
+			// Unreachable with the duplicate-axis check above; ending the
+			// stream without its trailer is the in-band abort signal.
+			s.logf("numaws: tournament ranking: %v", err)
+			return
+		}
+		for _, e := range t.Entries {
+			sum.Ranking = append(sum.Ranking, tournamentRank{Rank: e.Rank, Policy: e.Policy, Score: e.Score})
+		}
+	}
+	if err := st.event(tournamentEvent{Done: &sum}); err != nil {
+		s.logf("numaws: tournament summary write: %v", err)
 	}
 }
 
@@ -336,7 +460,7 @@ func newStream(w http.ResponseWriter) *stream {
 	return st
 }
 
-func (s *stream) event(ev gridEvent) error {
+func (s *stream) event(ev any) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.enc.Encode(ev); err != nil {

@@ -87,6 +87,54 @@ type gridEvent struct {
 	Done *gridSummary `json:"done,omitempty"`
 }
 
+// tournamentRequest is the body of POST /v1/tournament: a policy
+// tournament over the benchmark x topology grid. Every cell runs at its
+// machine's full core count; a fixed worker axis would bias the ranking
+// toward machines it happens to fit, so the request has none.
+type tournamentRequest struct {
+	// Benches restricts the grid to the named benchmarks, in the given
+	// order; empty means every registered benchmark.
+	Benches []string `json:"benches,omitempty"`
+	// Topologies lists preset names or SOCKETSxCORES shapes; empty means
+	// ["paper-4x8"].
+	Topologies []string `json:"topologies,omitempty"`
+	// Policies lists the contestants; empty means every registered policy.
+	Policies []string `json:"policies,omitempty"`
+	// Seeds lists scheduler seeds to average each cell over; empty means
+	// [1].
+	Seeds []int64 `json:"seeds,omitempty"`
+	// Scale is "small" or "full" (the default).
+	Scale string `json:"scale,omitempty"`
+	// Verify controls result verification; nil means true.
+	Verify *bool `json:"verify,omitempty"`
+}
+
+// tournamentRank is one ranked policy of the trailer.
+type tournamentRank struct {
+	Rank   int     `json:"rank"`
+	Policy string  `json:"policy"`
+	Score  float64 `json:"score"` // geomean of per-cell TP / cell-best TP
+}
+
+// tournamentSummary trails a tournament stream: the grid counts plus the
+// ranking. Ranking is omitted when any cell failed — a ranking over
+// missing cells would compare incomparables — so clients must treat a
+// summary with Failed > 0 as an unranked tournament.
+type tournamentSummary struct {
+	Rows      int              `json:"rows"`
+	Cached    int              `json:"cached"`
+	Simulated int              `json:"simulated"`
+	Failed    int              `json:"failed"`
+	Ranking   []tournamentRank `json:"ranking,omitempty"`
+}
+
+// tournamentEvent is one NDJSON line of a tournament stream: exactly one
+// field is set. Rows are the same shape grid streams use.
+type tournamentEvent struct {
+	Row  *gridRow           `json:"row,omitempty"`
+	Done *tournamentSummary `json:"done,omitempty"`
+}
+
 // runSpec is one expanded grid cell, validated and resolved.
 type runSpec struct {
 	spec      harness.Spec

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"slices"
 	"strings"
 	"sync"
 	"testing"
@@ -80,8 +81,9 @@ func TestDiscoveryLists(t *testing.T) {
 		t.Errorf("Topologies() = %v", topos)
 	}
 	pols := numaws.Policies()
-	if len(pols) != 2 || pols[0] != "cilk" || pols[1] != "numaws" {
-		t.Errorf("Policies() = %v, want [cilk numaws]", pols)
+	want := []string{"adaptive-bias", "cilk", "numaws", "socket-first", "steal-half"}
+	if !slices.Equal(pols, want) {
+		t.Errorf("Policies() = %v, want %v", pols, want)
 	}
 }
 

@@ -1,0 +1,94 @@
+package numaws_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/pkg/numaws"
+)
+
+// registerTestPolicy registers one shared custom policy for this test
+// binary (registration is permanent per process, so every test draws on
+// the same instance): nearest-first with a deterministic fallback, using
+// every hook field except the adaptive pair.
+func registerTestPolicy(t *testing.T) string {
+	t.Helper()
+	const name = "test-nearest"
+	err := numaws.RegisterPolicy(numaws.PolicyDef{
+		Name:      name,
+		StealHalf: true,
+		Victim: func(r numaws.Rand, v numaws.PolicyView) int {
+			if mates := v.SocketMates(v.Self()); len(mates) > 1 && v.Streak() == 0 {
+				m := mates[r.Intn(len(mates)-1)]
+				if m == v.Self() {
+					m = mates[len(mates)-1]
+				}
+				return m
+			}
+			return v.PickUniform(r)
+		},
+	})
+	if err != nil && !strings.Contains(err.Error(), "already registered") {
+		t.Fatal(err)
+	}
+	return name
+}
+
+func TestRegisterPolicyMisuseIsError(t *testing.T) {
+	if err := numaws.RegisterPolicy(numaws.PolicyDef{}); err == nil ||
+		!strings.Contains(err.Error(), "empty policy name") {
+		t.Errorf("empty-name registration: err = %v", err)
+	}
+	if err := numaws.RegisterPolicy(numaws.PolicyDef{Name: "no-victim"}); err == nil ||
+		!strings.Contains(err.Error(), "nil Victim") {
+		t.Errorf("nil-Victim registration: err = %v", err)
+	}
+	vic := func(r numaws.Rand, v numaws.PolicyView) int { return v.PickUniform(r) }
+	if err := numaws.RegisterPolicy(numaws.PolicyDef{
+		Name: "adapt-no-epoch", Victim: vic,
+		Adapt: func(numaws.PolicyObservation, []float64) bool { return false },
+	}); err == nil || !strings.Contains(err.Error(), "AdaptEvery") {
+		t.Errorf("Adapt-without-epoch registration: err = %v", err)
+	}
+	if err := numaws.RegisterPolicy(numaws.PolicyDef{
+		Name: "epoch-no-adapt", Victim: vic, AdaptEvery: 1024,
+	}); err == nil || !strings.Contains(err.Error(), "without Adapt") {
+		t.Errorf("epoch-without-Adapt registration: err = %v", err)
+	}
+	if err := numaws.RegisterPolicy(numaws.PolicyDef{Name: "cilk", Victim: vic}); err == nil ||
+		!strings.Contains(err.Error(), "already registered") {
+		t.Errorf("duplicate registration: err = %v", err)
+	}
+}
+
+// TestRegisteredPolicyFlowsThroughSession pins the registration seam end
+// to end: a facade-registered policy is listed, selectable by name, and
+// measures deterministically through the standard Session surface.
+func TestRegisteredPolicyFlowsThroughSession(t *testing.T) {
+	name := registerTestPolicy(t)
+	found := false
+	for _, p := range numaws.Policies() {
+		if p == name {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Policies() = %v does not list %q", numaws.Policies(), name)
+	}
+	run := func() numaws.RunReport {
+		s := small(t, numaws.WithWorkers(8), numaws.WithPolicy(name),
+			numaws.WithBenchmarks("heat"))
+		rep, err := s.Run(t.Context(), "heat")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Time <= 0 {
+		t.Errorf("run under %q: non-positive makespan %d", name, a.Time)
+	}
+	if a.Time != b.Time || a.Steals != b.Steals {
+		t.Errorf("same-seed runs under %q diverged: %+v vs %+v", name, a, b)
+	}
+}

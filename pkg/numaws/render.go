@@ -47,11 +47,16 @@ func BlockedMortonGrid(n, block int) string { return layout.Grid(n, layout.Block
 // indented JSON document carrying raw cycle counts plus the derived
 // ratios.
 func WriteExport(w io.Writer, e Export) error {
-	return metrics.WriteExport(w, metrics.Export{
+	m := metrics.Export{
 		Rows:   rowsToMetrics(e.Rows),
 		Series: seriesSliceToMetrics(e.Series),
 		Sweeps: sweepsToMetrics(e.Sweeps),
-	})
+	}
+	if e.Tournament != nil {
+		mt := tournamentToMetrics(*e.Tournament)
+		m.Tournament = &mt
+	}
+	return metrics.WriteExport(w, m)
 }
 
 // WriteRowsCSV writes one CSV record per benchmark row: identity, raw
@@ -70,6 +75,13 @@ func WriteSeriesCSV(w io.Writer, series []Series) error {
 // per (bench, topology, point).
 func WriteSweepsCSV(w io.Writer, sweeps []SweepCurve) error {
 	return metrics.WriteSweepsCSV(w, sweepsToMetrics(sweeps))
+}
+
+// WriteTournamentCSV writes a ranked tournament in long form: one CSV
+// record per (policy, bench, topology) cell, rank-major.
+func WriteTournamentCSV(w io.Writer, t Tournament) error {
+	m := tournamentToMetrics(t)
+	return metrics.WriteTournamentCSV(w, &m)
 }
 
 // WriteCSV writes rows and/or series as CSV. When both are present the two

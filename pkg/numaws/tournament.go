@@ -1,0 +1,117 @@
+package numaws
+
+// The policy tournament's public face: every registered scheduling policy
+// — built-ins and RegisterPolicy hooks alike — runs the same benchmark x
+// topology grid and comes back ranked by how close it stays to the best
+// completion time of every cell. The CLI's tournament subcommand and the
+// sweep service's /v1/tournament endpoint are shells over the same
+// machinery.
+
+import (
+	"context"
+
+	"repro/internal/harness"
+	"repro/internal/metrics"
+)
+
+// TournamentCell is one cell of a ranked tournament entry: the policy's
+// completion time for one (benchmark, topology), averaged over the
+// session's seeds, and its ratio to the cell's best time across all
+// policies (1.0 = this policy won the cell).
+type TournamentCell struct {
+	Bench    string
+	Topology string
+	TP       int64
+	Norm     float64
+}
+
+// TournamentEntry is one policy's ranked tournament outcome.
+type TournamentEntry struct {
+	Rank   int
+	Policy string
+	// Score is the geometric mean of Norm over the cells; lower is better,
+	// and 1.0 means the policy had the best time in every cell.
+	Score float64
+	// Cells holds one result per (bench, topology), bench-major, in the
+	// tournament's axis order.
+	Cells []TournamentCell
+}
+
+// Tournament is a complete ranked policy tournament: the grid axes and one
+// entry per registered policy, best score first. The ranking is
+// deterministic: same session configuration, same table.
+type Tournament struct {
+	Benches    []string
+	Topologies []string
+	Entries    []TournamentEntry
+}
+
+// Winner reports the top-ranked policy name ("" for an empty tournament).
+func (t Tournament) Winner() string {
+	if len(t.Entries) == 0 {
+		return ""
+	}
+	return t.Entries[0].Policy
+}
+
+// Table renders the tournament as the CLI's fixed-width ranking table: a
+// one-line summary, the ranked scores, then one completion-time table per
+// topology.
+func (t Tournament) Table() string {
+	m := tournamentToMetrics(t)
+	return metrics.TournamentTable(&m)
+}
+
+// Tournament runs every registered scheduling policy over the benchmark x
+// topology grid and ranks them. benches empty means the session's whole
+// suite; topologies nil or empty means the session's own machine, and
+// otherwise follows WithTopology's forms (presets or SOCKETSxCORES). Every
+// cell runs at its machine's full core count and is averaged over the
+// session's seeds (WithSeeds), so machines of different sizes compete on
+// their whole-machine behavior. Any cell's failure aborts the tournament —
+// a ranking with missing cells would compare incomparables.
+func (s *Session) Tournament(ctx context.Context, topologies []string, benches ...string) (Tournament, error) {
+	specs, err := s.subset(benches)
+	if err != nil {
+		return Tournament{}, err
+	}
+	machines := []harness.Machine{{Name: s.cfg.topology, Top: s.top}}
+	if len(topologies) > 0 {
+		if machines, err = harness.Machines(topologies); err != nil {
+			return Tournament{}, err
+		}
+	}
+	t, err := harness.Tournament(ctx, specs, machines, harness.RegisteredPolicies(), nil, s.options())
+	if err != nil {
+		return Tournament{}, facadeErr(err)
+	}
+	return tournamentFromMetrics(t), nil
+}
+
+func tournamentFromMetrics(m metrics.Tournament) Tournament {
+	t := Tournament{Benches: m.Benches, Topologies: m.Topologies}
+	for _, e := range m.Entries {
+		fe := TournamentEntry{Rank: e.Rank, Policy: e.Policy, Score: e.Score}
+		for _, c := range e.Cells {
+			fe.Cells = append(fe.Cells, TournamentCell{
+				Bench: c.Bench, Topology: c.Topology, TP: c.TP, Norm: c.Norm,
+			})
+		}
+		t.Entries = append(t.Entries, fe)
+	}
+	return t
+}
+
+func tournamentToMetrics(t Tournament) metrics.Tournament {
+	m := metrics.Tournament{Benches: t.Benches, Topologies: t.Topologies}
+	for _, e := range t.Entries {
+		me := metrics.TournamentEntry{Rank: e.Rank, Policy: e.Policy, Score: e.Score}
+		for _, c := range e.Cells {
+			me.Cells = append(me.Cells, metrics.TournamentResult{
+				Bench: c.Bench, Topology: c.Topology, TP: c.TP, Norm: c.Norm,
+			})
+		}
+		m.Entries = append(m.Entries, me)
+	}
+	return m
+}

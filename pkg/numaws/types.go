@@ -125,9 +125,10 @@ func (s SweepCurve) Speedup() []float64 {
 // Export bundles every measurement kind for the machine-readable writers;
 // any field may be empty.
 type Export struct {
-	Rows   []Row
-	Series []Series
-	Sweeps []SweepCurve
+	Rows       []Row
+	Series     []Series
+	Sweeps     []SweepCurve
+	Tournament *Tournament
 }
 
 // Run identifies one completed simulation of a streaming measurement (see

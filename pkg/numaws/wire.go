@@ -86,6 +86,94 @@ type GridSummary struct {
 	Failed    int `json:"failed"`
 }
 
+// TournamentRequest asks a sweep service to rank scheduling policies over
+// a benchmark × topology grid. Every cell runs at its machine's full core
+// count — a fixed worker axis would bias the ranking toward machines it
+// happens to fit — so the request has no worker axis.
+type TournamentRequest struct {
+	// Benches restricts the grid to the named benchmarks, in the given
+	// order; empty means every registered benchmark.
+	Benches []string `json:"benches,omitempty"`
+	// Topologies lists preset names or SOCKETSxCORES shapes; empty means
+	// ["paper-4x8"].
+	Topologies []string `json:"topologies,omitempty"`
+	// Policies lists the contestants; empty means every registered policy.
+	Policies []string `json:"policies,omitempty"`
+	// Seeds lists scheduler seeds to average each cell over; empty means
+	// [1].
+	Seeds []int64 `json:"seeds,omitempty"`
+	// Scale is "small" or "full" (the default).
+	Scale string `json:"scale,omitempty"`
+	// Verify controls result verification; nil means true.
+	Verify *bool `json:"verify,omitempty"`
+}
+
+// TournamentRank is one ranked policy of a tournament summary.
+type TournamentRank struct {
+	Rank   int     `json:"rank"`
+	Policy string  `json:"policy"`
+	Score  float64 `json:"score"` // geomean of per-cell TP / cell-best TP
+}
+
+// TournamentSummary trails a tournament stream: the grid counts plus the
+// deterministic ranking. Ranking is omitted when any cell failed — a
+// ranking over missing cells would compare incomparables — so a summary
+// with Failed > 0 is an unranked tournament.
+type TournamentSummary struct {
+	Rows      int              `json:"rows"`
+	Cached    int              `json:"cached"`
+	Simulated int              `json:"simulated"`
+	Failed    int              `json:"failed"`
+	Ranking   []TournamentRank `json:"ranking,omitempty"`
+}
+
+// QueryTournament streams a tournament request against a running sweep
+// service, invoking onRow (which may be nil) for each run as the service
+// completes it, and returns the trailing summary with the ranking. The
+// rows are the same shape grid streams use. A stream that ends without a
+// summary is an error, exactly as in QueryGrid.
+func QueryTournament(ctx context.Context, server string, req TournamentRequest, onRow func(GridRow)) (TournamentSummary, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return TournamentSummary{}, fmt.Errorf("numaws: tournament: %w", err)
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimSuffix(server, "/")+"/v1/tournament", bytes.NewReader(body))
+	if err != nil {
+		return TournamentSummary{}, fmt.Errorf("numaws: tournament: %w", err)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		return TournamentSummary{}, fmt.Errorf("numaws: tournament: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return TournamentSummary{}, fmt.Errorf("numaws: tournament: server said %s: %s",
+			resp.Status, strings.TrimSpace(string(msg)))
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ev struct {
+			Row  *GridRow           `json:"row"`
+			Done *TournamentSummary `json:"done"`
+		}
+		if err := dec.Decode(&ev); err != nil {
+			if errors.Is(err, io.EOF) {
+				return TournamentSummary{}, fmt.Errorf("numaws: tournament: stream ended without its summary (the server aborted the run)")
+			}
+			return TournamentSummary{}, fmt.Errorf("numaws: tournament: %w", err)
+		}
+		if ev.Row != nil && onRow != nil {
+			onRow(*ev.Row)
+		}
+		if ev.Done != nil {
+			return *ev.Done, nil
+		}
+	}
+}
+
 // QueryGrid streams a grid request against a running sweep service
 // (`numaws serve`) at the given base URL, invoking onRow (which may be
 // nil) for each row as the service completes it, and returns the trailing
